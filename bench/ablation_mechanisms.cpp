@@ -1,0 +1,69 @@
+/**
+ * @file
+ * Ablation: SP-prediction's individual mechanisms — confidence
+ * recovery (Section 4.4), stride-pattern detection (Table 3), the
+ * lock-union extension, and the bounded hot-set size — each toggled
+ * from the default configuration.
+ */
+
+#include "bench_common.hh"
+
+using namespace spp;
+using namespace spp::bench;
+
+namespace {
+
+struct Variant
+{
+    const char *name;
+    std::function<void(Config &)> tweak;
+};
+
+} // namespace
+
+int
+main()
+{
+    QuietScope quiet;
+    banner("Ablation: SP-prediction mechanisms "
+           "(averages over all benchmarks)");
+
+    const std::vector<Variant> variants = {
+        {"default", [](Config &) {}},
+        {"no recovery",
+         [](Config &c) { c.enableRecovery = false; }},
+        {"no patterns",
+         [](Config &c) { c.enablePatterns = false; }},
+        {"lock-union ext.",
+         [](Config &c) { c.unionEpochIntoLock = true; }},
+        {"hot set <= 2",
+         [](Config &c) { c.maxHotSetSize = 2; }},
+        {"sharing filter",
+         [](Config &c) { c.enableSharingFilter = true; }},
+    };
+
+    Table t({"variant", "accuracy %", "+bandwidth/miss %",
+             "recoveries", "pattern hits"});
+    for (const Variant &v : variants) {
+        double acc = 0, bw = 0;
+        std::uint64_t recoveries = 0, patterns = 0;
+        unsigned n = 0;
+        for (const std::string &name : allWorkloads()) {
+            ExperimentResult dir = runExperiment(name,
+                                                 directoryConfig());
+            ExperimentConfig cfg = predictedConfig(PredictorKind::sp);
+            cfg.tweak = v.tweak;
+            ExperimentResult r = runExperiment(name, cfg);
+            acc += 100.0 * r.predictionAccuracy();
+            bw += 100.0 * (r.bytesPerMiss() - dir.bytesPerMiss()) /
+                dir.bytesPerMiss();
+            recoveries += r.run.sp.recoveries.value();
+            patterns += r.run.sp.patternHits.value();
+            ++n;
+        }
+        t.cell(v.name).cell(acc / n, 1).cell(bw / n, 1)
+            .cell(recoveries).cell(patterns).endRow();
+    }
+    t.print();
+    return 0;
+}

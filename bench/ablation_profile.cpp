@@ -1,0 +1,51 @@
+/**
+ * @file
+ * Ablation: profile-guided seeding (Section 5.2: "this gap may be
+ * bridged somewhat if off-line profiling offers initial prediction
+ * information"). A characterization run's per-epoch hot sets seed
+ * the SP-table of a fresh run.
+ */
+
+#include "analysis/profile.hh"
+#include "bench_common.hh"
+
+using namespace spp;
+using namespace spp::bench;
+
+int
+main()
+{
+    QuietScope quiet;
+    banner("Ablation: profile-guided SP-table seeding");
+    Table t({"benchmark", "cold accuracy %", "seeded accuracy %",
+             "gain"});
+
+    double sum_cold = 0, sum_seeded = 0;
+    unsigned n = 0;
+    for (const std::string &name : allWorkloads()) {
+        ExperimentConfig trace_cfg = directoryConfig();
+        trace_cfg.collectTrace = true;
+        ExperimentResult traced = runExperiment(name, trace_cfg);
+        auto profile = buildProfile(*traced.trace, 0.10, 8);
+
+        ExperimentResult cold =
+            runExperiment(name, predictedConfig(PredictorKind::sp));
+        ExperimentConfig seeded_cfg =
+            predictedConfig(PredictorKind::sp);
+        seeded_cfg.prepare = [&profile](CmpSystem &sys) {
+            applyProfile(*sys.spPredictor(), profile);
+        };
+        ExperimentResult seeded = runExperiment(name, seeded_cfg);
+
+        const double c = 100.0 * cold.predictionAccuracy();
+        const double s = 100.0 * seeded.predictionAccuracy();
+        t.cell(name).cell(c, 1).cell(s, 1).cell(s - c, 1).endRow();
+        sum_cold += c;
+        sum_seeded += s;
+        ++n;
+    }
+    t.print();
+    std::printf("\naverage: cold %.1f%%, seeded %.1f%%\n",
+                sum_cold / n, sum_seeded / n);
+    return 0;
+}

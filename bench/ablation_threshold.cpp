@@ -1,0 +1,44 @@
+/**
+ * @file
+ * Ablation: hot-communication-set threshold (Section 3.3 uses 10%).
+ * Lower thresholds grow the predicted set (more accuracy, more
+ * bandwidth); higher ones shrink it.
+ */
+
+#include "bench_common.hh"
+
+using namespace spp;
+using namespace spp::bench;
+
+int
+main()
+{
+    QuietScope quiet;
+    banner("Ablation: hot-set threshold "
+           "(averages over all benchmarks)");
+    Table t({"threshold", "accuracy %", "predicted set size",
+             "+bandwidth/miss %"});
+
+    for (double thr : {0.05, 0.10, 0.20, 0.30}) {
+        double acc = 0, setsz = 0, bw = 0;
+        unsigned n = 0;
+        for (const std::string &name : allWorkloads()) {
+            ExperimentResult dir = runExperiment(name,
+                                                 directoryConfig());
+            ExperimentConfig cfg = predictedConfig(PredictorKind::sp);
+            cfg.tweak = [thr](Config &c) { c.hotThreshold = thr; };
+            ExperimentResult r = runExperiment(name, cfg);
+            acc += 100.0 * r.predictionAccuracy();
+            setsz += r.run.mem.predictedTargets.mean();
+            bw += 100.0 * (r.bytesPerMiss() - dir.bytesPerMiss()) /
+                dir.bytesPerMiss();
+            ++n;
+        }
+        t.cell(thr, 2).cell(acc / n, 1).cell(setsz / n, 2)
+            .cell(bw / n, 1).endRow();
+    }
+    t.print();
+    std::printf("\n(the latency/bandwidth trade-off knob of "
+                "Section 5.2)\n");
+    return 0;
+}

@@ -1,0 +1,81 @@
+/**
+ * @file
+ * Shared helpers for the figure/table regeneration harnesses. Each
+ * bench binary reproduces one table or figure of the paper: it runs
+ * the required (workload, protocol, predictor) matrix and prints the
+ * same rows/series the paper reports.
+ *
+ * Scale: set SPP_BENCH_SCALE (default 1.0) to shrink or grow the
+ * workload inputs.
+ */
+
+#ifndef SPP_BENCH_BENCH_COMMON_HH
+#define SPP_BENCH_BENCH_COMMON_HH
+
+#include <cstdio>
+#include <string>
+#include <vector>
+
+#include "analysis/epoch_stats.hh"
+#include "analysis/experiment.hh"
+#include "analysis/locality.hh"
+#include "analysis/patterns.hh"
+#include "analysis/report.hh"
+#include "common/logging.hh"
+#include "workload/workload.hh"
+
+namespace spp {
+namespace bench {
+
+/** All workload names, in the paper's order. */
+inline std::vector<std::string>
+allWorkloads()
+{
+    std::vector<std::string> names;
+    for (const auto &spec : workloadRegistry())
+        names.push_back(spec.name);
+    return names;
+}
+
+/** Directory-baseline experiment config at bench scale. */
+inline ExperimentConfig
+directoryConfig()
+{
+    ExperimentConfig c;
+    c.protocol = Protocol::directory;
+    c.scale = defaultBenchScale();
+    return c;
+}
+
+/** Broadcast-snooping experiment config at bench scale. */
+inline ExperimentConfig
+broadcastConfig()
+{
+    ExperimentConfig c;
+    c.protocol = Protocol::broadcast;
+    c.scale = defaultBenchScale();
+    return c;
+}
+
+/** Directory + predictor experiment config at bench scale. */
+inline ExperimentConfig
+predictedConfig(PredictorKind kind)
+{
+    ExperimentConfig c;
+    c.protocol = Protocol::predicted;
+    c.predictor = kind;
+    c.scale = defaultBenchScale();
+    return c;
+}
+
+/** Quiet logging for bench output cleanliness. */
+struct QuietScope
+{
+    QuietScope() { setQuiet(true); }
+    ~QuietScope() { setQuiet(false); }
+};
+
+} // namespace bench
+} // namespace spp
+
+#endif // SPP_BENCH_BENCH_COMMON_HH

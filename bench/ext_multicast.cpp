@@ -1,0 +1,59 @@
+/**
+ * @file
+ * Extension experiment: predicted multicast snooping (the paper's
+ * introduction claim that "in snooping protocols, prediction relaxes
+ * the high bandwidth requirements by replacing broadcast with
+ * multicast"). Compares directory, full broadcast, SP-over-directory
+ * and SP-driven multicast snooping on latency and bandwidth.
+ */
+
+#include "bench_common.hh"
+
+using namespace spp;
+using namespace spp::bench;
+
+int
+main()
+{
+    QuietScope quiet;
+    banner("Extension: SP-driven multicast snooping "
+           "(normalized to directory)");
+    Table t({"benchmark", "bcast lat", "mcast lat", "sp-dir lat",
+             "bcast +bw%", "mcast +bw%", "sp-dir +bw%"});
+
+    double mlat = 0, mbw = 0, blat = 0, bbw = 0;
+    unsigned n = 0;
+    for (const std::string &name : allWorkloads()) {
+        ExperimentResult dir = runExperiment(name, directoryConfig());
+        ExperimentResult bc = runExperiment(name, broadcastConfig());
+        ExperimentConfig mc_cfg = predictedConfig(PredictorKind::sp);
+        mc_cfg.protocol = Protocol::multicast;
+        ExperimentResult mc = runExperiment(name, mc_cfg);
+        ExperimentResult sp =
+            runExperiment(name, predictedConfig(PredictorKind::sp));
+
+        const double base_lat = dir.avgMissLatency();
+        const double base_bpm = dir.bytesPerMiss();
+        auto bw = [&](const ExperimentResult &r) {
+            return 100.0 * (r.bytesPerMiss() - base_bpm) / base_bpm;
+        };
+        t.cell(name)
+            .cell(bc.avgMissLatency() / base_lat, 3)
+            .cell(mc.avgMissLatency() / base_lat, 3)
+            .cell(sp.avgMissLatency() / base_lat, 3)
+            .cell(bw(bc), 1).cell(bw(mc), 1).cell(bw(sp), 1)
+            .endRow();
+        blat += bc.avgMissLatency() / base_lat;
+        bbw += bw(bc);
+        mlat += mc.avgMissLatency() / base_lat;
+        mbw += bw(mc);
+        ++n;
+    }
+    t.print();
+    std::printf("\naverages: broadcast lat %.3f / +%.0f%% bw; "
+                "multicast lat %.3f / +%.0f%% bw\n"
+                "(multicast keeps snooping's latency at a fraction "
+                "of its bandwidth)\n",
+                blat / n, bbw / n, mlat / n, mbw / n);
+    return 0;
+}

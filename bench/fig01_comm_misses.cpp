@@ -1,0 +1,40 @@
+/**
+ * @file
+ * Figure 1: ratio of communicating vs non-communicating misses per
+ * benchmark under the baseline directory protocol.
+ *
+ * Paper reference: communicating misses average 62% with large
+ * variation across applications.
+ */
+
+#include "bench_common.hh"
+
+using namespace spp;
+using namespace spp::bench;
+
+int
+main()
+{
+    QuietScope quiet;
+    banner("Figure 1: Ratio of communicating misses");
+    Table t({"benchmark", "misses", "communicating", "non-comm",
+             "comm ratio"});
+
+    double sum_ratio = 0;
+    unsigned n = 0;
+    for (const std::string &name : allWorkloads()) {
+        ExperimentResult r = runExperiment(name, directoryConfig());
+        const auto misses = r.run.mem.misses.value();
+        const auto comm = r.run.mem.communicatingMisses.value();
+        const double ratio = r.commMissFraction();
+        t.cell(name).cell(misses).cell(comm).cell(misses - comm)
+            .cell(ratio).endRow();
+        sum_ratio += ratio;
+        ++n;
+    }
+    t.print();
+    std::printf("\naverage communicating ratio: %.3f "
+                "(paper: 0.62 average)\n",
+                sum_ratio / n);
+    return 0;
+}

@@ -1,0 +1,48 @@
+/**
+ * @file
+ * Figure 4: average cumulative communication-locality curves at
+ * three granularities (sync-epoch, whole-interval, static
+ * instruction) for bodytrack, fmm and water-ns.
+ *
+ * Paper reference: sync-epochs capture locality considerably better
+ * than whole-run observation and at least as well as instruction
+ * indexing.
+ */
+
+#include "bench_common.hh"
+
+using namespace spp;
+using namespace spp::bench;
+
+int
+main()
+{
+    QuietScope quiet;
+    for (const char *name : {"bodytrack", "fmm", "water-ns"}) {
+        ExperimentConfig cfg = directoryConfig();
+        cfg.collectTrace = true;
+        ExperimentResult r = runExperiment(name, cfg);
+        const CommTrace &trace = *r.trace;
+
+        const LocalityCurve epoch = epochLocality(trace);
+        const LocalityCurve whole = wholeRunLocality(trace);
+        const LocalityCurve inst = instructionLocality(trace);
+
+        banner(std::string("Figure 4: communication locality, ") +
+               name);
+        Table t({"#cores", "sync-epoch", "single-interval",
+                 "static instruction"});
+        for (unsigned k = 0; k < trace.numCores(); ++k) {
+            t.cell(k + 1)
+                .cell(100.0 * epoch[k], 1)
+                .cell(100.0 * whole[k], 1)
+                .cell(100.0 * inst[k], 1)
+                .endRow();
+        }
+        t.print();
+    }
+    std::printf("\n(cumulative %% of communication volume covered by"
+                " the k hottest targets;\n higher at small k = better"
+                " locality)\n");
+    return 0;
+}

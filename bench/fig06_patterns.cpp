@@ -1,0 +1,57 @@
+/**
+ * @file
+ * Figure 6: hot-communication-set patterns across dynamic instances
+ * of sync-epochs: stable / phase-change / stride / random / mixed.
+ * Prints the per-benchmark pattern histogram plus one example
+ * signature sequence per pattern class (as bit strings, like the
+ * paper's bit-vector plots).
+ */
+
+#include "bench_common.hh"
+
+using namespace spp;
+using namespace spp::bench;
+
+int
+main()
+{
+    QuietScope quiet;
+    banner("Figure 6: hot-set patterns across dynamic epoch instances");
+    Table t({"benchmark", "stable", "phase-chg", "stride", "random",
+             "mixed"});
+
+    std::map<HotSetPattern, EpochPatternInfo> examples;
+    for (const std::string &name : allWorkloads()) {
+        ExperimentConfig cfg = directoryConfig();
+        cfg.collectTrace = true;
+        ExperimentResult r = runExperiment(name, cfg);
+        auto infos = classifyEpochPatterns(*r.trace, 0.10, 8);
+        auto hist = patternHistogram(infos);
+        t.cell(name)
+            .cell(hist[HotSetPattern::stable])
+            .cell(hist[HotSetPattern::phaseChange])
+            .cell(hist[HotSetPattern::stride])
+            .cell(hist[HotSetPattern::random])
+            .cell(hist[HotSetPattern::mixed])
+            .endRow();
+        for (const auto &info : infos)
+            if (!examples.contains(info.pattern))
+                examples[info.pattern] = info;
+    }
+    t.print();
+
+    banner("Example signature sequences (one row per instance, "
+           "core 0 leftmost)");
+    for (const auto &[pattern, info] : examples) {
+        std::printf("\n%s (core %u, sid=%lx):\n", toString(pattern),
+                    info.core,
+                    static_cast<unsigned long>(info.staticId));
+        unsigned shown = 0;
+        for (const CoreSet &s : info.sets) {
+            if (shown++ >= 6)
+                break;
+            std::printf("  %s\n", s.toBitString(16).c_str());
+        }
+    }
+    return 0;
+}

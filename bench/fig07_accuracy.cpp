@@ -1,0 +1,87 @@
+/**
+ * @file
+ * Figure 7: SP-prediction accuracy — percentage of communicating
+ * misses whose predicted set was sufficient (no directory
+ * indirection), broken down by the knowledge that produced the
+ * prediction (d=0 warm-up, d=2 history/pattern, lock, recovery),
+ * plus the ideal accuracy if each epoch's hot set were known a
+ * priori.
+ *
+ * Paper reference: 77% average accuracy (98% best, 59% worst);
+ * history-based predictions contribute up to 40%, recovery ~9%.
+ */
+
+#include "bench_common.hh"
+
+using namespace spp;
+using namespace spp::bench;
+
+namespace {
+
+/** Ideal accuracy: fraction of communicating misses covered by their
+ * own epoch's (a-priori known) hot set. */
+double
+idealAccuracy(const CommTrace &trace, double threshold)
+{
+    std::uint64_t covered = 0;
+    std::uint64_t total = 0;
+    for (unsigned c = 0; c < trace.numCores(); ++c) {
+        for (const EpochRecord &e : trace.epochs(c)) {
+            const CoreSet hot = e.hotSet(threshold);
+            for (const CoreSet &targets : e.missTargets) {
+                ++total;
+                if (hot.contains(targets))
+                    ++covered;
+            }
+        }
+    }
+    return total ? static_cast<double>(covered) / total : 0.0;
+}
+
+} // namespace
+
+int
+main()
+{
+    QuietScope quiet;
+    banner("Figure 7: SP-prediction accuracy "
+           "(% of communicating misses)");
+    Table t({"benchmark", "d=0 warmup", "d=2 history", "lock",
+             "recovery", "total", "ideal"});
+
+    double sum_total = 0;
+    unsigned n = 0;
+    for (const std::string &name : allWorkloads()) {
+        ExperimentResult sp =
+            runExperiment(name, predictedConfig(PredictorKind::sp));
+
+        ExperimentConfig tcfg = directoryConfig();
+        tcfg.collectTrace = true;
+        tcfg.recordMissTargets = true;
+        ExperimentResult traced = runExperiment(name, tcfg);
+
+        const double comm = static_cast<double>(
+            sp.run.mem.communicatingMisses.value());
+        auto pct = [&](PredSource s) {
+            return comm == 0 ? 0.0
+                : 100.0 * sp.run.mem.sufficientBySource[
+                      static_cast<std::size_t>(s)] / comm;
+        };
+        const double warmup = pct(PredSource::warmup);
+        const double history =
+            pct(PredSource::history) + pct(PredSource::pattern);
+        const double lock = pct(PredSource::lock);
+        const double recovery = pct(PredSource::recovery);
+        const double total = 100.0 * sp.predictionAccuracy();
+        const double ideal = 100.0 * idealAccuracy(*traced.trace, 0.10);
+
+        t.cell(name).cell(warmup, 1).cell(history, 1).cell(lock, 1)
+            .cell(recovery, 1).cell(total, 1).cell(ideal, 1).endRow();
+        sum_total += total;
+        ++n;
+    }
+    t.print();
+    std::printf("\naverage accuracy: %.1f%% (paper: 77%%)\n",
+                sum_total / n);
+    return 0;
+}

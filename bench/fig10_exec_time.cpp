@@ -1,0 +1,46 @@
+/**
+ * @file
+ * Figure 10: execution time of base directory, broadcast and
+ * SP-predictor, normalized to the directory protocol.
+ *
+ * Paper reference: SP-prediction improves execution time by 7% on
+ * average (x264 best at 14%).
+ */
+
+#include "bench_common.hh"
+
+using namespace spp;
+using namespace spp::bench;
+
+int
+main()
+{
+    QuietScope quiet;
+    banner("Figure 10: execution time (normalized to directory)");
+    Table t({"benchmark", "directory", "broadcast", "sp-predictor",
+             "dir (cycles)"});
+
+    double sum_sp = 0;
+    double sum_bc = 0;
+    unsigned n = 0;
+    for (const std::string &name : allWorkloads()) {
+        ExperimentResult dir = runExperiment(name, directoryConfig());
+        ExperimentResult bc = runExperiment(name, broadcastConfig());
+        ExperimentResult sp =
+            runExperiment(name, predictedConfig(PredictorKind::sp));
+
+        const double base = static_cast<double>(dir.run.ticks);
+        t.cell(name).cell(1.0, 3)
+            .cell(bc.run.ticks / base, 3)
+            .cell(sp.run.ticks / base, 3)
+            .cell(std::uint64_t{dir.run.ticks}).endRow();
+        sum_sp += sp.run.ticks / base;
+        sum_bc += bc.run.ticks / base;
+        ++n;
+    }
+    t.print();
+    std::printf("\naverage: broadcast %.3f, sp-predictor %.3f "
+                "(paper: sp ~0.93)\n",
+                sum_bc / n, sum_sp / n);
+    return 0;
+}

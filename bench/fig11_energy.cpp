@@ -1,0 +1,43 @@
+/**
+ * @file
+ * Figure 11: dynamic energy consumed on the NoC and on cache snoop
+ * lookups, normalized to the directory protocol.
+ *
+ * Paper reference: SP-prediction +25% vs directory; broadcast ~2.4x.
+ */
+
+#include "bench_common.hh"
+
+using namespace spp;
+using namespace spp::bench;
+
+int
+main()
+{
+    QuietScope quiet;
+    banner("Figure 11: NoC + snoop-lookup energy "
+           "(normalized to directory)");
+    Table t({"benchmark", "directory", "broadcast", "sp-predictor"});
+
+    double sum_sp = 0;
+    double sum_bc = 0;
+    unsigned n = 0;
+    for (const std::string &name : allWorkloads()) {
+        ExperimentResult dir = runExperiment(name, directoryConfig());
+        ExperimentResult bc = runExperiment(name, broadcastConfig());
+        ExperimentResult sp =
+            runExperiment(name, predictedConfig(PredictorKind::sp));
+
+        t.cell(name).cell(1.0, 3)
+            .cell(bc.energy / dir.energy, 3)
+            .cell(sp.energy / dir.energy, 3).endRow();
+        sum_sp += sp.energy / dir.energy;
+        sum_bc += bc.energy / dir.energy;
+        ++n;
+    }
+    t.print();
+    std::printf("\naverage: broadcast %.2fx, sp-predictor %.2fx "
+                "(paper: broadcast 2.4x, sp 1.25x)\n",
+                sum_bc / n, sum_sp / n);
+    return 0;
+}

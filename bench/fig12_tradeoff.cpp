@@ -1,0 +1,78 @@
+/**
+ * @file
+ * Figure 12: latency/bandwidth trade-off plane for SP-, ADDR-, INST-
+ * and UNI-prediction and the plain directory, on fmm, ocean,
+ * fluidanimate and dedup (unlimited predictor tables).
+ *
+ * x: additional request bandwidth per miss relative to the directory
+ *    protocol (%); y: % of misses incurring directory indirection.
+ * Lower-left is better; the directory sits at the upper-left.
+ */
+
+#include "bench_common.hh"
+
+using namespace spp;
+using namespace spp::bench;
+
+namespace {
+
+struct Point
+{
+    double addedBandwidthPct;
+    double indirectionPct;
+};
+
+Point
+pointOf(const ExperimentResult &r, const ExperimentResult &dir)
+{
+    const double dir_bpm = dir.bytesPerMiss();
+    Point p;
+    p.addedBandwidthPct =
+        100.0 * (r.bytesPerMiss() - dir_bpm) / dir_bpm;
+    const double misses =
+        static_cast<double>(r.run.mem.misses.value());
+    const double comm_sufficient = static_cast<double>(
+        r.run.mem.predictionsSufficient.value());
+    const double comm =
+        static_cast<double>(r.run.mem.communicatingMisses.value());
+    // Non-communicating misses never "indirect" to another cache;
+    // the metric follows the paper: communicating misses that still
+    // needed the directory.
+    p.indirectionPct =
+        misses > 0 ? 100.0 * (comm - comm_sufficient) / misses : 0.0;
+    return p;
+}
+
+} // namespace
+
+int
+main()
+{
+    QuietScope quiet;
+    banner("Figure 12: performance/bandwidth trade-off "
+           "(unlimited tables)");
+    for (const char *name : {"fmm", "ocean", "fluidanimate", "dedup"}) {
+        ExperimentResult dir = runExperiment(name, directoryConfig());
+
+        Table t({"predictor", "+bandwidth/miss %", "misses indirect %"});
+        const Point d = pointOf(dir, dir);
+        t.cell("Directory").cell(d.addedBandwidthPct, 1)
+            .cell(d.indirectionPct, 1).endRow();
+        for (auto [label, kind] :
+             {std::pair{"SP-predictor", PredictorKind::sp},
+              std::pair{"ADDR-predictor", PredictorKind::addr},
+              std::pair{"INST-predictor", PredictorKind::inst},
+              std::pair{"UNI-predictor", PredictorKind::uni}}) {
+            ExperimentResult r =
+                runExperiment(name, predictedConfig(kind));
+            const Point p = pointOf(r, dir);
+            t.cell(label).cell(p.addedBandwidthPct, 1)
+                .cell(p.indirectionPct, 1).endRow();
+        }
+        banner(std::string("Figure 12: ") + name);
+        t.print();
+    }
+    std::printf("\n(lower-left corner is the best point of the "
+                "trade-off space)\n");
+    return 0;
+}

@@ -1,0 +1,147 @@
+/**
+ * @file
+ * google-benchmark microbenchmarks for the hot components of the
+ * simulator and predictor: the SP-prediction hardware operations
+ * (counter update, hot-set extraction, table probe), the baseline
+ * group-predictor probe, the event kernel and the mesh model.
+ */
+
+#include <benchmark/benchmark.h>
+
+#include "common/config.hh"
+#include "common/rng.hh"
+#include "core/comm_counters.hh"
+#include "core/sp_predictor.hh"
+#include "event/event_queue.hh"
+#include "noc/mesh.hh"
+#include "predict/group_predictor.hh"
+
+using namespace spp;
+
+static void
+BM_CommCountersRecord(benchmark::State &state)
+{
+    CommCounters c;
+    CoreSet who{3, 7};
+    for (auto _ : state) {
+        c.record(who);
+        benchmark::DoNotOptimize(c);
+    }
+}
+BENCHMARK(BM_CommCountersRecord);
+
+static void
+BM_HotSetExtraction(benchmark::State &state)
+{
+    CommCounters c;
+    Rng rng(1);
+    for (int i = 0; i < 200; ++i)
+        c.record(CoreSet::single(
+            static_cast<CoreId>(rng.below(16))));
+    for (auto _ : state) {
+        CoreSet hot = c.hotSet(0.10);
+        benchmark::DoNotOptimize(hot);
+    }
+}
+BENCHMARK(BM_HotSetExtraction);
+
+static void
+BM_SpPredict(benchmark::State &state)
+{
+    Config cfg;
+    SpPredictor pred(cfg, 16);
+    SyncPointInfo info;
+    info.type = SyncType::barrier;
+    info.staticId = 1;
+    PredictionQuery q;
+    q.core = 0;
+    pred.onSyncPoint(0, info);
+    for (int i = 0; i < 20; ++i) {
+        pred.trainResponse(q, CoreSet{5});
+        pred.feedback(0, Prediction{}, true, false);
+    }
+    pred.onSyncPoint(0, info);
+    pred.onSyncPoint(0, info);
+    for (auto _ : state) {
+        Prediction p = pred.predict(q);
+        benchmark::DoNotOptimize(p);
+    }
+}
+BENCHMARK(BM_SpPredict);
+
+static void
+BM_SpSyncPoint(benchmark::State &state)
+{
+    Config cfg;
+    SpPredictor pred(cfg, 16);
+    PredictionQuery q;
+    q.core = 0;
+    SyncPointInfo info;
+    info.type = SyncType::barrier;
+    std::uint64_t sid = 0;
+    for (auto _ : state) {
+        info.staticId = sid++ % 32;
+        pred.onSyncPoint(0, info);
+        for (int i = 0; i < 10; ++i) {
+            pred.trainResponse(q, CoreSet{5});
+            pred.feedback(0, Prediction{}, true, false);
+        }
+    }
+}
+BENCHMARK(BM_SpSyncPoint);
+
+static void
+BM_GroupPredictorProbe(benchmark::State &state)
+{
+    Config cfg;
+    GroupPredictor pred(cfg, 16, GroupIndex::macroBlock);
+    Rng rng(1);
+    PredictionQuery q;
+    q.core = 0;
+    for (int i = 0; i < 1024; ++i) {
+        q.macroBlock = i;
+        pred.trainResponse(q, CoreSet{5});
+        pred.trainResponse(q, CoreSet{5});
+    }
+    for (auto _ : state) {
+        q.macroBlock = rng.below(1024);
+        Prediction p = pred.predict(q);
+        benchmark::DoNotOptimize(p);
+    }
+}
+BENCHMARK(BM_GroupPredictorProbe);
+
+static void
+BM_EventQueueThroughput(benchmark::State &state)
+{
+    for (auto _ : state) {
+        EventQueue eq;
+        unsigned fired = 0;
+        for (Tick t = 0; t < 1000; ++t)
+            eq.schedule(t, [&fired] { ++fired; });
+        eq.run();
+        benchmark::DoNotOptimize(fired);
+    }
+}
+BENCHMARK(BM_EventQueueThroughput);
+
+static void
+BM_MeshSend(benchmark::State &state)
+{
+    Config cfg;
+    EventQueue eq;
+    Mesh mesh(cfg, eq);
+    Rng rng(1);
+    for (auto _ : state) {
+        Packet p;
+        p.src = static_cast<CoreId>(rng.below(16));
+        p.dst = static_cast<CoreId>(rng.below(16));
+        p.bytes = 72;
+        p.cls = TrafficClass::data;
+        mesh.send(p, [] {});
+        eq.run();
+    }
+}
+BENCHMARK(BM_MeshSend);
+
+BENCHMARK_MAIN();

@@ -1,0 +1,33 @@
+/**
+ * @file
+ * Table 5: average actual (minimum sufficient) vs predicted target
+ * set size per request.
+ *
+ * Paper reference: actual close to 1 (reads dominate), predicted
+ * around 2-4, ratio mostly 1.1-3.7.
+ */
+
+#include "bench_common.hh"
+
+using namespace spp;
+using namespace spp::bench;
+
+int
+main()
+{
+    QuietScope quiet;
+    banner("Table 5: average actual and predicted target set size");
+    Table t({"benchmark", "actual/req", "predicted/req", "ratio"});
+
+    for (const std::string &name : allWorkloads()) {
+        ExperimentResult sp =
+            runExperiment(name, predictedConfig(PredictorKind::sp));
+        const double actual = sp.run.mem.actualTargets.mean();
+        const double predicted = sp.run.mem.predictedTargets.mean();
+        const double ratio = actual > 0 ? predicted / actual : 0.0;
+        t.cell(name).cell(actual, 2).cell(predicted, 2)
+            .cell(ratio, 2).endRow();
+    }
+    t.print();
+    return 0;
+}

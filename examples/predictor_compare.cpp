@@ -1,0 +1,81 @@
+/**
+ * @file
+ * Predictor shoot-out: runs one workload under the directory
+ * baseline, broadcast, and all four destination-set predictors (SP,
+ * ADDR, INST, UNI), reporting the latency/bandwidth/storage
+ * trade-off each scheme lands on (the Section 5.4 comparison).
+ *
+ * Usage: predictor_compare [workload] [scale]
+ */
+
+#include <cstdio>
+#include <cstdlib>
+#include <string>
+
+#include "analysis/experiment.hh"
+#include "analysis/report.hh"
+
+using namespace spp;
+
+namespace {
+
+void
+row(Table &t, const char *name, const ExperimentResult &r,
+    const ExperimentResult &dir)
+{
+    const double base_lat = dir.avgMissLatency();
+    const double base_bpm = dir.bytesPerMiss();
+    t.cell(name)
+        .cell(r.avgMissLatency() / base_lat, 3)
+        .cell(static_cast<double>(r.run.ticks) /
+                  static_cast<double>(dir.run.ticks), 3)
+        .cell(100.0 * (r.bytesPerMiss() - base_bpm) / base_bpm, 1)
+        .cell(100.0 * r.predictionAccuracy(), 1)
+        .cell(r.energy / dir.energy, 2)
+        .cell(static_cast<double>(r.run.predictorStorageBits) /
+                  8.0 / 1024.0, 2)
+        .endRow();
+}
+
+} // namespace
+
+int
+main(int argc, char **argv)
+{
+    const std::string workload = argc > 1 ? argv[1] : "bodytrack";
+    const double scale = argc > 2 ? std::atof(argv[2]) : 1.0;
+
+    auto run = [&](Protocol proto, PredictorKind kind) {
+        ExperimentConfig cfg;
+        cfg.protocol = proto;
+        cfg.predictor = kind;
+        cfg.scale = scale;
+        return runExperiment(workload, cfg);
+    };
+
+    std::printf("Predictor comparison on '%s'\n", workload.c_str());
+    ExperimentResult dir = run(Protocol::directory,
+                               PredictorKind::none);
+    ExperimentResult bc = run(Protocol::broadcast,
+                              PredictorKind::none);
+
+    banner("Latency / bandwidth / storage trade-off "
+           "(normalized to directory)");
+    Table t({"scheme", "miss lat.", "exec time", "+bw/miss %",
+             "accuracy %", "energy", "storage KB"});
+    row(t, "directory", dir, dir);
+    row(t, "broadcast", bc, dir);
+    for (auto [name, kind] :
+         {std::pair{"SP", PredictorKind::sp},
+          std::pair{"ADDR", PredictorKind::addr},
+          std::pair{"INST", PredictorKind::inst},
+          std::pair{"UNI", PredictorKind::uni}}) {
+        ExperimentResult r = run(Protocol::predicted, kind);
+        row(t, name, r, dir);
+    }
+    t.print();
+
+    std::printf("\n(SP should sit near ADDR/INST on latency and "
+                "bandwidth at a fraction of the storage)\n");
+    return 0;
+}

@@ -1,0 +1,42 @@
+/**
+ * @file
+ * Analytical NoC + snoop-lookup energy model (Section 5.3, Fig. 11).
+ *
+ * Energy is proportional to data moved: each byte pays a link energy
+ * per hop and a router energy per router traversed, with router
+ * energy 4x link energy (the paper's assumption, after Banerjee et
+ * al.). Cache snoop lookups pay a CACTI-derived tag-lookup energy.
+ * Absolute units are arbitrary (figures normalize to the directory
+ * baseline); the defaults below use 32nm-flavoured relative
+ * magnitudes.
+ */
+
+#ifndef SPP_ANALYSIS_ENERGY_HH
+#define SPP_ANALYSIS_ENERGY_HH
+
+#include "noc/mesh.hh"
+
+namespace spp {
+
+/** Energy model coefficients (picojoule-flavoured relative units). */
+struct EnergyModel
+{
+    double linkPerByteHop = 1.0;
+    double routerPerByte = 4.0;     ///< 4x the link energy (paper).
+    double tagLookup = 30.0;        ///< One L2 tag array probe.
+
+    /** Total NoC + snoop energy of a run. */
+    double
+    total(const NocStats &noc, std::uint64_t snoop_lookups) const
+    {
+        return linkPerByteHop *
+                   static_cast<double>(noc.byteHops.value()) +
+               routerPerByte *
+                   static_cast<double>(noc.byteRouters.value()) +
+               tagLookup * static_cast<double>(snoop_lookups);
+    }
+};
+
+} // namespace spp
+
+#endif // SPP_ANALYSIS_ENERGY_HH

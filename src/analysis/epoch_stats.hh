@@ -1,0 +1,48 @@
+/**
+ * @file
+ * Sync-epoch statistics (Table 1) computed from a CommTrace.
+ */
+
+#ifndef SPP_ANALYSIS_EPOCH_STATS_HH
+#define SPP_ANALYSIS_EPOCH_STATS_HH
+
+#include <set>
+
+#include "analysis/trace.hh"
+
+namespace spp {
+
+/** Table 1 row (per-core averages, as in the paper). */
+struct EpochStats
+{
+    unsigned staticCriticalSections = 0; ///< Distinct lock sites.
+    unsigned staticSyncEpochs = 0;       ///< Distinct non-lock sites.
+    double dynEpochsPerCore = 0.0;       ///< Total dynamic epochs.
+};
+
+inline EpochStats
+computeEpochStats(const CommTrace &trace)
+{
+    EpochStats s;
+    std::set<std::uint64_t> cs_sites;
+    std::set<std::uint64_t> epoch_sites;
+    std::uint64_t dynamic = 0;
+    for (unsigned c = 0; c < trace.numCores(); ++c) {
+        for (const EpochRecord &e : trace.epochs(c)) {
+            ++dynamic;
+            if (e.beginType == SyncType::lock)
+                cs_sites.insert(e.staticId);
+            else if (e.beginType != SyncType::threadStart)
+                epoch_sites.insert(e.staticId);
+        }
+    }
+    s.staticCriticalSections = static_cast<unsigned>(cs_sites.size());
+    s.staticSyncEpochs = static_cast<unsigned>(epoch_sites.size());
+    s.dynEpochsPerCore =
+        static_cast<double>(dynamic) / trace.numCores();
+    return s;
+}
+
+} // namespace spp
+
+#endif // SPP_ANALYSIS_EPOCH_STATS_HH

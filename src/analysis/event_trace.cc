@@ -1,0 +1,225 @@
+#include "analysis/event_trace.hh"
+
+#include <bit>
+#include <fstream>
+#include <sstream>
+
+#include "common/logging.hh"
+#include "core/sp_predictor.hh"
+#include "mem/address_map.hh"
+#include "predict/group_predictor.hh"
+
+namespace spp {
+
+namespace {
+
+/** Record sync-points into shared event storage. */
+struct SyncRecorder : SyncListener
+{
+    std::shared_ptr<std::vector<TraceEvent>> out;
+
+    void
+    onSyncPoint(CoreId core, const SyncPointInfo &info) override
+    {
+        TraceEvent e;
+        e.kind = TraceEvent::Kind::syncPoint;
+        e.core = core;
+        e.type = info.type;
+        e.staticId = info.staticId;
+        e.prevHolder = info.prevHolder;
+        out->push_back(e);
+    }
+};
+
+/** Recorders live as long as the process (tooling use). */
+std::vector<std::unique_ptr<SyncRecorder>> &
+recorderPool()
+{
+    static std::vector<std::unique_ptr<SyncRecorder>> pool;
+    return pool;
+}
+
+} // namespace
+
+void
+EventTrace::attach(CmpSystem &sys)
+{
+    auto rec = std::make_unique<SyncRecorder>();
+    rec->out = events_;
+    sys.syncManager().addListener(rec.get());
+    recorderPool().push_back(std::move(rec));
+    const unsigned line_shift = std::countr_zero(
+        static_cast<unsigned long>(sys.config().lineBytes));
+    auto storage = events_;
+    sys.setAccessObserver(
+        [storage, line_shift](CoreId core, Addr addr, Pc pc,
+                              const AccessOutcome &out) {
+            if (!out.miss())
+                return;
+            TraceEvent e;
+            e.kind = TraceEvent::Kind::miss;
+            e.core = core;
+            e.line = addr >> line_shift << line_shift;
+            e.pc = pc;
+            e.isWrite = out.isWrite;
+            e.communicating = out.communicating;
+            e.targets = out.servicedBy;
+            storage->push_back(e);
+        });
+}
+
+void
+EventTrace::save(std::ostream &os) const
+{
+    os << "# spp event trace v1\n";
+    for (const TraceEvent &e : *events_) {
+        if (e.kind == TraceEvent::Kind::miss) {
+            os << "M " << e.core << ' ' << e.line << ' ' << e.pc
+               << ' ' << (e.isWrite ? 1 : 0) << ' '
+               << (e.communicating ? 1 : 0) << ' '
+               << e.targets.mask() << '\n';
+        } else {
+            os << "S " << e.core << ' '
+               << static_cast<unsigned>(e.type) << ' ' << e.staticId
+               << ' ' << e.prevHolder << '\n';
+        }
+    }
+}
+
+void
+EventTrace::save(const std::string &path) const
+{
+    std::ofstream os(path);
+    if (!os)
+        SPP_FATAL("cannot write trace file '{}'", path);
+    save(os);
+}
+
+EventTrace
+EventTrace::load(std::istream &is)
+{
+    EventTrace trace;
+    std::string line;
+    while (std::getline(is, line)) {
+        if (line.empty() || line[0] == '#')
+            continue;
+        std::istringstream ls(line);
+        char tag = 0;
+        ls >> tag;
+        TraceEvent e;
+        if (tag == 'M') {
+            std::uint64_t mask = 0;
+            int w = 0, c = 0;
+            e.kind = TraceEvent::Kind::miss;
+            ls >> e.core >> e.line >> e.pc >> w >> c >> mask;
+            e.isWrite = w != 0;
+            e.communicating = c != 0;
+            e.targets = CoreSet::fromMask(mask);
+        } else if (tag == 'S') {
+            unsigned type = 0;
+            e.kind = TraceEvent::Kind::syncPoint;
+            ls >> e.core >> type >> e.staticId >> e.prevHolder;
+            e.type = static_cast<SyncType>(type);
+        } else {
+            SPP_FATAL("malformed trace line: '{}'", line);
+        }
+        if (!ls)
+            SPP_FATAL("malformed trace line: '{}'", line);
+        trace.events_->push_back(e);
+    }
+    return trace;
+}
+
+EventTrace
+EventTrace::load(const std::string &path)
+{
+    std::ifstream is(path);
+    if (!is)
+        SPP_FATAL("cannot read trace file '{}'", path);
+    return load(is);
+}
+
+OfflineResult
+evaluateOffline(const EventTrace &trace, const Config &cfg,
+                PredictorKind kind)
+{
+    std::unique_ptr<DestinationPredictor> predictor;
+    SpPredictor *sp = nullptr;
+    switch (kind) {
+      case PredictorKind::sp: {
+        auto p = std::make_unique<SpPredictor>(cfg, cfg.numCores);
+        sp = p.get();
+        predictor = std::move(p);
+        break;
+      }
+      case PredictorKind::addr:
+        predictor = std::make_unique<GroupPredictor>(
+            cfg, cfg.numCores, GroupIndex::macroBlock);
+        break;
+      case PredictorKind::inst:
+        predictor = std::make_unique<GroupPredictor>(
+            cfg, cfg.numCores, GroupIndex::instruction);
+        break;
+      case PredictorKind::uni:
+        predictor = std::make_unique<GroupPredictor>(
+            cfg, cfg.numCores, GroupIndex::none);
+        break;
+      case PredictorKind::none:
+        SPP_FATAL("offline evaluation needs a predictor kind");
+    }
+
+    AddressMap map(cfg);
+    OfflineResult res;
+    double set_sum = 0;
+
+    for (const TraceEvent &e : trace.events()) {
+        if (e.kind == TraceEvent::Kind::syncPoint) {
+            if (sp) {
+                SyncPointInfo info;
+                info.type = e.type;
+                info.staticId = e.staticId;
+                info.prevHolder = e.prevHolder;
+                sp->onSyncPoint(e.core, info);
+            }
+            continue;
+        }
+
+        ++res.misses;
+        PredictionQuery q;
+        q.core = e.core;
+        q.line = e.line;
+        q.macroBlock = map.macroBlock(e.line);
+        q.pc = e.pc;
+        q.isWrite = e.isWrite;
+
+        Prediction p = predictor->predict(q);
+        p.targets.reset(e.core);
+        bool sufficient = false;
+        if (p.valid()) {
+            ++res.attempted;
+            set_sum += p.targets.count();
+            sufficient = e.communicating &&
+                p.targets.contains(e.targets);
+        }
+        if (e.communicating) {
+            ++res.commMisses;
+            if (sufficient)
+                ++res.sufficient;
+            predictor->trainResponse(q, e.targets);
+            // Offline external training: every serviced target
+            // observed this requester.
+            for (CoreId t : e.targets) {
+                predictor->trainExternal(t, e.line, q.macroBlock,
+                                         e.pc, e.core, e.isWrite);
+            }
+        }
+        predictor->feedback(e.core, p, e.communicating, sufficient);
+    }
+
+    if (res.attempted > 0)
+        res.predictedTargets = set_sum / res.attempted;
+    res.storageBits = predictor->storageBits();
+    return res;
+}
+
+} // namespace spp

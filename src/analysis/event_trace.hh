@@ -1,0 +1,117 @@
+/**
+ * @file
+ * Miss/sync-point event traces (the paper's Section 3.2 methodology):
+ * "we collected L2 miss traces that contain the miss data address,
+ * type, PC, and the target set of cores ... along with all
+ * sync-points and their type and static/dynamic IDs. Traces do not
+ * capture the effects of timing and are used only for
+ * characterization."
+ *
+ * An EventTrace records exactly that stream from a live run, can be
+ * saved to / loaded from a plain-text file, and can be replayed
+ * through any destination-set predictor *offline* — decoupling
+ * predictor studies from timing simulation.
+ */
+
+#ifndef SPP_ANALYSIS_EVENT_TRACE_HH
+#define SPP_ANALYSIS_EVENT_TRACE_HH
+
+#include <array>
+#include <iosfwd>
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "common/config.hh"
+#include "common/core_set.hh"
+#include "common/types.hh"
+#include "predict/predictor.hh"
+#include "sim/cmp_system.hh"
+#include "sync/sync_types.hh"
+
+namespace spp {
+
+/** One recorded event: an L2 miss or a sync-point. */
+struct TraceEvent
+{
+    enum class Kind : std::uint8_t { miss, syncPoint };
+
+    Kind kind = Kind::miss;
+    CoreId core = invalidCore;
+
+    // kind == miss:
+    Addr line = 0;
+    Pc pc = 0;
+    bool isWrite = false;
+    bool communicating = false;
+    CoreSet targets;            ///< Remote caches that serviced it.
+
+    // kind == syncPoint:
+    SyncType type = SyncType::threadStart;
+    std::uint64_t staticId = 0;
+    CoreId prevHolder = invalidCore;
+};
+
+/**
+ * An ordered stream of trace events with record / save / load /
+ * replay support.
+ */
+class EventTrace
+{
+  public:
+    EventTrace()
+        : events_(std::make_shared<std::vector<TraceEvent>>())
+    {}
+
+    /** Record misses and sync-points from a live system. The trace
+     * must outlive the run (events land in shared storage, so the
+     * trace object itself may be moved). */
+    void attach(CmpSystem &sys);
+
+    const std::vector<TraceEvent> &events() const { return *events_; }
+    std::size_t size() const { return events_->size(); }
+
+    /** Append events directly (synthetic traces in tests). */
+    void append(const TraceEvent &e) { events_->push_back(e); }
+
+    /** Plain-text serialization (one event per line). */
+    void save(std::ostream &os) const;
+    void save(const std::string &path) const;
+
+    /** Parse a stream saved by save(); fatal on malformed input. */
+    static EventTrace load(std::istream &is);
+    static EventTrace load(const std::string &path);
+
+  private:
+    std::shared_ptr<std::vector<TraceEvent>> events_;
+};
+
+/** Results of an offline predictor replay. */
+struct OfflineResult
+{
+    std::uint64_t misses = 0;
+    std::uint64_t commMisses = 0;
+    std::uint64_t attempted = 0;
+    std::uint64_t sufficient = 0;   ///< Of communicating misses.
+    double predictedTargets = 0.0;  ///< Avg set size per attempt.
+    std::size_t storageBits = 0;
+
+    double
+    accuracy() const
+    {
+        return commMisses
+            ? static_cast<double>(sufficient) / commMisses : 0.0;
+    }
+};
+
+/**
+ * Replay @p trace through a freshly-built predictor of @p kind
+ * configured by @p cfg (no timing; the paper's trace-driven
+ * characterization pipeline).
+ */
+OfflineResult evaluateOffline(const EventTrace &trace,
+                              const Config &cfg, PredictorKind kind);
+
+} // namespace spp
+
+#endif // SPP_ANALYSIS_EVENT_TRACE_HH

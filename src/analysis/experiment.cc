@@ -1,0 +1,113 @@
+#include "analysis/experiment.hh"
+
+#include <cstdlib>
+
+#include "common/logging.hh"
+
+namespace spp {
+
+double
+ExperimentResult::commMissFraction() const
+{
+    const auto misses = run.mem.misses.value();
+    if (misses == 0)
+        return 0.0;
+    return static_cast<double>(run.mem.communicatingMisses.value()) /
+        static_cast<double>(misses);
+}
+
+double
+ExperimentResult::avgMissLatency() const
+{
+    return run.mem.missLatency.mean();
+}
+
+double
+ExperimentResult::bytesPerMiss() const
+{
+    const auto misses = run.mem.misses.value();
+    if (misses == 0)
+        return 0.0;
+    return static_cast<double>(run.noc.flitBytes.value()) /
+        static_cast<double>(misses);
+}
+
+double
+ExperimentResult::predictionAccuracy() const
+{
+    const auto comm = run.mem.communicatingMisses.value();
+    if (comm == 0)
+        return 0.0;
+    return static_cast<double>(run.mem.predictionsSufficient.value()) /
+        static_cast<double>(comm);
+}
+
+double
+ExperimentResult::indirectionFraction() const
+{
+    const auto misses = run.mem.misses.value();
+    if (misses == 0)
+        return 0.0;
+    // A miss avoids indirection when its prediction was sufficient
+    // (broadcast avoids it always; the pure directory never does).
+    return 1.0 -
+        static_cast<double>(run.mem.predictionsSufficient.value()) /
+            static_cast<double>(misses);
+}
+
+ExperimentResult
+runExperiment(const std::string &workload_name,
+              const ExperimentConfig &xcfg)
+{
+    const WorkloadSpec *spec = findWorkload(workload_name);
+    if (!spec)
+        SPP_FATAL("unknown workload '{}'", workload_name);
+
+    Config cfg;
+    cfg.protocol = xcfg.protocol;
+    cfg.predictor = xcfg.predictor;
+    cfg.seed = xcfg.seed;
+    cfg.predictorEntries = xcfg.predictorEntries;
+    if (xcfg.tweak)
+        xcfg.tweak(cfg);
+
+    CmpSystem sys(cfg);
+    if (xcfg.prepare)
+        xcfg.prepare(sys);
+
+    ExperimentResult res;
+    if (xcfg.collectTrace) {
+        res.trace = std::make_unique<CommTrace>(
+            cfg.numCores, xcfg.recordMissTargets);
+        res.trace->attach(sys);
+    }
+
+    WorkloadParams params;
+    params.scale = xcfg.scale;
+    res.run = sys.run([spec, params](ThreadContext &ctx) {
+        return spec->run(ctx, params);
+    });
+
+    if (res.trace)
+        res.trace->finalize();
+
+    if (xcfg.checkCoherence) {
+        sys.memSys().checkCoherence();
+        if (auto *dir = sys.directory())
+            dir->checkDirectory();
+    }
+
+    res.energy = EnergyModel{}.total(res.run.noc,
+                                     res.run.mem.snoopLookups.value());
+    return res;
+}
+
+double
+defaultBenchScale()
+{
+    if (const char *env = std::getenv("SPP_BENCH_SCALE"))
+        return std::atof(env);
+    return 1.0;
+}
+
+} // namespace spp

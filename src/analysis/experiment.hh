@@ -1,0 +1,70 @@
+/**
+ * @file
+ * Shared experiment harness: one call to run a (workload, protocol,
+ * predictor) combination and collect results; used by every bench
+ * binary and the integration tests.
+ */
+
+#ifndef SPP_ANALYSIS_EXPERIMENT_HH
+#define SPP_ANALYSIS_EXPERIMENT_HH
+
+#include <memory>
+#include <optional>
+#include <string>
+
+#include "analysis/energy.hh"
+#include "analysis/trace.hh"
+#include "common/config.hh"
+#include "sim/cmp_system.hh"
+#include "workload/workload.hh"
+
+namespace spp {
+
+/** Knobs of one experiment run. */
+struct ExperimentConfig
+{
+    Protocol protocol = Protocol::directory;
+    PredictorKind predictor = PredictorKind::none;
+    double scale = 1.0;
+    std::uint64_t seed = 1;
+    unsigned predictorEntries = 0;  ///< 0 = unlimited tables.
+    bool collectTrace = false;
+    bool recordMissTargets = false; ///< Per-miss targets in the trace.
+    bool checkCoherence = false;    ///< Run invariant checkers after.
+
+    /** Apply further Config edits before the run. */
+    std::function<void(Config &)> tweak;
+
+    /** Touch the built system before the run (e.g. profile seeding,
+     * thread-map changes). */
+    std::function<void(CmpSystem &)> prepare;
+};
+
+/** Results of one experiment run. */
+struct ExperimentResult
+{
+    RunResult run;
+    double energy = 0.0;            ///< NoC + snoop energy (model).
+    std::unique_ptr<CommTrace> trace; ///< When collectTrace was set.
+
+    // Convenience metrics used across figures.
+    double commMissFraction() const;
+    double avgMissLatency() const;
+    double bytesPerMiss() const;
+    /** Fraction of communicating misses serviced without directory
+     * indirection (prediction sufficient). */
+    double predictionAccuracy() const;
+    /** Fraction of misses that required indirection (Fig. 12 y). */
+    double indirectionFraction() const;
+};
+
+/** Run @p workload_name under @p cfg; fatal on unknown workload. */
+ExperimentResult runExperiment(const std::string &workload_name,
+                               const ExperimentConfig &cfg);
+
+/** The default scale benches use (keeps full sweeps fast). */
+double defaultBenchScale();
+
+} // namespace spp
+
+#endif // SPP_ANALYSIS_EXPERIMENT_HH

@@ -1,0 +1,108 @@
+#include "analysis/locality.hh"
+
+#include <algorithm>
+
+namespace spp {
+
+namespace {
+
+/** Sorted-descending copy of a volume vector. */
+template <typename Array>
+std::vector<double>
+sortedVolumes(const Array &volume, unsigned n_cores)
+{
+    std::vector<double> v;
+    v.reserve(n_cores);
+    for (unsigned c = 0; c < n_cores; ++c)
+        v.push_back(static_cast<double>(volume[c]));
+    std::sort(v.begin(), v.end(), std::greater<>());
+    return v;
+}
+
+/** Accumulate one interval's curve, weighted by its volume. */
+template <typename Array>
+void
+accumulate(std::vector<double> &acc, double &weight_sum,
+           const Array &volume, unsigned n_cores)
+{
+    auto sorted = sortedVolumes(volume, n_cores);
+    double total = 0;
+    for (double v : sorted)
+        total += v;
+    if (total <= 0)
+        return;
+    double run = 0;
+    for (unsigned k = 0; k < n_cores; ++k) {
+        run += sorted[k];
+        acc[k] += total * (run / total);
+    }
+    weight_sum += total;
+}
+
+LocalityCurve
+normalize(std::vector<double> acc, double weight_sum)
+{
+    if (weight_sum > 0)
+        for (double &v : acc)
+            v /= weight_sum;
+    return acc;
+}
+
+} // namespace
+
+LocalityCurve
+epochLocality(const CommTrace &trace)
+{
+    const unsigned n = trace.numCores();
+    std::vector<double> acc(n, 0.0);
+    double weight = 0;
+    for (unsigned c = 0; c < n; ++c)
+        for (const EpochRecord &e : trace.epochs(c))
+            accumulate(acc, weight, e.volume, n);
+    return normalize(std::move(acc), weight);
+}
+
+LocalityCurve
+wholeRunLocality(const CommTrace &trace)
+{
+    const unsigned n = trace.numCores();
+    std::vector<double> acc(n, 0.0);
+    double weight = 0;
+    for (unsigned c = 0; c < n; ++c)
+        accumulate(acc, weight, trace.wholeRunVolume(c), n);
+    return normalize(std::move(acc), weight);
+}
+
+LocalityCurve
+instructionLocality(const CommTrace &trace)
+{
+    const unsigned n = trace.numCores();
+    std::vector<double> acc(n, 0.0);
+    double weight = 0;
+    for (unsigned c = 0; c < n; ++c)
+        for (const auto &[pc, volume] : trace.pcVolume(c))
+            accumulate(acc, weight, volume, n);
+    return normalize(std::move(acc), weight);
+}
+
+std::array<double, 5>
+hotSetSizeDistribution(const CommTrace &trace, double threshold)
+{
+    std::array<double, 5> buckets{};
+    std::uint64_t total = 0;
+    for (unsigned c = 0; c < trace.numCores(); ++c) {
+        for (const EpochRecord &e : trace.epochs(c)) {
+            const unsigned size = e.hotSet(threshold).count();
+            if (size == 0)
+                continue;
+            ++total;
+            buckets[std::min(size, 5u) - 1] += 1.0;
+        }
+    }
+    if (total > 0)
+        for (double &b : buckets)
+            b /= static_cast<double>(total);
+    return buckets;
+}
+
+} // namespace spp

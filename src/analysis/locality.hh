@@ -1,0 +1,43 @@
+/**
+ * @file
+ * Communication-locality analysis (Section 3.3, Figures 4 and 5).
+ *
+ * A locality curve gives, for k = 1..N, the average fraction of an
+ * interval's communication volume covered by its k hottest targets.
+ * Curves are computed at three granularities: per sync-epoch, over
+ * the whole execution, and per static instruction; epochs/instruction
+ * groups are weighted by their communication volume.
+ */
+
+#ifndef SPP_ANALYSIS_LOCALITY_HH
+#define SPP_ANALYSIS_LOCALITY_HH
+
+#include <vector>
+
+#include "analysis/trace.hh"
+
+namespace spp {
+
+/** A cumulative coverage curve: entry k-1 = coverage by top-k cores. */
+using LocalityCurve = std::vector<double>;
+
+/** Volume-weighted average cumulative curve over sync-epochs. */
+LocalityCurve epochLocality(const CommTrace &trace);
+
+/** Cumulative curve of whole-run per-core volumes. */
+LocalityCurve wholeRunLocality(const CommTrace &trace);
+
+/** Volume-weighted average cumulative curve per static instruction. */
+LocalityCurve instructionLocality(const CommTrace &trace);
+
+/**
+ * Distribution of sync-epochs by hot-set size (Figure 5): buckets
+ * for sizes 1, 2, 3, 4 and >= 5, as fractions of epochs with a
+ * non-empty hot set. @p threshold is the hot-set cut (paper: 10%).
+ */
+std::array<double, 5> hotSetSizeDistribution(const CommTrace &trace,
+                                             double threshold);
+
+} // namespace spp
+
+#endif // SPP_ANALYSIS_LOCALITY_HH

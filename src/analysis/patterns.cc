@@ -1,0 +1,114 @@
+#include "analysis/patterns.hh"
+
+#include <algorithm>
+
+namespace spp {
+
+const char *
+toString(HotSetPattern p)
+{
+    switch (p) {
+      case HotSetPattern::stable:      return "stable";
+      case HotSetPattern::phaseChange: return "phase-change";
+      case HotSetPattern::stride:      return "stride";
+      case HotSetPattern::random:      return "random";
+      case HotSetPattern::mixed:       return "mixed";
+      case HotSetPattern::tooFew:      return "too-few";
+    }
+    return "?";
+}
+
+HotSetPattern
+classifySequence(const std::vector<CoreSet> &sets, unsigned &stride_out)
+{
+    stride_out = 0;
+    if (sets.size() < 3)
+        return HotSetPattern::tooFew;
+
+    // Stable: all identical.
+    if (std::all_of(sets.begin(), sets.end(),
+                    [&](const CoreSet &s) { return s == sets[0]; })) {
+        stride_out = 1;
+        return HotSetPattern::stable;
+    }
+
+    // Phase change: a prefix of one stable set followed by a suffix
+    // of another.
+    {
+        std::size_t split = 1;
+        while (split < sets.size() && sets[split] == sets[0])
+            ++split;
+        if (split > 1 && split < sets.size()) {
+            const CoreSet &second = sets[split];
+            bool ok = second != sets[0];
+            for (std::size_t i = split; ok && i < sets.size(); ++i)
+                ok = sets[i] == second;
+            if (ok && sets.size() - split > 1)
+                return HotSetPattern::phaseChange;
+        }
+    }
+
+    // Stride: periodic with period 2..4.
+    for (unsigned s = 2; s <= 4 && s * 2 <= sets.size(); ++s) {
+        bool ok = true;
+        for (std::size_t i = s; ok && i < sets.size(); ++i)
+            ok = sets[i] == sets[i - s];
+        // Require the period to be genuine (not all-equal, caught
+        // above).
+        if (ok) {
+            stride_out = s;
+            return HotSetPattern::stride;
+        }
+    }
+
+    // Mixed: a common stable core present in (almost) every set while
+    // the rest varies.
+    {
+        CoreSet common = sets[0];
+        for (const CoreSet &s : sets)
+            common &= s;
+        if (!common.empty())
+            return HotSetPattern::mixed;
+    }
+
+    return HotSetPattern::random;
+}
+
+std::vector<EpochPatternInfo>
+classifyEpochPatterns(const CommTrace &trace, double threshold,
+                      unsigned noise_misses, unsigned min_instances)
+{
+    std::vector<EpochPatternInfo> out;
+    for (unsigned c = 0; c < trace.numCores(); ++c) {
+        // Group the core's epochs by static ID, in dynamic order.
+        std::map<std::uint64_t, EpochPatternInfo> groups;
+        for (const EpochRecord &e : trace.epochs(c)) {
+            if (e.commMisses < noise_misses)
+                continue; // Noisy instance: excluded (Section 3.4).
+            EpochPatternInfo &g = groups[e.staticId];
+            g.core = static_cast<CoreId>(c);
+            g.staticId = e.staticId;
+            g.beginType = e.beginType;
+            g.sets.push_back(e.hotSet(threshold));
+            ++g.instances;
+        }
+        for (auto &[sid, info] : groups) {
+            if (info.instances < min_instances)
+                continue;
+            info.pattern = classifySequence(info.sets, info.stride);
+            out.push_back(std::move(info));
+        }
+    }
+    return out;
+}
+
+std::map<HotSetPattern, unsigned>
+patternHistogram(const std::vector<EpochPatternInfo> &infos)
+{
+    std::map<HotSetPattern, unsigned> h;
+    for (const auto &i : infos)
+        ++h[i.pattern];
+    return h;
+}
+
+} // namespace spp

@@ -1,0 +1,68 @@
+/**
+ * @file
+ * Hot-communication-set pattern classification (Section 3.4,
+ * Figure 6): how an epoch's hot set evolves across its dynamic
+ * instances — stable, stable-with-change, stride-repetitive, random,
+ * or a combination.
+ */
+
+#ifndef SPP_ANALYSIS_PATTERNS_HH
+#define SPP_ANALYSIS_PATTERNS_HH
+
+#include <map>
+#include <string>
+#include <vector>
+
+#include "analysis/trace.hh"
+
+namespace spp {
+
+enum class HotSetPattern
+{
+    stable,      ///< One hot set throughout (Fig. 6a).
+    phaseChange, ///< One stable set switching to another (Fig. 6b).
+    stride,      ///< Periodic repetition with stride >= 2 (Fig. 6c).
+    random,      ///< No detectable structure (Fig. 6d).
+    mixed,       ///< Stable core plus varying extras (Fig. 6e).
+    tooFew,      ///< Not enough non-noisy instances to classify.
+};
+
+const char *toString(HotSetPattern p);
+
+/** The classified dynamic behaviour of one static sync-epoch. */
+struct EpochPatternInfo
+{
+    CoreId core = invalidCore;
+    std::uint64_t staticId = 0;
+    SyncType beginType = SyncType::threadStart;
+    HotSetPattern pattern = HotSetPattern::tooFew;
+    unsigned instances = 0;     ///< Non-noisy instances observed.
+    unsigned stride = 0;        ///< Detected period (stride class).
+    std::vector<CoreSet> sets;  ///< The hot-set sequence.
+};
+
+/**
+ * Classify the hot-set sequence @p sets (one per non-noisy dynamic
+ * instance); @p stride_out gets the detected period for the stride
+ * class.
+ */
+HotSetPattern classifySequence(const std::vector<CoreSet> &sets,
+                               unsigned &stride_out);
+
+/**
+ * Classify every static sync-epoch in @p trace with at least
+ * @p min_instances non-noisy instances. @p threshold is the hot-set
+ * cut, @p noise_misses the noisy-instance filter.
+ */
+std::vector<EpochPatternInfo>
+classifyEpochPatterns(const CommTrace &trace, double threshold,
+                      unsigned noise_misses,
+                      unsigned min_instances = 3);
+
+/** Count classified epochs per pattern class. */
+std::map<HotSetPattern, unsigned>
+patternHistogram(const std::vector<EpochPatternInfo> &infos);
+
+} // namespace spp
+
+#endif // SPP_ANALYSIS_PATTERNS_HH

@@ -1,0 +1,43 @@
+#include "analysis/profile.hh"
+
+#include <map>
+
+namespace spp {
+
+std::vector<ProfileEntry>
+buildProfile(const CommTrace &trace, double hot_threshold,
+             unsigned noise_misses)
+{
+    std::vector<ProfileEntry> profile;
+    for (unsigned c = 0; c < trace.numCores(); ++c) {
+        // Last non-noisy hot set per static epoch, in epoch order.
+        std::map<std::uint64_t, CoreSet> last;
+        for (const EpochRecord &e : trace.epochs(c)) {
+            if (e.beginType == SyncType::lock)
+                continue; // Lock entries hold holder IDs, not sets.
+            if (e.commMisses < noise_misses)
+                continue;
+            const CoreSet hot = e.hotSet(hot_threshold);
+            if (!hot.empty())
+                last[e.staticId] = hot;
+        }
+        for (const auto &[sid, sig] : last) {
+            ProfileEntry p;
+            p.core = static_cast<CoreId>(c);
+            p.staticId = sid;
+            p.signature = sig;
+            profile.push_back(p);
+        }
+    }
+    return profile;
+}
+
+void
+applyProfile(SpPredictor &predictor,
+             const std::vector<ProfileEntry> &profile)
+{
+    for (const ProfileEntry &p : profile)
+        predictor.seedSignature(p.core, p.staticId, p.signature);
+}
+
+} // namespace spp

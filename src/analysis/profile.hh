@@ -1,0 +1,43 @@
+/**
+ * @file
+ * Profile-guided prediction seeding (Section 5.2's off-line
+ * profiling discussion): distill a characterization trace into
+ * per-(core, sync-epoch) signatures and pre-load a fresh
+ * SP-predictor with them, so the first dynamic instance of each
+ * epoch already predicts instead of warming up.
+ */
+
+#ifndef SPP_ANALYSIS_PROFILE_HH
+#define SPP_ANALYSIS_PROFILE_HH
+
+#include <vector>
+
+#include "analysis/trace.hh"
+#include "core/sp_predictor.hh"
+
+namespace spp {
+
+/** One profiled signature. */
+struct ProfileEntry
+{
+    CoreId core = invalidCore;
+    std::uint64_t staticId = 0;
+    CoreSet signature;
+};
+
+/**
+ * Build a profile from a trace: for every static sync-epoch with at
+ * least one non-noisy instance, the hot set of its *last* instance
+ * (the state an SP-table would hold at the end of the profiled run).
+ */
+std::vector<ProfileEntry> buildProfile(const CommTrace &trace,
+                                       double hot_threshold,
+                                       unsigned noise_misses);
+
+/** Seed @p predictor from @p profile. */
+void applyProfile(SpPredictor &predictor,
+                  const std::vector<ProfileEntry> &profile);
+
+} // namespace spp
+
+#endif // SPP_ANALYSIS_PROFILE_HH

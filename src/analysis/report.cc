@@ -1,0 +1,95 @@
+#include "analysis/report.hh"
+
+#include <cstdint>
+#include <cstdio>
+#include <sstream>
+
+namespace spp {
+
+Table::Table(std::vector<std::string> headers)
+    : headers_(std::move(headers))
+{
+}
+
+Table &
+Table::cell(const std::string &v)
+{
+    current_.push_back(v);
+    return *this;
+}
+
+Table &
+Table::cell(double v, int precision)
+{
+    std::ostringstream os;
+    os.setf(std::ios::fixed);
+    os.precision(precision);
+    os << v;
+    current_.push_back(os.str());
+    return *this;
+}
+
+Table &
+Table::cell(std::uint64_t v)
+{
+    current_.push_back(std::to_string(v));
+    return *this;
+}
+
+Table &
+Table::endRow()
+{
+    rows_.push_back(std::move(current_));
+    current_.clear();
+    return *this;
+}
+
+std::string
+Table::str() const
+{
+    std::vector<std::size_t> width(headers_.size(), 0);
+    for (std::size_t i = 0; i < headers_.size(); ++i)
+        width[i] = headers_[i].size();
+    for (const auto &row : rows_)
+        for (std::size_t i = 0; i < row.size() && i < width.size();
+             ++i) {
+            width[i] = std::max(width[i], row[i].size());
+        }
+
+    std::ostringstream os;
+    auto emit = [&](const std::vector<std::string> &row) {
+        for (std::size_t i = 0; i < width.size(); ++i) {
+            const std::string &v = i < row.size() ? row[i] : "";
+            os << (i == 0 ? "" : "  ");
+            // First column left-aligned, the rest right-aligned.
+            if (i == 0) {
+                os << v << std::string(width[i] - v.size(), ' ');
+            } else {
+                os << std::string(width[i] - v.size(), ' ') << v;
+            }
+        }
+        os << '\n';
+    };
+    emit(headers_);
+    std::size_t total = 0;
+    for (std::size_t i = 0; i < width.size(); ++i)
+        total += width[i] + (i == 0 ? 0 : 2);
+    os << std::string(total, '-') << '\n';
+    for (const auto &row : rows_)
+        emit(row);
+    return os.str();
+}
+
+void
+Table::print() const
+{
+    std::fputs(str().c_str(), stdout);
+}
+
+void
+banner(const std::string &title)
+{
+    std::printf("\n== %s ==\n", title.c_str());
+}
+
+} // namespace spp

@@ -1,0 +1,48 @@
+/**
+ * @file
+ * Plain-text table formatting for the benchmark harnesses: fixed
+ * width columns, headers, numeric formatting. Keeps every bench's
+ * output in the same "paper row" style.
+ */
+
+#ifndef SPP_ANALYSIS_REPORT_HH
+#define SPP_ANALYSIS_REPORT_HH
+
+#include <string>
+#include <vector>
+
+namespace spp {
+
+/** A simple left-aligned-text / right-aligned-number table. */
+class Table
+{
+  public:
+    explicit Table(std::vector<std::string> headers);
+
+    Table &cell(const std::string &v);
+    Table &cell(double v, int precision = 3);
+    Table &cell(std::uint64_t v);
+    Table &cell(unsigned v) { return cell(std::uint64_t{v}); }
+    Table &cell(int v) { return cell(std::uint64_t(v)); }
+
+    /** End the current row. */
+    Table &endRow();
+
+    /** Render with a header underline and aligned columns. */
+    std::string str() const;
+
+    /** Print to stdout. */
+    void print() const;
+
+  private:
+    std::vector<std::string> headers_;
+    std::vector<std::vector<std::string>> rows_;
+    std::vector<std::string> current_;
+};
+
+/** Print a section banner ("== Figure 8: ... =="). */
+void banner(const std::string &title);
+
+} // namespace spp
+
+#endif // SPP_ANALYSIS_REPORT_HH

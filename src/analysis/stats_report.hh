@@ -1,0 +1,27 @@
+/**
+ * @file
+ * Machine-readable statistics dump: flattens a RunResult into
+ * gem5-style "name value" lines for scripts and regression tooling.
+ */
+
+#ifndef SPP_ANALYSIS_STATS_REPORT_HH
+#define SPP_ANALYSIS_STATS_REPORT_HH
+
+#include <iosfwd>
+#include <string>
+
+#include "sim/cmp_system.hh"
+
+namespace spp {
+
+/** Write every statistic of @p r as "prefix.name value" lines. */
+void dumpStats(std::ostream &os, const RunResult &r,
+               const std::string &prefix = "sim");
+
+/** Convenience: render to a string. */
+std::string statsToString(const RunResult &r,
+                          const std::string &prefix = "sim");
+
+} // namespace spp
+
+#endif // SPP_ANALYSIS_STATS_REPORT_HH

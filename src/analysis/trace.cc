@@ -1,0 +1,79 @@
+#include "analysis/trace.hh"
+
+namespace spp {
+
+CoreSet
+EpochRecord::hotSet(double threshold) const
+{
+    CoreSet hot;
+    const std::uint64_t sum = totalVolume();
+    if (sum == 0)
+        return hot;
+    const double cut = threshold * static_cast<double>(sum);
+    for (unsigned c = 0; c < maxCores; ++c)
+        if (volume[c] > 0 && volume[c] >= cut)
+            hot.set(static_cast<CoreId>(c));
+    return hot;
+}
+
+CommTrace::CommTrace(unsigned n_cores, bool record_targets)
+    : n_cores_(n_cores), record_targets_(record_targets),
+      current_(n_cores), epochs_(n_cores),
+      whole_(n_cores), pc_volume_(n_cores)
+{
+    for (unsigned c = 0; c < n_cores; ++c)
+        current_[c].core = static_cast<CoreId>(c);
+}
+
+void
+CommTrace::onSyncPoint(CoreId core, const SyncPointInfo &info)
+{
+    EpochRecord &cur = current_[core];
+    // The very first sync-point (threadStart) opens, rather than
+    // closes, an epoch.
+    if (cur.beginType != SyncType::threadStart || cur.misses > 0 ||
+        !epochs_[core].empty()) {
+        epochs_[core].push_back(cur);
+    }
+    EpochRecord next;
+    next.core = core;
+    next.beginType = info.type;
+    next.staticId = info.staticId;
+    next.dynamicId = info.dynamicId;
+    current_[core] = next;
+}
+
+void
+CommTrace::onAccess(CoreId core, Addr addr, Pc pc,
+                    const AccessOutcome &out)
+{
+    (void)addr;
+    if (!out.miss())
+        return;
+    EpochRecord &cur = current_[core];
+    ++cur.misses;
+    ++total_misses_;
+    if (!out.communicating)
+        return;
+    ++cur.commMisses;
+    ++total_comm_;
+    if (record_targets_)
+        cur.missTargets.push_back(out.servicedBy);
+    auto &pcs = pc_volume_[core][pc];
+    for (CoreId target : out.servicedBy) {
+        ++cur.volume[target];
+        ++whole_[core][target];
+        ++pcs[target];
+    }
+}
+
+void
+CommTrace::finalize()
+{
+    for (unsigned c = 0; c < n_cores_; ++c) {
+        if (current_[c].misses > 0)
+            epochs_[c].push_back(current_[c]);
+    }
+}
+
+} // namespace spp

@@ -1,0 +1,479 @@
+#include "coherence/broadcast_protocol.hh"
+#include <cstdlib>
+#include <cstdio>
+
+namespace spp {
+
+BroadcastMemSys::BroadcastMemSys(const Config &cfg, EventQueue &eq,
+                                 Mesh &mesh)
+    : MemSys(cfg, eq, mesh, nullptr)
+{
+}
+
+// ---------------------------------------------------------------------
+// Requester side
+// ---------------------------------------------------------------------
+
+void
+BroadcastMemSys::startMiss(Mshr &m)
+{
+    const TxnKey key{m.core, m.txn};
+    const CoreId core = m.core;
+    const Addr line = m.line;
+    auto go = [this, core, line]() {
+        Mshr *mm = mshrFor(core, line);
+        SPP_ASSERT(mm, "broadcast start without MSHR");
+        broadcast(*mm);
+    };
+    if (locks_.acquireOrQueue(line, key, go))
+        go();
+}
+
+void
+BroadcastMemSys::broadcast(Mshr &m)
+{
+    const CoreId home = map_.homeNode(m.line);
+
+    // The request is "ordered" once it would be visible on the
+    // ordered fabric: one traversal to the ordering point. Upgrades
+    // may resume the core at that point (TSO bus semantics).
+    {
+        const CoreId core = m.core;
+        const Addr line = m.line;
+        const std::uint64_t txn = m.txn;
+        const Tick ordering_delay = mesh_.zeroLoadLatency(
+            mesh_.hops(m.core, home), cfg_.ctrlPacketBytes);
+        eq_.scheduleAfter(ordering_delay, [this, core, line, txn]() {
+            if (Mshr *mm = txnFor(core, line, txn)) {
+                mm->ordered = true;
+                checkCompletion(*mm);
+            }
+        });
+    }
+    for (unsigned c = 0; c < n_cores_; ++c) {
+        if (c == m.core)
+            continue;
+        Msg s;
+        s.type = MsgType::snoopReq;
+        s.line = m.line;
+        s.src = m.core;
+        s.dst = c;
+        s.requester = m.core;
+        s.txn = m.txn;
+        s.isWrite = m.isWrite;
+        sendMsg(s);
+    }
+
+    // Speculative memory fetch at the home tile, cancellable by an
+    // owner hit. When the requester is the home, start it locally;
+    // otherwise the snoopReq arriving at the home starts it.
+    spec_fetch_[m.line] = SpecFetch{TxnKey{m.core, m.txn}, false};
+    if (home == m.core) {
+        const Addr line = m.line;
+        const TxnKey key{m.core, m.txn};
+        eq_.scheduleAfter(memAccessLatency(line), [this, line, key]() {
+            auto it = spec_fetch_.find(line);
+            if (it == spec_fetch_.end() || !(it->second.key == key) ||
+                it->second.cancelled) {
+                return;
+            }
+            spec_fetch_.erase(it);
+            Msg d;
+            d.type = MsgType::data;
+            d.line = line;
+            d.src = map_.homeNode(line);
+            d.dst = key.requester;
+            d.requester = key.requester;
+            d.txn = key.txn;
+            d.fromMemory = true;
+            d.version = memVersion(line);
+            sendMsg(d);
+        });
+    }
+}
+
+void
+BroadcastMemSys::onData(const Msg &msg)
+{
+    Mshr *m = txnFor(msg.dst, msg.line, msg.txn);
+    if (!m)
+        return; // Stray speculative memory data; absorb.
+    if (msg.fromMemory) {
+        // Speculative fill: usable only if no owner shows up in the
+        // snoop responses (checked at resume time). An owner's data
+        // that already arrived wins.
+        if (m->dataReceived)
+            return;
+        m->dataReceived = true;
+        m->version = msg.version;
+    } else {
+        // Owner data is authoritative (the memory copy may be stale)
+        // and doubles as this peer's snoop response.
+        m->dataReceived = true;
+        m->dataFromPeer = true;
+        m->dataSource = msg.src;
+        m->version = msg.version;
+        m->out.servicedBy.set(msg.src);
+        m->peerHadCopy = true;
+        ++m->peerResponses;
+        m->fillState = cfg_.cleanSharedFill();
+    }
+    checkCompletion(*m);
+}
+
+void
+BroadcastMemSys::onAckInv(const Msg &msg)
+{
+    Mshr *m = txnFor(msg.dst, msg.line, msg.txn);
+    SPP_ASSERT(m,
+               "ackInv for missing broadcast MSHR at core {}", msg.dst);
+    ++m->peerResponses;
+    if (msg.hadCopy) {
+        m->out.servicedBy.set(msg.src);
+        m->peerHadCopy = true;
+    }
+    if (msg.ownerAck) {
+        // Authoritative owner data; overrides a speculative fill.
+        m->dataReceived = true;
+        m->dataFromPeer = true;
+        m->dataSource = msg.src;
+        m->version = msg.version;
+    }
+    checkCompletion(*m);
+}
+
+void
+BroadcastMemSys::onSnoopResp(const Msg &msg)
+{
+    Mshr *m = txnFor(msg.dst, msg.line, msg.txn);
+    SPP_ASSERT(m, "snoopResp for missing MSHR at core {}", msg.dst);
+    ++m->peerResponses;
+    if (msg.hadCopy)
+        m->peerHadCopy = true;
+    checkCompletion(*m);
+}
+
+BroadcastMemSys::Mshr *
+BroadcastMemSys::txnFor(CoreId core, Addr line, std::uint64_t txn)
+{
+    if (Mshr *m = mshrFor(core, line)) {
+        if (m->txn == txn)
+            return m;
+    }
+    auto it = lingering_.find(txn);
+    return it == lingering_.end() ? nullptr : &it->second;
+}
+
+bool
+BroadcastMemSys::maybeResumeCore(Mshr &m)
+{
+    if (m.coreResumed)
+        return false;
+    // Reads resume on data. Writes resume once ordered and the data
+    // (if any) arrived; the ordered fabric guarantees invalidations.
+    // Speculative memory data is consumable only once every snoop
+    // response confirmed no cache owner exists.
+    const bool all_responses = m.peerResponses >= n_cores_ - 1;
+    const bool data_ok =
+        m.dataReceived && (m.dataFromPeer || all_responses);
+    if (m.needData && !data_ok)
+        return false;
+    if (m.isWrite && !m.ordered)
+        return false;
+    if (!m.isWrite && !m.dataFromPeer) {
+        // Memory data with sharers on chip fills Forwarding; a solo
+        // copy fills Exclusive. Late snoop responses could still
+        // raise peerHadCopy; filling F either way is conservative
+        // only in forwarding ability, but distinguish when known.
+        m.fillState = m.peerHadCopy ? cfg_.cleanSharedFill()
+                                    : Mesif::exclusive;
+    }
+    m.coreResumed = true;
+    finishOutcome(m);
+
+    // Move the transaction aside so the core can issue its next
+    // access; responses keep finding it via txnFor().
+    const CoreId core = m.core;
+    const std::uint64_t txn = m.txn;
+    Mshr &moved =
+        lingering_.emplace(txn, std::move(m)).first->second;
+    mshr_[core].reset();
+    DoneFn done = std::move(moved.done);
+    moved.done = nullptr;
+    done(moved.out);
+    return true;
+}
+
+void
+BroadcastMemSys::checkCompletion(Mshr &m)
+{
+    // NOTE: maybeResumeCore may move the Mshr into lingering_;
+    // re-resolve before the final-drain check.
+    const CoreId core = m.core;
+    const Addr line = m.line;
+    const std::uint64_t txn = m.txn;
+    maybeResumeCore(m);
+    Mshr *mm = txnFor(core, line, txn);
+    SPP_ASSERT(mm, "broadcast txn lost during completion");
+    if (!mm->coreResumed)
+        return;
+    if (mm->peerResponses < n_cores_ - 1)
+        return;
+    // Fully drained: release the home ordering lock.
+    Msg u;
+    u.type = MsgType::unblock;
+    u.line = line;
+    u.src = core;
+    u.dst = map_.homeNode(line);
+    u.requester = core;
+    u.txn = txn;
+    sendMsg(u);
+    lingering_.erase(txn);
+}
+
+void
+BroadcastMemSys::onCompleteMiss(Mshr &m)
+{
+    // Unused: broadcast transactions retire via checkCompletion's
+    // lingering path, which sends the unblock itself.
+    (void)m;
+}
+
+// ---------------------------------------------------------------------
+// Peer side
+// ---------------------------------------------------------------------
+
+void
+BroadcastMemSys::onSnoopReq(const Msg &m)
+{
+    const CoreId self = m.dst;
+    const CoreId home = map_.homeNode(m.line);
+    countSnoop();
+
+    // The home tile starts the speculative memory fetch.
+    if (self == home) {
+        const Addr line = m.line;
+        const TxnKey key{m.requester, m.txn};
+        eq_.scheduleAfter(memAccessLatency(line), [this, line, key]() {
+            auto it = spec_fetch_.find(line);
+            if (it == spec_fetch_.end() || !(it->second.key == key) ||
+                it->second.cancelled) {
+                return;
+            }
+            spec_fetch_.erase(it);
+            Msg d;
+            d.type = MsgType::data;
+            d.line = line;
+            d.src = map_.homeNode(line);
+            d.dst = key.requester;
+            d.requester = key.requester;
+            d.txn = key.txn;
+            d.fromMemory = true;
+            d.version = memVersion(line);
+            sendMsg(d);
+        });
+    }
+
+    PeerView v = peerView(self, m.line);
+
+    if (!m.isWrite) {
+        if (v.valid && canForward(v.state)) {
+            const Tick lat = cfg_.l2TagLatency + cfg_.l2DataLatency;
+            if (v.state == Mesif::modified) {
+                Msg dep;
+                dep.type = MsgType::dirUpdate;
+                dep.line = m.line;
+                dep.src = self;
+                dep.dst = home;
+                dep.requester = m.requester;
+                dep.txn = m.txn;
+                dep.version = v.version;
+                sendMsgAfter(lat, dep);
+            } else {
+                Msg c;
+                c.type = MsgType::cancel;
+                c.line = m.line;
+                c.src = self;
+                c.dst = home;
+                c.requester = m.requester;
+                c.txn = m.txn;
+                sendMsgAfter(lat, c);
+            }
+            downgradeToShared(self, m.line);
+            Msg d;
+            d.type = MsgType::data;
+            d.line = m.line;
+            d.src = self;
+            d.dst = m.requester;
+            d.requester = m.requester;
+            d.txn = m.txn;
+            d.fillState = cfg_.cleanSharedFill();
+            d.version = v.version;
+            sendMsgAfter(lat, d);
+        } else {
+            Msg r;
+            r.type = MsgType::snoopResp;
+            r.line = m.line;
+            r.src = self;
+            r.dst = m.requester;
+            r.requester = m.requester;
+            r.txn = m.txn;
+            r.hadCopy = v.valid;
+            sendMsgAfter(cfg_.l2TagLatency, r);
+        }
+        return;
+    }
+
+    // Write snoop.
+    if (v.valid) {
+        Msg a;
+        a.type = MsgType::ackInv;
+        a.line = m.line;
+        a.src = self;
+        a.dst = m.requester;
+        a.requester = m.requester;
+        a.txn = m.txn;
+        a.hadCopy = true;
+        Tick lat = cfg_.l2TagLatency;
+        if (canForward(v.state)) {
+            a.ownerAck = true;
+            a.version = v.version;
+            lat += cfg_.l2DataLatency;
+            Msg c;
+            c.type = MsgType::cancel;
+            c.line = m.line;
+            c.src = self;
+            c.dst = home;
+            c.requester = m.requester;
+            c.txn = m.txn;
+            sendMsgAfter(lat, c);
+        }
+        invalidateAt(self, m.line);
+        // An in-flight upgrade at this peer just lost its copy; it
+        // now needs data from the eventual owner or memory.
+        if (Mshr *own = mshrFor(self, m.line)) {
+            if (own->isWrite)
+                own->needData = true;
+        }
+        sendMsgAfter(lat, a);
+    } else {
+        Msg r;
+        r.type = MsgType::snoopResp;
+        r.line = m.line;
+        r.src = self;
+        r.dst = m.requester;
+        r.requester = m.requester;
+        r.txn = m.txn;
+        r.hadCopy = false;
+        sendMsgAfter(cfg_.l2TagLatency, r);
+    }
+}
+
+// ---------------------------------------------------------------------
+// Home side
+// ---------------------------------------------------------------------
+
+void
+BroadcastMemSys::onUnblock(const Msg &m)
+{
+    const TxnKey key{m.requester, m.txn};
+    auto it = spec_fetch_.find(m.line);
+    if (it != spec_fetch_.end() && it->second.key == key)
+        spec_fetch_.erase(it);
+    locks_.release(m.line, key);
+}
+
+void
+BroadcastMemSys::onWbNotice(const Msg &m)
+{
+    if (m.ownerAck)
+        depositMemVersion(m.line, m.version);
+    applyWriteback(m.requester, m.line);
+    locks_.release(m.line, TxnKey{m.requester, m.txn});
+}
+
+void
+BroadcastMemSys::onWriteback(CoreId core, Addr line)
+{
+    (void)core;
+    (void)line;
+}
+
+std::string
+BroadcastMemSys::dumpOutstanding() const
+{
+    std::string out = MemSys::dumpOutstanding();
+    for (const auto &[txn, m] : lingering_) {
+        out += strfmt("lingering txn {} core {} line {} write={} "
+                      "resumed={} responses={}/{} data={}\n",
+                      txn, m.core, m.line, m.isWrite, m.coreResumed,
+                      m.peerResponses, n_cores_ - 1, m.dataReceived);
+    }
+    return out;
+}
+
+// ---------------------------------------------------------------------
+// Dispatch
+// ---------------------------------------------------------------------
+
+void
+BroadcastMemSys::handleMsg(const Msg &m)
+{
+    if (const char *dbg = std::getenv("SPP_DEBUG_LINE")) {
+        if (m.line == static_cast<Addr>(std::atoll(dbg))) {
+            std::fprintf(stderr,
+                         "[%8lu] bc %-10s line %lu %u->%u req=%u "
+                         "txn=%lu hadCopy=%d owner=%d\n",
+                         static_cast<unsigned long>(eq_.curTick()),
+                         toString(m.type),
+                         static_cast<unsigned long>(m.line), m.src,
+                         m.dst, m.requester,
+                         static_cast<unsigned long>(m.txn), m.hadCopy,
+                         m.ownerAck);
+        }
+    }
+    switch (m.type) {
+      case MsgType::snoopReq:
+        onSnoopReq(m);
+        break;
+      case MsgType::snoopResp:
+        onSnoopResp(m);
+        break;
+      case MsgType::data:
+        onData(m);
+        break;
+      case MsgType::ackInv:
+        onAckInv(m);
+        break;
+      case MsgType::unblock:
+        onUnblock(m);
+        break;
+      case MsgType::wbNotice:
+        onWbNotice(m);
+        break;
+      case MsgType::wbAck:
+        finishWriteback(m.dst, m.line);
+        break;
+      case MsgType::cancel: {
+        auto it = spec_fetch_.find(m.line);
+        if (it != spec_fetch_.end() &&
+            it->second.key == TxnKey{m.requester, m.txn}) {
+            it->second.cancelled = true;
+        }
+        break;
+      }
+      case MsgType::dirUpdate: {
+        depositMemVersion(m.line, m.version);
+        auto it = spec_fetch_.find(m.line);
+        if (it != spec_fetch_.end() &&
+            it->second.key == TxnKey{m.requester, m.txn}) {
+            it->second.cancelled = true;
+        }
+        break;
+      }
+      default:
+        SPP_PANIC("broadcast protocol got {}", toString(m.type));
+    }
+}
+
+} // namespace spp

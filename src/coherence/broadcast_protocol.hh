@@ -1,0 +1,82 @@
+/**
+ * @file
+ * Broadcast snooping protocol over a (modelled) totally ordered
+ * interconnect.
+ *
+ * The paper's latency-ideal / bandwidth-maximal endpoint: every miss
+ * is broadcast to all peers; the owner responds cache-to-cache (2-hop
+ * miss), sharers invalidate on writes, and every peer returns a snoop
+ * response so the requester can resolve ordering. The home tile
+ * starts a speculative memory fetch in parallel, cancelled by an
+ * owner's cancel message (modelled as a flag set when the owner's
+ * data response is generated).
+ *
+ * Total order is modelled by the shared per-line home lock: a miss
+ * acquires it (zero-latency arbitration, see line_lock.hh) before
+ * broadcasting and releases it on completion. Waiting time while the
+ * line is held by another miss is paid for real.
+ */
+
+#ifndef SPP_COHERENCE_BROADCAST_PROTOCOL_HH
+#define SPP_COHERENCE_BROADCAST_PROTOCOL_HH
+
+#include <unordered_map>
+
+#include "coherence/mem_sys.hh"
+
+namespace spp {
+
+/** Snooping broadcast memory system (Protocol::broadcast). */
+class BroadcastMemSys : public MemSys
+{
+  public:
+    BroadcastMemSys(const Config &cfg, EventQueue &eq, Mesh &mesh);
+
+    std::string dumpOutstanding() const override;
+
+  protected:
+    void startMiss(Mshr &m) override;
+    void handleMsg(const Msg &m) override;
+    void onCompleteMiss(Mshr &m) override;
+    void onWriteback(CoreId core, Addr line) override;
+
+  private:
+    /** Home-side speculative memory fetch state, keyed by line. */
+    struct SpecFetch
+    {
+        TxnKey key;
+        bool cancelled = false;
+    };
+
+    void broadcast(Mshr &m);
+    void onSnoopReq(const Msg &m);
+    void onSnoopResp(const Msg &m);
+    void onData(const Msg &m);
+    void onAckInv(const Msg &m);
+    void onUnblock(const Msg &m);
+    void onWbNotice(const Msg &m);
+    void checkCompletion(Mshr &m);
+
+    /**
+     * Find the transaction state for a response: the active MSHR, or
+     * a lingering transaction whose core already resumed.
+     */
+    Mshr *txnFor(CoreId core, Addr line, std::uint64_t txn);
+
+    /**
+     * The ordered interconnect lets the core resume as soon as data
+     * arrives (or, for upgrades, once the request is ordered); the
+     * transaction lingers until every snoop response arrived, then
+     * unblocks the home. @return true if the Mshr was moved (invalid
+     * reference afterwards).
+     */
+    bool maybeResumeCore(Mshr &m);
+
+    std::unordered_map<Addr, SpecFetch> spec_fetch_;
+    /** Resumed-but-not-drained transactions, keyed by txn id. */
+    std::unordered_map<std::uint64_t, Mshr> lingering_;
+};
+
+} // namespace spp
+
+#endif // SPP_COHERENCE_BROADCAST_PROTOCOL_HH

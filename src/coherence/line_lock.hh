@@ -1,0 +1,153 @@
+/**
+ * @file
+ * Per-line transaction serialization at the home tile.
+ *
+ * All three coherence schemes serialize transactions on the same
+ * cache line through its home node:
+ *
+ *  - The directory protocol uses the lock as its natural blocking
+ *    MSHR: one transaction per line at a time, later requests queue.
+ *  - The broadcast protocol uses it to model the total order an
+ *    ordered interconnect provides (the paper's assumption).
+ *  - The prediction extension uses it to resolve races between
+ *    predicted direct requests and in-flight transactions: a peer
+ *    accepts a predicted request only if the line is free or already
+ *    locked by the same transaction; otherwise it Nacks and the
+ *    requester falls back to the directory path (Section 4.5's
+ *    "recover from mispredictions").
+ *
+ * The lock itself is a zero-latency model artifact standing in for
+ * the handshake/retry machinery a real implementation would use; all
+ * *observable* costs (messages, hops, serialization, queueing time)
+ * are still paid through the mesh.
+ */
+
+#ifndef SPP_COHERENCE_LINE_LOCK_HH
+#define SPP_COHERENCE_LINE_LOCK_HH
+
+#include <cstdint>
+#include <deque>
+#include <functional>
+#include <unordered_map>
+
+#include "common/logging.hh"
+#include "common/types.hh"
+
+namespace spp {
+
+/** Identity of one coherence transaction. */
+struct TxnKey
+{
+    CoreId requester = invalidCore;
+    std::uint64_t txn = 0;
+
+    bool operator==(const TxnKey &) const = default;
+};
+
+/**
+ * Home-side per-line lock table with a FIFO wait queue.
+ */
+class LineLockTable
+{
+  public:
+    using Continuation = std::function<void()>;
+
+    /** Is @p line currently locked (by anyone)? */
+    bool
+    isLocked(Addr line) const
+    {
+        return locks_.contains(line);
+    }
+
+    /** Is @p line locked by a transaction other than @p key? */
+    bool
+    isLockedByOther(Addr line, const TxnKey &key) const
+    {
+        auto it = locks_.find(line);
+        return it != locks_.end() && !(it->second.holder == key);
+    }
+
+    /**
+     * Try to acquire @p line for @p key.
+     * @return true if the caller now holds the lock (either newly
+     * acquired or already held by the same transaction); false if the
+     * line is held by another transaction, in which case @p waiter is
+     * queued and will run when the lock becomes available *and has
+     * been re-acquired for it*.
+     */
+    bool
+    acquireOrQueue(Addr line, const TxnKey &key, Continuation waiter)
+    {
+        auto [it, inserted] = locks_.try_emplace(line, Entry{key, {}});
+        if (inserted || it->second.holder == key)
+            return true;
+        it->second.waiters.push_back(
+            Waiter{key, std::move(waiter)});
+        return false;
+    }
+
+    /**
+     * Acquire without queuing; @return false if held by another.
+     * Used by peers deciding whether to accept a predicted request.
+     */
+    bool
+    tryAcquire(Addr line, const TxnKey &key)
+    {
+        auto [it, inserted] = locks_.try_emplace(line, Entry{key, {}});
+        return inserted || it->second.holder == key;
+    }
+
+    /**
+     * Release @p line, which must be held by @p key. If waiters are
+     * queued, the head waiter becomes the new holder and its
+     * continuation runs synchronously (so no other acquire can slip
+     * in between release and hand-off).
+     */
+    void
+    release(Addr line, const TxnKey &key)
+    {
+        auto it = locks_.find(line);
+        SPP_ASSERT(it != locks_.end() && it->second.holder == key,
+                   "release of line {} not held by core {} txn {}",
+                   line, key.requester, key.txn);
+        if (it->second.waiters.empty()) {
+            locks_.erase(it);
+            return;
+        }
+        Waiter next = std::move(it->second.waiters.front());
+        it->second.waiters.pop_front();
+        it->second.holder = next.key;
+        next.resume();
+    }
+
+    /** Number of lines currently locked (for drain checks). */
+    std::size_t lockedLines() const { return locks_.size(); }
+
+    /** Describe all held locks (deadlock diagnostics). */
+    template <typename Out>
+    void
+    dump(Out &&emit) const
+    {
+        for (const auto &[line, entry] : locks_)
+            emit(line, entry.holder, entry.waiters.size());
+    }
+
+  private:
+    struct Waiter
+    {
+        TxnKey key;
+        Continuation resume;
+    };
+
+    struct Entry
+    {
+        TxnKey holder;
+        std::deque<Waiter> waiters;
+    };
+
+    std::unordered_map<Addr, Entry> locks_;
+};
+
+} // namespace spp
+
+#endif // SPP_COHERENCE_LINE_LOCK_HH

@@ -1,0 +1,327 @@
+/**
+ * @file
+ * Base class of the coherent memory system.
+ *
+ * Owns the per-tile L1/L2 arrays, writeback buffers and requester-side
+ * MSHRs; implements the local access path (hit timing, miss issue,
+ * fills, evictions) and message plumbing over the mesh. The directory
+ * and broadcast engines subclass it and implement the miss protocol.
+ *
+ * Modeling conventions (see DESIGN.md):
+ *  - One outstanding demand access per core (in-order cores).
+ *  - Owned-line evictions go through a writeback buffer; the buffer
+ *    entry answers external requests until the home tile acknowledges
+ *    the writeback, which makes evictions race-free.
+ *  - A logical "version" number stands in for line data; writers bump
+ *    a global counter, data messages carry versions, and the checker
+ *    verifies single-writer/multiple-reader and freshness invariants.
+ */
+
+#ifndef SPP_COHERENCE_MEM_SYS_HH
+#define SPP_COHERENCE_MEM_SYS_HH
+
+#include <array>
+#include <functional>
+#include <memory>
+#include <optional>
+#include <unordered_map>
+#include <vector>
+
+#include "coherence/line_lock.hh"
+#include "coherence/messages.hh"
+#include "common/config.hh"
+#include "common/core_set.hh"
+#include "common/stats.hh"
+#include "common/types.hh"
+#include "event/event_queue.hh"
+#include "mem/address_map.hh"
+#include "mem/cache_array.hh"
+#include "mem/dram.hh"
+#include "noc/mesh.hh"
+#include "predict/predictor.hh"
+#include "predict/sharing_filter.hh"
+
+namespace spp {
+
+/** Everything a caller learns about one finished memory access. */
+struct AccessOutcome
+{
+    bool l1Hit = false;
+    bool l2Hit = false;
+    bool isWrite = false;
+    bool upgrade = false;       ///< Write hit on a shared line.
+    bool communicating = false; ///< A remote cache was involved.
+    bool offChip = false;       ///< Memory supplied the data.
+    CoreSet servicedBy;         ///< Remote caches that serviced us.
+    Prediction pred;            ///< Prediction attempted (may be none).
+    bool predSufficient = false;///< Prediction fully serviced the miss.
+    Tick issueTick = 0;
+    Tick completeTick = 0;
+    std::uint64_t dataVersion = 0;
+
+    bool miss() const { return !l1Hit && !l2Hit; }
+    Tick latency() const { return completeTick - issueTick; }
+};
+
+/** Aggregate statistics of one MemSys over a run. */
+struct MemSysStats
+{
+    Counter accesses;
+    Counter l1Hits;
+    Counter l2Hits;
+    Counter misses;             ///< Coherence transactions started.
+    Counter upgradeMisses;
+    Counter communicatingMisses;
+    Counter offChipMisses;
+    Counter writebacks;
+    Counter snoopLookups;       ///< Peer tag lookups from externals.
+
+    Counter predictionsAttempted;
+    Counter predictionsSuppressed; ///< Filtered by the sharing filter.
+    Counter predictionsOnCommunicating;
+    Counter predictionsOnNonComm;   ///< Wasted bandwidth (Fig. 9).
+    Counter predictionsSufficient;
+    /** Wasted predicted-request bytes (request + Nack/Ack) split by
+     * whether the miss was communicating (Fig. 9 attribution). */
+    Counter predWasteBytesComm;
+    Counter predWasteBytesNonComm;
+    /** Sufficient predictions by PredSource (Fig. 7 breakdown). */
+    std::array<std::uint64_t, 7> sufficientBySource{};
+
+    Average missLatency;
+    Average commMissLatency;
+    Average nonCommMissLatency;
+    Average hitLatency;
+    Average actualTargets;      ///< |servicedBy| per comm. miss.
+    Average predictedTargets;   ///< |pred| per attempted prediction.
+};
+
+/**
+ * Abstract coherent memory system: local caches + a miss protocol.
+ */
+class MemSys
+{
+  public:
+    using DoneFn = std::function<void(const AccessOutcome &)>;
+
+    MemSys(const Config &cfg, EventQueue &eq, Mesh &mesh,
+           DestinationPredictor *predictor);
+    virtual ~MemSys();
+
+    MemSys(const MemSys &) = delete;
+    MemSys &operator=(const MemSys &) = delete;
+
+    /**
+     * Issue a load or store from @p core. @p done runs at completion
+     * time with the filled-in outcome. At most one outstanding access
+     * per core.
+     */
+    void access(CoreId core, Addr addr, bool is_write, Pc pc,
+                DoneFn done);
+
+    const AddressMap &map() const { return map_; }
+    const Config &config() const { return cfg_; }
+    const MemSysStats &stats() const { return stats_; }
+    EventQueue &eventQueue() { return eq_; }
+    Mesh &mesh() { return mesh_; }
+
+    /** The sharing filter, when enabled (tests/benches). */
+    const SharingFilter *sharingFilter() const
+    {
+        return filter_ ? &*filter_ : nullptr;
+    }
+
+    /** The DRAM model, when enabled (tests/benches). */
+    const DramModel *dram() const { return dram_ ? &*dram_ : nullptr; }
+
+    CacheArray &l2(CoreId c) { return *l2_[c]; }
+    const CacheArray &l2(CoreId c) const { return *l2_[c]; }
+    const CacheArray &l1(CoreId c) const { return *l1_[c]; }
+
+    /** No MSHRs, writebacks or locked lines outstanding. */
+    bool drained() const;
+
+    /** Describe outstanding MSHRs/writebacks/locks (deadlock digs). */
+    virtual std::string dumpOutstanding() const;
+
+    /**
+     * Verify coherence invariants across all tiles: at most one
+     * owner/writer per line, no writable copy coexisting with other
+     * copies, version agreement among clean copies. Panics on
+     * violation. Call only when drained.
+     */
+    void checkCoherence() const;
+
+  protected:
+    /** Requester-side miss state. One per core (in-order cores). */
+    struct Mshr
+    {
+        CoreId core = invalidCore;
+        Addr line = 0;
+        bool isWrite = false;
+        bool hadLine = false;       ///< Valid copy at issue (upgrade).
+        Pc pc = 0;
+        std::uint64_t txn = 0;
+        Tick issueTick = 0;
+        DoneFn done;
+        AccessOutcome out;
+
+        // Protocol progress.
+        bool needData = true;
+        bool dataReceived = false;
+        bool dataFromPeer = false;
+        bool grantReceived = false;
+        CoreSet mustAck;            ///< Write: acks to collect.
+        CoreSet ackedBy;
+        CoreSet nackedBy;
+        CoreSet retried;            ///< Predicted targets re-invalidated.
+        unsigned predRespPending = 0;
+        bool predFailedSent = false;
+        unsigned peerResponses = 0; ///< Broadcast: responses collected.
+        bool peerHadCopy = false;   ///< Broadcast: some peer had line.
+        bool ordered = false;       ///< Broadcast: request is ordered.
+        bool coreResumed = false;   ///< Broadcast: done() already ran.
+        CoreId dataSource = invalidCore;
+        Mesif fillState = Mesif::invalid;
+        std::uint64_t version = 0;
+    };
+
+    /** Writeback buffer entry for an evicted owned line. */
+    struct WbEntry
+    {
+        Mesif state = Mesif::invalid;
+        std::uint64_t version = 0;
+        Pc lastPc = 0;
+        std::uint64_t txn = 0;      ///< Lock key of the wb transaction.
+        bool noticed = false;       ///< wbNotice sent (lock held).
+        /** Accesses stalled until this writeback drains. */
+        std::vector<EventQueue::Action> stalled;
+    };
+
+    /** What a peer knows about a line (cache or writeback buffer). */
+    struct PeerView
+    {
+        bool valid = false;
+        bool inBuffer = false;
+        bool noticed = false;   ///< Buffer entry already written back.
+        Mesif state = Mesif::invalid;
+        std::uint64_t version = 0;
+        Pc lastPc = 0;
+    };
+
+    /** Start the protocol transaction for a prepared MSHR. */
+    virtual void startMiss(Mshr &m) = 0;
+
+    /** Dispatch a delivered protocol message. */
+    virtual void handleMsg(const Msg &m) = 0;
+
+    /** Send @p m over the mesh; delivery invokes handleMsg(). */
+    void sendMsg(Msg m);
+
+    /** Send @p m after @p extra_delay local processing cycles. */
+    void sendMsgAfter(Tick extra_delay, Msg m);
+
+    /** Packet size of a message, by data/control class. */
+    unsigned msgBytes(const Msg &m) const;
+
+    /** Traffic class for bandwidth attribution. */
+    TrafficClass msgClass(const Msg &m) const;
+
+    /** Inspect a line at @p core: L2 first, then writeback buffer. */
+    PeerView peerView(CoreId core, Addr line) const;
+
+    /** Count a snoop-induced tag lookup at @p core. */
+    void countSnoop() { ++stats_.snoopLookups; }
+
+    /** Downgrade @p core's copy (cache or buffer) to Shared. */
+    void downgradeToShared(CoreId core, Addr line);
+
+    /** Invalidate @p core's copy (cache, L1 and buffer). */
+    void invalidateAt(CoreId core, Addr line);
+
+    /**
+     * Install @p line at @p core with @p state; handles victim
+     * eviction (writeback buffer + notice) and fills L1 alongside.
+     */
+    void fillLine(CoreId core, Addr line, Mesif state, Pc pc,
+                  std::uint64_t version);
+
+    /** Complete the MSHR of @p core: outcome, training, callback. */
+    void completeMiss(Mshr &m);
+
+    /**
+     * Finalize the outcome of @p m and resume the core (fill, stats,
+     * predictor training, done callback) without retiring the MSHR;
+     * used by protocols that release the core before the transaction
+     * fully drains (ordered-interconnect broadcast).
+     */
+    void finishOutcome(Mshr &m);
+
+    /** Retire @p m after finishOutcome(): hook + free the MSHR. */
+    void retireMshr(Mshr &m);
+
+    /** The per-core MSHR, if any. */
+    Mshr *mshrFor(CoreId core, Addr line);
+
+    /** Allocate the next global data version (writers). */
+    std::uint64_t nextVersion() { return ++version_counter_; }
+
+    /** Memory's committed version of @p line. */
+    std::uint64_t memVersion(Addr line) const;
+
+    /** Demand-fetch latency at @p line's home controller, now. */
+    Tick memAccessLatency(Addr line);
+
+    /** Raise memory's version (max-merge; versions are monotonic). */
+    void depositMemVersion(Addr line, std::uint64_t version);
+
+    /** Hook: called right before completeMiss finalizes stats. */
+    virtual void onCompleteMiss(Mshr &m) { (void)m; }
+
+    /** Train predictors about an external request at @p observer. */
+    void trainExternalAt(CoreId observer, Addr line, CoreId requester,
+                         bool is_write);
+
+    const Config &cfg_;
+    EventQueue &eq_;
+    Mesh &mesh_;
+    AddressMap map_;
+    DestinationPredictor *predictor_;
+
+    unsigned n_cores_;
+    std::optional<SharingFilter> filter_;
+    std::optional<DramModel> dram_;
+    std::vector<std::unique_ptr<CacheArray>> l1_;
+    std::vector<std::unique_ptr<CacheArray>> l2_;
+    std::vector<std::unordered_map<Addr, WbEntry>> wb_buffer_;
+    std::vector<std::optional<Mshr>> mshr_;
+    LineLockTable locks_;
+    MemSysStats stats_;
+
+    std::uint64_t version_counter_ = 0;
+    std::uint64_t txn_counter_ = 0;
+    std::unordered_map<Addr, std::uint64_t> mem_version_;
+    std::uint64_t outstanding_wb_ = 0;
+
+  private:
+    /** Second phase of access(): L2 lookup after L1 miss. */
+    void accessL2(CoreId core, Addr addr, bool is_write, Pc pc,
+                  DoneFn done, Tick issue_tick);
+
+    /** Start the writeback transaction for @p line at @p core. */
+    void startWriteback(CoreId core, Addr line);
+
+  protected:
+    /** Home-side writeback application; shared by both protocols. */
+    void applyWriteback(CoreId core, Addr line);
+
+    /** Subclass hook: clear directory owner/sharer state on wb. */
+    virtual void onWriteback(CoreId core, Addr line) = 0;
+
+    /** Finish a writeback at the evictor (wbAck received). */
+    void finishWriteback(CoreId core, Addr line);
+};
+
+} // namespace spp
+
+#endif // SPP_COHERENCE_MEM_SYS_HH

@@ -1,0 +1,74 @@
+#include "common/config.hh"
+
+#include <bit>
+
+#include "common/logging.hh"
+
+namespace spp {
+
+const char *
+toString(Protocol p)
+{
+    switch (p) {
+      case Protocol::directory: return "directory";
+      case Protocol::broadcast: return "broadcast";
+      case Protocol::predicted: return "predicted";
+      case Protocol::multicast: return "multicast";
+    }
+    return "?";
+}
+
+const char *
+toString(PredictorKind k)
+{
+    switch (k) {
+      case PredictorKind::none: return "none";
+      case PredictorKind::sp:   return "sp";
+      case PredictorKind::addr: return "addr";
+      case PredictorKind::inst: return "inst";
+      case PredictorKind::uni:  return "uni";
+    }
+    return "?";
+}
+
+void
+Config::validate() const
+{
+    if (numCores == 0 || numCores > maxCores)
+        SPP_FATAL("numCores must be in [1, {}], got {}", maxCores,
+                  numCores);
+    if (meshX * meshY != numCores)
+        SPP_FATAL("mesh {}x{} does not cover {} cores", meshX, meshY,
+                  numCores);
+    if (!std::has_single_bit(lineBytes))
+        SPP_FATAL("lineBytes must be a power of two, got {}", lineBytes);
+    if (!std::has_single_bit(macroBlockBytes) ||
+        macroBlockBytes < lineBytes) {
+        SPP_FATAL("macroBlockBytes must be a power of two >= lineBytes");
+    }
+    if (l1Bytes % (lineBytes * l1Assoc) != 0)
+        SPP_FATAL("L1 geometry does not divide into sets");
+    if (l2Bytes % (lineBytes * l2Assoc) != 0)
+        SPP_FATAL("L2 geometry does not divide into sets");
+    if (hotThreshold <= 0.0 || hotThreshold >= 1.0)
+        SPP_FATAL("hotThreshold must be in (0, 1), got {}", hotThreshold);
+    if (historyDepth == 0 || historyDepth > 8)
+        SPP_FATAL("historyDepth must be in [1, 8], got {}", historyDepth);
+    if ((protocol == Protocol::predicted ||
+         protocol == Protocol::multicast) &&
+        predictor == PredictorKind::none) {
+        SPP_FATAL("Protocol::{} requires a predictor kind",
+                  toString(protocol));
+    }
+    if (linkBytesPerCycle == 0)
+        SPP_FATAL("linkBytesPerCycle must be non-zero");
+    if (enableDram && (dramBanks == 0 || dramRowLines == 0))
+        SPP_FATAL("DRAM model needs non-zero banks and row size");
+    if (!std::has_single_bit(filterRegionBytes) ||
+        filterRegionBytes < lineBytes) {
+        SPP_FATAL("filterRegionBytes must be a power of two >= "
+                  "lineBytes");
+    }
+}
+
+} // namespace spp

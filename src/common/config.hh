@@ -1,0 +1,136 @@
+/**
+ * @file
+ * System configuration, mirroring Table 4 of the paper plus predictor
+ * tuning knobs from Sections 3-5.
+ */
+
+#ifndef SPP_COMMON_CONFIG_HH
+#define SPP_COMMON_CONFIG_HH
+
+#include <cstdint>
+
+#include "common/types.hh"
+#include "mem/mesif.hh"
+
+namespace spp {
+
+/** Which coherence scheme a run uses. */
+enum class Protocol
+{
+    directory,      ///< Baseline directory MESIF (indirection on miss).
+    broadcast,      ///< Snooping broadcast on a mesh (latency-ideal).
+    predicted,      ///< Directory MESIF + destination-set prediction.
+    multicast,      ///< Multicast snooping [8]: snoop the predicted
+                    ///< set, verified by a memory-side directory.
+};
+
+/** Which destination-set predictor drives Protocol::predicted. */
+enum class PredictorKind
+{
+    none,   ///< No predictor (only meaningful with dir/broadcast).
+    sp,     ///< Synchronization-point predictor (this paper).
+    addr,   ///< Address (macroblock) indexed group predictor [36].
+    inst,   ///< Instruction (PC) indexed group predictor [28, 36].
+    uni,    ///< Unindexed locality predictor (single entry).
+};
+
+const char *toString(Protocol p);
+const char *toString(PredictorKind k);
+
+/** Machine and predictor parameters; defaults follow the paper. */
+struct Config
+{
+    // --- System (Table 4) ---
+    unsigned numCores = 16;         ///< Tiles; must be meshX * meshY.
+    unsigned meshX = 4;             ///< Mesh columns.
+    unsigned meshY = 4;             ///< Mesh rows.
+
+    unsigned lineBytes = 64;        ///< Cache line size.
+
+    unsigned l1Bytes = 16 * 1024;   ///< Private L1 data cache size.
+    unsigned l1Assoc = 1;           ///< L1 associativity (direct).
+    Tick l1Latency = 2;             ///< Load-to-use latency.
+
+    unsigned l2Bytes = 1024 * 1024; ///< Private L2 size.
+    unsigned l2Assoc = 8;           ///< L2 associativity.
+    Tick l2TagLatency = 2;          ///< L2 tag lookup.
+    Tick l2DataLatency = 6;         ///< L2 data access.
+
+    Tick memLatency = 150;          ///< Main memory access (also the
+                                    ///< DRAM closed-bank latency).
+    Tick dirLatency = 8;            ///< Directory state read at home
+                                    ///< (tag + sharing-vector array).
+
+    // Optional banked open-row DRAM model (default: fixed latency).
+    bool enableDram = false;
+    unsigned dramBanks = 8;         ///< Banks per home controller.
+    unsigned dramRowLines = 32;     ///< Controller-local lines / row.
+    Tick dramRowHitLatency = 100;
+    Tick dramRowConflictLatency = 180;
+
+    // --- NoC ---
+    Tick routerLatency = 2;         ///< Per-hop router pipeline.
+    Tick linkLatency = 1;           ///< Per-hop link traversal.
+    unsigned linkBytesPerCycle = 16;///< Link width for serialization.
+    unsigned ctrlPacketBytes = 8;   ///< Control message payload size.
+    unsigned dataPacketBytes = 72;  ///< Data message (line + header).
+    bool modelContention = true;    ///< Reserve link slots (busy-until).
+
+    // --- Coherence / prediction ---
+    Protocol protocol = Protocol::directory;
+    PredictorKind predictor = PredictorKind::none;
+
+    /**
+     * MESIF's Forwarding state (default). With false, the protocol
+     * degrades to plain MESI: clean-shared lines cannot be sourced
+     * cache-to-cache, so reads of shared data go to memory — an
+     * ablation showing why the paper's baseline needs F.
+     */
+    bool enableFState = true;
+
+    /** State a reader of a (non-solo) line fills with. */
+    Mesif
+    cleanSharedFill() const
+    {
+        return enableFState ? Mesif::forwarding : Mesif::shared;
+    }
+
+    // SP-predictor knobs (Sections 3.3, 4.2-4.4).
+    double hotThreshold = 0.10;     ///< Hot if >= 10% of epoch volume.
+    unsigned historyDepth = 2;      ///< Signatures kept per SP entry.
+    unsigned warmupMisses = 30;     ///< d=0 warm-up before predicting.
+    unsigned noiseMisses = 8;       ///< Below this, epoch is "noisy".
+    unsigned confidenceBits = 4;    ///< Saturating counter width.
+    bool enableRecovery = true;     ///< Confidence-triggered recovery.
+    bool enablePatterns = true;     ///< Stride-2 pattern detection.
+    bool unionEpochIntoLock = false;///< Sec 4.4 lock extension.
+    unsigned maxHotSetSize = 0;     ///< Cap on extracted hot sets
+                                    ///< (0 = unbounded; Sec 5.2
+                                    ///< power-envelope policy).
+    Tick spTableLatency = 4;        ///< Hot-set extraction cost.
+
+    /**
+     * Region-based sharing filter (Section 5.3): suppress prediction
+     * on misses to regions never observed shared, eliminating most
+     * of the bandwidth wasted on non-communicating misses.
+     */
+    bool enableSharingFilter = false;
+    unsigned filterRegionBytes = 4096;
+
+    // Martin-style group predictors (Section 5.4).
+    unsigned macroBlockBytes = 256; ///< ADDR indexing granularity.
+    unsigned groupThreshold = 2;    ///< 2-bit counter predict level.
+    unsigned trainDownPeriod = 32;  ///< 5-bit rollover counter period.
+    unsigned predictorEntries = 0;  ///< 0 = unlimited table.
+
+    // --- Workload / run control ---
+    std::uint64_t seed = 1;         ///< Root RNG seed.
+    Tick maxTicks = 0;              ///< 0 = run until completion.
+
+    /** Sanity-check the parameters; calls fatal() on user error. */
+    void validate() const;
+};
+
+} // namespace spp
+
+#endif // SPP_COMMON_CONFIG_HH

@@ -1,0 +1,33 @@
+#include "common/core_set.hh"
+
+#include <sstream>
+
+namespace spp {
+
+std::string
+CoreSet::toString() const
+{
+    std::ostringstream os;
+    os << '{';
+    bool is_first = true;
+    for (CoreId c : *this) {
+        if (!is_first)
+            os << ',';
+        os << c;
+        is_first = false;
+    }
+    os << '}';
+    return os.str();
+}
+
+std::string
+CoreSet::toBitString(unsigned n_cores) const
+{
+    std::string s;
+    s.reserve(n_cores);
+    for (unsigned c = 0; c < n_cores; ++c)
+        s.push_back(test(c) ? '1' : '0');
+    return s;
+}
+
+} // namespace spp

@@ -1,0 +1,195 @@
+/**
+ * @file
+ * CoreSet: a fixed-capacity bit vector over core IDs.
+ *
+ * Communication signatures, predicted destination sets and directory
+ * sharer vectors are all CoreSets. The representation is a single
+ * 64-bit mask, which bounds the system at 64 cores (the paper models
+ * 16).
+ */
+
+#ifndef SPP_COMMON_CORE_SET_HH
+#define SPP_COMMON_CORE_SET_HH
+
+#include <bit>
+#include <cassert>
+#include <cstdint>
+#include <initializer_list>
+#include <string>
+
+#include "common/types.hh"
+
+namespace spp {
+
+/**
+ * A set of core IDs stored as a bit mask. Value type; cheap to copy.
+ */
+class CoreSet
+{
+  public:
+    constexpr CoreSet() = default;
+
+    /** Construct from an explicit mask. */
+    static constexpr CoreSet
+    fromMask(std::uint64_t mask)
+    {
+        CoreSet s;
+        s.bits_ = mask;
+        return s;
+    }
+
+    /** Construct a set holding exactly one core. */
+    static constexpr CoreSet
+    single(CoreId core)
+    {
+        CoreSet s;
+        s.set(core);
+        return s;
+    }
+
+    /** Construct the full set {0, ..., n_cores - 1}. */
+    static constexpr CoreSet
+    all(unsigned n_cores)
+    {
+        assert(n_cores <= maxCores);
+        CoreSet s;
+        s.bits_ = n_cores == maxCores ? ~std::uint64_t{0}
+                                      : (std::uint64_t{1} << n_cores) - 1;
+        return s;
+    }
+
+    constexpr CoreSet(std::initializer_list<CoreId> cores)
+    {
+        for (CoreId c : cores)
+            set(c);
+    }
+
+    constexpr void
+    set(CoreId core)
+    {
+        assert(core < maxCores);
+        bits_ |= std::uint64_t{1} << core;
+    }
+
+    constexpr void
+    reset(CoreId core)
+    {
+        assert(core < maxCores);
+        bits_ &= ~(std::uint64_t{1} << core);
+    }
+
+    constexpr bool
+    test(CoreId core) const
+    {
+        assert(core < maxCores);
+        return bits_ & (std::uint64_t{1} << core);
+    }
+
+    constexpr void clear() { bits_ = 0; }
+
+    constexpr bool empty() const { return bits_ == 0; }
+
+    /** Number of cores in the set. */
+    constexpr unsigned count() const { return std::popcount(bits_); }
+
+    constexpr std::uint64_t mask() const { return bits_; }
+
+    /** Lowest-numbered member; the set must be non-empty. */
+    constexpr CoreId
+    first() const
+    {
+        assert(!empty());
+        return static_cast<CoreId>(std::countr_zero(bits_));
+    }
+
+    /** True iff this set contains every member of @p other. */
+    constexpr bool
+    contains(const CoreSet &other) const
+    {
+        return (other.bits_ & ~bits_) == 0;
+    }
+
+    constexpr bool
+    intersects(const CoreSet &other) const
+    {
+        return (bits_ & other.bits_) != 0;
+    }
+
+    constexpr CoreSet
+    operator|(const CoreSet &o) const
+    {
+        return fromMask(bits_ | o.bits_);
+    }
+
+    constexpr CoreSet
+    operator&(const CoreSet &o) const
+    {
+        return fromMask(bits_ & o.bits_);
+    }
+
+    /** Set difference: members of this set not in @p o. */
+    constexpr CoreSet
+    operator-(const CoreSet &o) const
+    {
+        return fromMask(bits_ & ~o.bits_);
+    }
+
+    constexpr CoreSet &
+    operator|=(const CoreSet &o)
+    {
+        bits_ |= o.bits_;
+        return *this;
+    }
+
+    constexpr CoreSet &
+    operator&=(const CoreSet &o)
+    {
+        bits_ &= o.bits_;
+        return *this;
+    }
+
+    constexpr bool operator==(const CoreSet &) const = default;
+
+    /**
+     * Iteration support: visits member core IDs in ascending order.
+     */
+    class iterator
+    {
+      public:
+        explicit constexpr iterator(std::uint64_t rest) : rest_(rest) {}
+
+        constexpr CoreId
+        operator*() const
+        {
+            return static_cast<CoreId>(std::countr_zero(rest_));
+        }
+
+        constexpr iterator &
+        operator++()
+        {
+            rest_ &= rest_ - 1;
+            return *this;
+        }
+
+        constexpr bool operator==(const iterator &) const = default;
+
+      private:
+        std::uint64_t rest_;
+    };
+
+    constexpr iterator begin() const { return iterator(bits_); }
+    constexpr iterator end() const { return iterator(0); }
+
+    /** Render as e.g. "{0,5,12}" for logs and test failure messages. */
+    std::string toString() const;
+
+    /** Render as a 0/1 string of @p n_cores bits, LSB (core 0) first. */
+    std::string toBitString(unsigned n_cores) const;
+
+  private:
+    std::uint64_t bits_ = 0;
+};
+
+} // namespace spp
+
+#endif // SPP_COMMON_CORE_SET_HH

@@ -1,0 +1,83 @@
+/**
+ * @file
+ * Minimal "{}"-placeholder string formatting.
+ *
+ * libstdc++ shipped with GCC 12 lacks <format>, so the simulator uses
+ * this small substitute: strfmt("miss at {} on core {}", addr, core).
+ * Each "{}" consumes one argument via operator<<; surplus arguments
+ * are appended, surplus placeholders are left verbatim. "{{" escapes a
+ * literal brace.
+ */
+
+#ifndef SPP_COMMON_FORMAT_HH
+#define SPP_COMMON_FORMAT_HH
+
+#include <sstream>
+#include <string>
+#include <string_view>
+
+namespace spp {
+
+namespace format_detail {
+
+inline void
+appendRest(std::ostringstream &os, std::string_view fmt)
+{
+    for (std::size_t i = 0; i < fmt.size(); ++i) {
+        // Un-escape "{{" and "}}".
+        if (i + 1 < fmt.size() && fmt[i] == fmt[i + 1] &&
+            (fmt[i] == '{' || fmt[i] == '}')) {
+            os << fmt[i];
+            ++i;
+            continue;
+        }
+        os << fmt[i];
+    }
+}
+
+template <typename T, typename... Rest>
+void
+appendRest(std::ostringstream &os, std::string_view fmt, const T &head,
+           const Rest &...rest)
+{
+    for (std::size_t i = 0; i < fmt.size(); ++i) {
+        if (fmt[i] == '{' && i + 1 < fmt.size()) {
+            if (fmt[i + 1] == '}') {
+                os << head;
+                appendRest(os, fmt.substr(i + 2), rest...);
+                return;
+            }
+            if (fmt[i + 1] == '{') {
+                os << '{';
+                ++i;
+                continue;
+            }
+        }
+        if (fmt[i] == '}' && i + 1 < fmt.size() &&
+            fmt[i + 1] == '}') {
+            os << '}';
+            ++i;
+            continue;
+        }
+        os << fmt[i];
+    }
+    // No placeholder left: append remaining arguments space-separated.
+    os << ' ' << head;
+    (void)std::initializer_list<int>{(os << ' ' << rest, 0)...};
+}
+
+} // namespace format_detail
+
+/** Format @p fmt, substituting "{}" placeholders left to right. */
+template <typename... Args>
+std::string
+strfmt(std::string_view fmt, const Args &...args)
+{
+    std::ostringstream os;
+    format_detail::appendRest(os, fmt, args...);
+    return os.str();
+}
+
+} // namespace spp
+
+#endif // SPP_COMMON_FORMAT_HH

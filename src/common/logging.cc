@@ -1,0 +1,62 @@
+#include "common/logging.hh"
+
+#include <cstdio>
+#include <cstdlib>
+#include <stdexcept>
+#include <string>
+
+namespace spp {
+
+namespace {
+bool quiet_flag = false;
+} // namespace
+
+void
+setQuiet(bool quiet)
+{
+    quiet_flag = quiet;
+}
+
+bool
+isQuiet()
+{
+    return quiet_flag;
+}
+
+void
+panicImpl(const char *file, int line, std::string_view msg)
+{
+    std::fprintf(stderr, "panic: %.*s (%s:%d)\n",
+                 static_cast<int>(msg.size()), msg.data(), file, line);
+    std::fflush(stderr);
+    std::abort();
+}
+
+void
+fatalImpl(const char *file, int line, std::string_view msg)
+{
+    std::fprintf(stderr, "fatal: %.*s (%s:%d)\n",
+                 static_cast<int>(msg.size()), msg.data(), file, line);
+    std::fflush(stderr);
+    std::exit(1);
+}
+
+void
+warnImpl(std::string_view msg)
+{
+    if (quiet_flag)
+        return;
+    std::fprintf(stderr, "warn: %.*s\n", static_cast<int>(msg.size()),
+                 msg.data());
+}
+
+void
+informImpl(std::string_view msg)
+{
+    if (quiet_flag)
+        return;
+    std::fprintf(stdout, "info: %.*s\n", static_cast<int>(msg.size()),
+                 msg.data());
+}
+
+} // namespace spp

@@ -1,0 +1,63 @@
+/**
+ * @file
+ * Error and status reporting, following the gem5 convention:
+ *
+ *  - panic():  an internal invariant was violated (simulator bug);
+ *              aborts so a debugger or core dump can inspect state.
+ *  - fatal():  the simulation cannot continue because of a user error
+ *              (bad configuration, invalid arguments); exits cleanly.
+ *  - warn():   something is approximated or suspicious but the run can
+ *              continue.
+ *  - inform(): normal status output.
+ */
+
+#ifndef SPP_COMMON_LOGGING_HH
+#define SPP_COMMON_LOGGING_HH
+
+#include <string_view>
+
+#include "common/format.hh"
+
+namespace spp {
+
+[[noreturn]] void panicImpl(const char *file, int line,
+                            std::string_view msg);
+[[noreturn]] void fatalImpl(const char *file, int line,
+                            std::string_view msg);
+void warnImpl(std::string_view msg);
+void informImpl(std::string_view msg);
+
+/** Suppress warn()/inform() output (used by tests and benches). */
+void setQuiet(bool quiet);
+bool isQuiet();
+
+template <typename... Args>
+inline void
+warn(std::string_view fmt, const Args &...args)
+{
+    warnImpl(strfmt(fmt, args...));
+}
+
+template <typename... Args>
+inline void
+inform(std::string_view fmt, const Args &...args)
+{
+    informImpl(strfmt(fmt, args...));
+}
+
+} // namespace spp
+
+#define SPP_PANIC(...)                                                  \
+    ::spp::panicImpl(__FILE__, __LINE__, ::spp::strfmt(__VA_ARGS__))
+#define SPP_FATAL(...)                                                  \
+    ::spp::fatalImpl(__FILE__, __LINE__, ::spp::strfmt(__VA_ARGS__))
+
+/** Assert-like invariant check that survives NDEBUG builds. */
+#define SPP_ASSERT(cond, ...)                                           \
+    do {                                                                \
+        if (!(cond)) [[unlikely]]                                       \
+            SPP_PANIC("assertion failed: " #cond " -- {}",              \
+                      ::spp::strfmt(__VA_ARGS__));                      \
+    } while (0)
+
+#endif // SPP_COMMON_LOGGING_HH

@@ -1,0 +1,126 @@
+/**
+ * @file
+ * Deterministic pseudo-random number generation (xoshiro256**).
+ *
+ * All stochastic choices in the simulator and the synthetic workloads
+ * flow from seeded Rng instances so that every experiment is
+ * reproducible bit-for-bit. std::mt19937_64 is avoided because its
+ * stream is not guaranteed identical across library versions for the
+ * distribution adaptors; we implement the generator and the (simple)
+ * distributions we need ourselves.
+ */
+
+#ifndef SPP_COMMON_RNG_HH
+#define SPP_COMMON_RNG_HH
+
+#include <array>
+#include <cassert>
+#include <cstdint>
+
+namespace spp {
+
+/**
+ * xoshiro256** 1.0 by Blackman and Vigna (public domain reference
+ * implementation), wrapped with the handful of draw helpers the
+ * simulator needs.
+ */
+class Rng
+{
+  public:
+    explicit Rng(std::uint64_t seed) { reseed(seed); }
+
+    /** Re-initialize the state from @p seed via splitmix64. */
+    void
+    reseed(std::uint64_t seed)
+    {
+        for (auto &word : state_)
+            word = splitmix64(seed);
+    }
+
+    /** Next raw 64-bit draw. */
+    std::uint64_t
+    next()
+    {
+        const std::uint64_t result = rotl(state_[1] * 5, 7) * 9;
+        const std::uint64_t t = state_[1] << 17;
+
+        state_[2] ^= state_[0];
+        state_[3] ^= state_[1];
+        state_[1] ^= state_[2];
+        state_[0] ^= state_[3];
+        state_[2] ^= t;
+        state_[3] = rotl(state_[3], 45);
+        return result;
+    }
+
+    /** Uniform draw in [0, bound); bound must be non-zero. */
+    std::uint64_t
+    below(std::uint64_t bound)
+    {
+        assert(bound > 0);
+        // Debiased via rejection on the top of the range.
+        const std::uint64_t limit = ~std::uint64_t{0} - bound + 1;
+        const std::uint64_t reject_above = limit - limit % bound;
+        std::uint64_t draw;
+        do {
+            draw = next();
+        } while (draw >= reject_above && reject_above != 0);
+        return draw % bound;
+    }
+
+    /** Uniform draw in [lo, hi] inclusive. */
+    std::uint64_t
+    range(std::uint64_t lo, std::uint64_t hi)
+    {
+        assert(lo <= hi);
+        return lo + below(hi - lo + 1);
+    }
+
+    /** Uniform real in [0, 1). */
+    double
+    real()
+    {
+        return static_cast<double>(next() >> 11) * 0x1.0p-53;
+    }
+
+    /** Bernoulli draw with success probability @p p. */
+    bool chance(double p) { return real() < p; }
+
+    /**
+     * Geometric-ish burst length: 1 + number of successes of
+     * repeated chance(p), capped at @p cap. Used for run lengths in
+     * workload generators.
+     */
+    unsigned
+    burst(double p, unsigned cap)
+    {
+        unsigned n = 1;
+        while (n < cap && chance(p))
+            ++n;
+        return n;
+    }
+
+  private:
+    static constexpr std::uint64_t
+    rotl(std::uint64_t x, int k)
+    {
+        return (x << k) | (x >> (64 - k));
+    }
+
+    /** splitmix64 used only for seeding; advances @p x in place. */
+    static std::uint64_t
+    splitmix64(std::uint64_t &x)
+    {
+        x += 0x9e3779b97f4a7c15ULL;
+        std::uint64_t z = x;
+        z = (z ^ (z >> 30)) * 0xbf58476d1ce4e5b9ULL;
+        z = (z ^ (z >> 27)) * 0x94d049bb133111ebULL;
+        return z ^ (z >> 31);
+    }
+
+    std::array<std::uint64_t, 4> state_;
+};
+
+} // namespace spp
+
+#endif // SPP_COMMON_RNG_HH

@@ -1,0 +1,28 @@
+#include "common/stats.hh"
+
+namespace spp {
+
+void
+StatGroup::regCounter(const std::string &name, const Counter &c)
+{
+    counters_.emplace_back(name, &c);
+}
+
+void
+StatGroup::regAverage(const std::string &name, const Average &a)
+{
+    averages_.emplace_back(name, &a);
+}
+
+void
+StatGroup::dump(std::ostream &os) const
+{
+    for (const auto &[name, c] : counters_)
+        os << name_ << '.' << name << ' ' << c->value() << '\n';
+    for (const auto &[name, a] : averages_) {
+        os << name_ << '.' << name << ".mean " << a->mean() << '\n';
+        os << name_ << '.' << name << ".count " << a->count() << '\n';
+    }
+}
+
+} // namespace spp

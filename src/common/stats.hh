@@ -1,0 +1,140 @@
+/**
+ * @file
+ * Lightweight statistics primitives.
+ *
+ * Counters and distributions register themselves with an owning
+ * StatGroup so that subsystems can be dumped uniformly. Statistics are
+ * plain value types; reading them directly (e.g. from benches) is the
+ * expected usage, the group dump is a convenience.
+ */
+
+#ifndef SPP_COMMON_STATS_HH
+#define SPP_COMMON_STATS_HH
+
+#include <algorithm>
+#include <cstdint>
+#include <map>
+#include <ostream>
+#include <string>
+#include <vector>
+
+#include "common/types.hh"
+
+namespace spp {
+
+/** A monotonically increasing event counter. */
+class Counter
+{
+  public:
+    Counter &
+    operator+=(std::uint64_t n)
+    {
+        value_ += n;
+        return *this;
+    }
+
+    Counter &
+    operator++()
+    {
+        ++value_;
+        return *this;
+    }
+
+    std::uint64_t value() const { return value_; }
+    void reset() { value_ = 0; }
+
+  private:
+    std::uint64_t value_ = 0;
+};
+
+/** Running sum / count with mean. */
+class Average
+{
+  public:
+    void
+    sample(double v)
+    {
+        sum_ += v;
+        ++count_;
+        max_ = std::max(max_, v);
+        min_ = count_ == 1 ? v : std::min(min_, v);
+    }
+
+    double mean() const { return count_ ? sum_ / count_ : 0.0; }
+    double sum() const { return sum_; }
+    std::uint64_t count() const { return count_; }
+    double max() const { return max_; }
+    double min() const { return min_; }
+
+    void
+    reset()
+    {
+        sum_ = 0;
+        count_ = 0;
+        max_ = 0;
+        min_ = 0;
+    }
+
+  private:
+    double sum_ = 0;
+    std::uint64_t count_ = 0;
+    double max_ = 0;
+    double min_ = 0;
+};
+
+/** Fixed-bucket histogram over [0, buckets * bucket_width). */
+class Distribution
+{
+  public:
+    Distribution(unsigned buckets, double bucket_width)
+        : counts_(buckets, 0), width_(bucket_width)
+    {}
+
+    void
+    sample(double v)
+    {
+        avg_.sample(v);
+        auto idx = static_cast<std::size_t>(v / width_);
+        if (idx >= counts_.size())
+            idx = counts_.size() - 1;
+        ++counts_[idx];
+    }
+
+    const std::vector<std::uint64_t> &counts() const { return counts_; }
+    const Average &summary() const { return avg_; }
+    double bucketWidth() const { return width_; }
+
+  private:
+    std::vector<std::uint64_t> counts_;
+    Average avg_;
+    double width_;
+};
+
+/**
+ * A named collection of statistics, dumped as "name value" lines.
+ * Groups do not own the registered stats; lifetime is the caller's
+ * responsibility (stats normally live in the same object as the
+ * group).
+ */
+class StatGroup
+{
+  public:
+    explicit StatGroup(std::string name) : name_(std::move(name)) {}
+
+    void regCounter(const std::string &name, const Counter &c);
+    void regAverage(const std::string &name, const Average &a);
+
+    /** Write "group.name value" lines to @p os. */
+    void dump(std::ostream &os) const;
+
+    const std::string &name() const { return name_; }
+
+  private:
+    std::string name_;
+    std::vector<std::pair<std::string, const Counter *>> counters_;
+    std::vector<std::pair<std::string, const Average *>> averages_;
+};
+
+} // namespace spp
+
+#endif // SPP_COMMON_STATS_HH

@@ -1,0 +1,39 @@
+/**
+ * @file
+ * Fundamental scalar types shared across the simulator.
+ */
+
+#ifndef SPP_COMMON_TYPES_HH
+#define SPP_COMMON_TYPES_HH
+
+#include <cstdint>
+
+namespace spp {
+
+/** Simulated time, in cycles of the core/NoC clock. */
+using Tick = std::uint64_t;
+
+/** A physical (simulated) memory address. */
+using Addr = std::uint64_t;
+
+/** Identifier of a physical core / tile. */
+using CoreId = std::uint32_t;
+
+/** Identifier of a logical thread (see ThreadMap for migration). */
+using ThreadId = std::uint32_t;
+
+/** Program counter of a (synthetic) static instruction or sync-point. */
+using Pc = std::uint64_t;
+
+/** Sentinel for "no core". */
+inline constexpr CoreId invalidCore = ~CoreId{0};
+
+/** Sentinel tick meaning "never" / unscheduled. */
+inline constexpr Tick maxTick = ~Tick{0};
+
+/** Hard upper bound on system size; CoreSet is a 64-bit mask. */
+inline constexpr unsigned maxCores = 64;
+
+} // namespace spp
+
+#endif // SPP_COMMON_TYPES_HH

@@ -1,0 +1,77 @@
+/**
+ * @file
+ * Logical-thread to physical-core mapping (Section 5.5).
+ *
+ * Communication signatures track logical thread IDs; when threads may
+ * migrate, the predictor translates a logical signature to the
+ * current physical destination set before use, and translates
+ * observed physical responders back to logical IDs before recording.
+ * With pinned threads (the paper's default) the mapping is identity.
+ */
+
+#ifndef SPP_CORE_THREAD_MAP_HH
+#define SPP_CORE_THREAD_MAP_HH
+
+#include <numeric>
+#include <vector>
+
+#include "common/core_set.hh"
+#include "common/logging.hh"
+#include "common/types.hh"
+
+namespace spp {
+
+/** Bidirectional logical/physical mapping. */
+class ThreadMap
+{
+  public:
+    explicit ThreadMap(unsigned n)
+        : to_core_(n), to_thread_(n)
+    {
+        std::iota(to_core_.begin(), to_core_.end(), CoreId{0});
+        std::iota(to_thread_.begin(), to_thread_.end(), ThreadId{0});
+    }
+
+    /** Move @p thread to @p core, swapping with its current tenant. */
+    void
+    migrate(ThreadId thread, CoreId core)
+    {
+        const CoreId old_core = to_core_[thread];
+        const ThreadId displaced = to_thread_[core];
+        to_core_[thread] = core;
+        to_thread_[core] = thread;
+        to_core_[displaced] = old_core;
+        to_thread_[old_core] = displaced;
+    }
+
+    CoreId core(ThreadId t) const { return to_core_[t]; }
+    ThreadId thread(CoreId c) const { return to_thread_[c]; }
+
+    /** Translate a logical signature into physical destinations. */
+    CoreSet
+    toPhysical(const CoreSet &logical) const
+    {
+        CoreSet phys;
+        for (CoreId t : logical)
+            phys.set(to_core_[t]);
+        return phys;
+    }
+
+    /** Translate observed physical responders into logical IDs. */
+    CoreSet
+    toLogical(const CoreSet &physical) const
+    {
+        CoreSet log;
+        for (CoreId c : physical)
+            log.set(to_thread_[c]);
+        return log;
+    }
+
+  private:
+    std::vector<CoreId> to_core_;     ///< thread -> core
+    std::vector<ThreadId> to_thread_; ///< core -> thread
+};
+
+} // namespace spp
+
+#endif // SPP_CORE_THREAD_MAP_HH

@@ -1,0 +1,6 @@
+#include "event/event_queue.hh"
+
+// EventQueue is header-only; this translation unit exists so the
+// module has an object file and a place for future out-of-line code.
+namespace spp {
+} // namespace spp

@@ -1,0 +1,110 @@
+/**
+ * @file
+ * Discrete-event simulation kernel.
+ *
+ * A single EventQueue drives a run. Events are type-erased callables
+ * scheduled at absolute ticks; same-tick events fire in scheduling
+ * order (FIFO), which makes protocol behaviour deterministic.
+ */
+
+#ifndef SPP_EVENT_EVENT_QUEUE_HH
+#define SPP_EVENT_EVENT_QUEUE_HH
+
+#include <cstdint>
+#include <functional>
+#include <queue>
+#include <vector>
+
+#include "common/logging.hh"
+#include "common/types.hh"
+
+namespace spp {
+
+/**
+ * Priority queue of (tick, seq, action) triples. seq breaks ties so
+ * that same-tick events run in insertion order.
+ */
+class EventQueue
+{
+  public:
+    using Action = std::function<void()>;
+
+    /** Current simulated time. */
+    Tick curTick() const { return cur_tick_; }
+
+    /** Schedule @p action at absolute time @p when (>= curTick()). */
+    void
+    schedule(Tick when, Action action)
+    {
+        SPP_ASSERT(when >= cur_tick_,
+                   "schedule in the past: {} < {}", when, cur_tick_);
+        queue_.push(Entry{when, next_seq_++, std::move(action)});
+    }
+
+    /** Schedule @p action @p delay ticks from now. */
+    void
+    scheduleAfter(Tick delay, Action action)
+    {
+        schedule(cur_tick_ + delay, std::move(action));
+    }
+
+    bool empty() const { return queue_.empty(); }
+
+    std::size_t pending() const { return queue_.size(); }
+
+    /** Execute the single next event; queue must be non-empty. */
+    void
+    step()
+    {
+        SPP_ASSERT(!queue_.empty(), "step on empty event queue");
+        // Move the action out before popping: the action may schedule
+        // new events, and pop() would otherwise destroy it mid-flight.
+        Entry entry = std::move(const_cast<Entry &>(queue_.top()));
+        queue_.pop();
+        cur_tick_ = entry.when;
+        entry.action();
+        ++executed_;
+    }
+
+    /**
+     * Run until the queue drains or curTick() would exceed @p limit
+     * (0 = no limit). @return true if the queue drained.
+     */
+    bool
+    run(Tick limit = 0)
+    {
+        while (!queue_.empty()) {
+            if (limit != 0 && queue_.top().when > limit)
+                return false;
+            step();
+        }
+        return true;
+    }
+
+    /** Total number of events executed so far. */
+    std::uint64_t executed() const { return executed_; }
+
+  private:
+    struct Entry
+    {
+        Tick when;
+        std::uint64_t seq;
+        Action action;
+
+        bool
+        operator>(const Entry &o) const
+        {
+            return when != o.when ? when > o.when : seq > o.seq;
+        }
+    };
+
+    std::priority_queue<Entry, std::vector<Entry>, std::greater<>>
+        queue_;
+    Tick cur_tick_ = 0;
+    std::uint64_t next_seq_ = 0;
+    std::uint64_t executed_ = 0;
+};
+
+} // namespace spp
+
+#endif // SPP_EVENT_EVENT_QUEUE_HH

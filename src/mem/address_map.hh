@@ -1,0 +1,58 @@
+/**
+ * @file
+ * Address decomposition helpers: cache line, macroblock and home-node
+ * (directory slice) mapping.
+ */
+
+#ifndef SPP_MEM_ADDRESS_MAP_HH
+#define SPP_MEM_ADDRESS_MAP_HH
+
+#include <bit>
+
+#include "common/config.hh"
+#include "common/types.hh"
+
+namespace spp {
+
+/**
+ * Immutable address mapping derived from a Config. The directory is
+ * distributed across all tiles by line-address interleaving.
+ */
+class AddressMap
+{
+  public:
+    explicit AddressMap(const Config &cfg)
+        : line_shift_(std::countr_zero(
+              static_cast<unsigned long>(cfg.lineBytes))),
+          macro_shift_(std::countr_zero(
+              static_cast<unsigned long>(cfg.macroBlockBytes))),
+          n_cores_(cfg.numCores)
+    {}
+
+    /** Cache-line-aligned address. */
+    Addr lineAddr(Addr a) const { return a >> line_shift_ << line_shift_; }
+
+    /** Line number (address / lineBytes). */
+    Addr lineNum(Addr a) const { return a >> line_shift_; }
+
+    /** Macroblock number, the ADDR predictor index. */
+    Addr macroBlock(Addr a) const { return a >> macro_shift_; }
+
+    /** Home tile holding the directory slice for @p a. */
+    CoreId
+    homeNode(Addr a) const
+    {
+        return static_cast<CoreId>(lineNum(a) % n_cores_);
+    }
+
+    unsigned lineShift() const { return line_shift_; }
+
+  private:
+    unsigned line_shift_;
+    unsigned macro_shift_;
+    unsigned n_cores_;
+};
+
+} // namespace spp
+
+#endif // SPP_MEM_ADDRESS_MAP_HH

@@ -1,0 +1,112 @@
+#include "mem/cache_array.hh"
+
+namespace spp {
+
+CacheArray::CacheArray(unsigned size_bytes, unsigned assoc,
+                       unsigned line_bytes)
+    : assoc_(assoc), line_bytes_(line_bytes),
+      line_shift_(std::countr_zero(
+          static_cast<unsigned long>(line_bytes)))
+{
+    SPP_ASSERT(std::has_single_bit(line_bytes),
+               "line size must be a power of two, got {}", line_bytes);
+    SPP_ASSERT(assoc > 0, "associativity must be non-zero");
+    SPP_ASSERT(size_bytes % (line_bytes * assoc) == 0,
+               "cache size {} not divisible into {}-way sets",
+               size_bytes, assoc);
+    n_sets_ = size_bytes / (line_bytes * assoc);
+    lines_.resize(static_cast<std::size_t>(n_sets_) * assoc_);
+}
+
+std::size_t
+CacheArray::setBase(Addr line_addr) const
+{
+    const Addr line_num = line_addr >> line_shift_;
+    return static_cast<std::size_t>(line_num % n_sets_) * assoc_;
+}
+
+CacheLine *
+CacheArray::lookup(Addr line_addr)
+{
+    ++stats_.lookups;
+    const std::size_t base = setBase(line_addr);
+    for (unsigned w = 0; w < assoc_; ++w) {
+        CacheLine &line = lines_[base + w];
+        if (isValid(line.state) && line.tag == line_addr) {
+            line.lru = next_lru_++;
+            ++stats_.hits;
+            return &line;
+        }
+    }
+    ++stats_.misses;
+    return nullptr;
+}
+
+const CacheLine *
+CacheArray::peek(Addr line_addr) const
+{
+    const std::size_t base = setBase(line_addr);
+    for (unsigned w = 0; w < assoc_; ++w) {
+        const CacheLine &line = lines_[base + w];
+        if (isValid(line.state) && line.tag == line_addr)
+            return &line;
+    }
+    return nullptr;
+}
+
+CacheLine *
+CacheArray::allocate(Addr line_addr, CacheLine &victim)
+{
+    victim = CacheLine{};
+    const std::size_t base = setBase(line_addr);
+    CacheLine *target = nullptr;
+    for (unsigned w = 0; w < assoc_; ++w) {
+        CacheLine &line = lines_[base + w];
+        SPP_ASSERT(!isValid(line.state) || line.tag != line_addr,
+                   "allocate of already-present line {}",
+                   line_addr);
+        if (!isValid(line.state)) {
+            target = &line;
+            break;
+        }
+        if (!target || line.lru < target->lru)
+            target = &line;
+    }
+    if (isValid(target->state)) {
+        victim = *target;
+        ++stats_.evictions;
+        if (isDirty(target->state))
+            ++stats_.dirtyEvictions;
+    }
+    target->tag = line_addr;
+    target->state = Mesif::invalid;
+    target->lru = next_lru_++;
+    return target;
+}
+
+Mesif
+CacheArray::invalidate(Addr line_addr)
+{
+    const std::size_t base = setBase(line_addr);
+    for (unsigned w = 0; w < assoc_; ++w) {
+        CacheLine &line = lines_[base + w];
+        if (isValid(line.state) && line.tag == line_addr) {
+            const Mesif prev = line.state;
+            line.state = Mesif::invalid;
+            return prev;
+        }
+    }
+    return Mesif::invalid;
+}
+
+unsigned
+CacheArray::validCount() const
+{
+    unsigned n = 0;
+    for (const auto &line : lines_)
+        if (isValid(line.state))
+            ++n;
+    return n;
+}
+
+} // namespace spp

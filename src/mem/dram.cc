@@ -1,0 +1,52 @@
+#include "mem/dram.hh"
+
+namespace spp {
+
+DramModel::DramModel(const Config &cfg, const AddressMap &map)
+    : cfg_(cfg), map_(map), banks_per_ctrl_(cfg.dramBanks),
+      lines_per_row_(cfg.dramRowLines),
+      banks_(static_cast<std::size_t>(cfg.numCores) * cfg.dramBanks)
+{
+}
+
+Tick
+DramModel::accessLatency(Addr line, Tick now)
+{
+    ++stats_.accesses;
+    // Lines interleave across homes first (AddressMap), then across
+    // a controller's banks, with dramRowLines consecutive
+    // controller-local lines per row.
+    const Addr local_line = map_.lineNum(line) / cfg_.numCores;
+    const CoreId home = map_.homeNode(line);
+    const Addr bank_idx = (local_line / lines_per_row_) %
+        banks_per_ctrl_;
+    const Addr row = local_line / lines_per_row_ / banks_per_ctrl_;
+    Bank &bank = banks_[static_cast<std::size_t>(home) *
+                            banks_per_ctrl_ + bank_idx];
+
+    Tick start = now;
+    if (bank.busyUntil > start) {
+        ++stats_.bankBusyWaits;
+        start = bank.busyUntil;
+    }
+
+    Tick service;
+    if (bank.rowValid && bank.openRow == row) {
+        ++stats_.rowHits;
+        service = cfg_.dramRowHitLatency;
+    } else if (bank.rowValid) {
+        ++stats_.rowConflicts;
+        service = cfg_.dramRowConflictLatency;
+    } else {
+        service = cfg_.memLatency;
+    }
+    bank.openRow = row;
+    bank.rowValid = true;
+    bank.busyUntil = start + service;
+
+    const Tick total = (start - now) + service;
+    stats_.serviceLatency.sample(static_cast<double>(total));
+    return total;
+}
+
+} // namespace spp

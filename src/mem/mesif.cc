@@ -1,0 +1,18 @@
+#include "mem/mesif.hh"
+
+namespace spp {
+
+const char *
+toString(Mesif s)
+{
+    switch (s) {
+      case Mesif::invalid:    return "I";
+      case Mesif::shared:     return "S";
+      case Mesif::forwarding: return "F";
+      case Mesif::exclusive:  return "E";
+      case Mesif::modified:   return "M";
+    }
+    return "?";
+}
+
+} // namespace spp

@@ -1,0 +1,60 @@
+/**
+ * @file
+ * MESIF cache line states.
+ *
+ * MESIF extends MESI with a Forwarding state: exactly one sharer of a
+ * clean line holds F and answers cache-to-cache transfer requests, so
+ * clean data never needs a memory round trip while shared on chip
+ * (Intel QPI protocol; the paper's baseline).
+ */
+
+#ifndef SPP_MEM_MESIF_HH
+#define SPP_MEM_MESIF_HH
+
+#include <cstdint>
+
+namespace spp {
+
+enum class Mesif : std::uint8_t
+{
+    invalid,
+    shared,     ///< Clean, possibly multiple copies, not forwardable.
+    forwarding, ///< Clean, newest sharer, answers c2c requests.
+    exclusive,  ///< Clean, only copy.
+    modified,   ///< Dirty, only copy.
+};
+
+/** True if a cache holding the line in @p s may satisfy a read
+ * request with data (E, M or F). */
+constexpr bool
+canForward(Mesif s)
+{
+    return s == Mesif::exclusive || s == Mesif::modified ||
+           s == Mesif::forwarding;
+}
+
+/** True if the line is valid in any readable state. */
+constexpr bool
+isValid(Mesif s)
+{
+    return s != Mesif::invalid;
+}
+
+/** True if a store can proceed without a coherence transaction. */
+constexpr bool
+isWritable(Mesif s)
+{
+    return s == Mesif::exclusive || s == Mesif::modified;
+}
+
+constexpr bool
+isDirty(Mesif s)
+{
+    return s == Mesif::modified;
+}
+
+const char *toString(Mesif s);
+
+} // namespace spp
+
+#endif // SPP_MEM_MESIF_HH

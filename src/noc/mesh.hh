@@ -1,0 +1,104 @@
+/**
+ * @file
+ * 2D mesh network-on-chip model.
+ *
+ * Topology: meshX x meshY tiles, dimension-order (X then Y) routing,
+ * 2-stage routers and single-cycle links (Table 4). Contention is
+ * modelled at link granularity: each directional link keeps a
+ * busy-until tick, a packet reserves its links hop by hop and its
+ * serialization time is bytes / linkBytesPerCycle on each link. This
+ * reproduces hop latency, serialization and queueing delay without
+ * flit-level simulation (the paper reports congestion stays low).
+ *
+ * Delivery is callback-based: send() computes the arrival tick,
+ * schedules the callback on the EventQueue, and accounts bytes per
+ * traffic class for the bandwidth/energy figures.
+ */
+
+#ifndef SPP_NOC_MESH_HH
+#define SPP_NOC_MESH_HH
+
+#include <array>
+#include <cstdint>
+#include <functional>
+#include <vector>
+
+#include "common/config.hh"
+#include "common/stats.hh"
+#include "common/types.hh"
+#include "event/event_queue.hh"
+#include "noc/packet.hh"
+
+namespace spp {
+
+/** Aggregate NoC traffic statistics for one run. */
+struct NocStats
+{
+    Counter packets;
+    Counter flitBytes;              ///< Bytes injected (payload).
+    Counter byteHops;               ///< Sum over packets of bytes*hops.
+    Counter byteRouters;            ///< Sum of bytes*(hops+1).
+    Counter routerTraversals;       ///< Sum over packets of hops+1.
+    Average packetLatency;          ///< Injection to delivery.
+
+    /** Bytes injected, by traffic class (index = TrafficClass). */
+    std::array<std::uint64_t, 6> bytesByClass{};
+
+    std::uint64_t
+    bytesOf(TrafficClass cls) const
+    {
+        return bytesByClass[static_cast<std::size_t>(cls)];
+    }
+};
+
+/**
+ * The mesh interconnect. One instance per simulated system.
+ */
+class Mesh
+{
+  public:
+    using DeliverFn = std::function<void()>;
+
+    Mesh(const Config &cfg, EventQueue &eq);
+
+    /** Manhattan hop count between two tiles. */
+    unsigned hops(CoreId src, CoreId dst) const;
+
+    /**
+     * Inject @p pkt; @p on_delivery runs at the arrival tick.
+     * Local (src == dst) packets are delivered after the router
+     * pipeline only.
+     */
+    void send(const Packet &pkt, DeliverFn on_delivery);
+
+    /**
+     * Zero-load latency of a packet of @p bytes over @p n_hops hops:
+     * per-hop router + link plus serialization on the final link.
+     */
+    Tick zeroLoadLatency(unsigned n_hops, unsigned bytes) const;
+
+    const NocStats &stats() const { return stats_; }
+
+    unsigned numCores() const { return n_cores_; }
+
+  private:
+    /** Index of the directional link from tile @p a to neighbour b. */
+    std::size_t linkIndex(unsigned a, unsigned b) const;
+
+    /** Enumerate the tile sequence of the X-Y route src -> dst. */
+    void route(CoreId src, CoreId dst,
+               std::vector<unsigned> &path) const;
+
+    const Config &cfg_;
+    EventQueue &eq_;
+    unsigned n_cores_;
+    /** busy-until tick per directional link (n_cores * 4 entries). */
+    std::vector<Tick> link_free_;
+    NocStats stats_;
+    /** Scratch buffer reused by send() to avoid per-packet allocs. */
+    std::vector<unsigned> path_scratch_;
+};
+
+} // namespace spp
+
+#endif // SPP_NOC_MESH_HH

@@ -1,0 +1,40 @@
+/**
+ * @file
+ * NoC packet descriptor and traffic classification.
+ */
+
+#ifndef SPP_NOC_PACKET_HH
+#define SPP_NOC_PACKET_HH
+
+#include <cstdint>
+
+#include "common/types.hh"
+
+namespace spp {
+
+/**
+ * Why a packet is on the network; used to attribute bandwidth in the
+ * Figure 9 breakdown.
+ */
+enum class TrafficClass : std::uint8_t
+{
+    request,        ///< Miss request to the directory / snoop targets.
+    predRequest,    ///< Predicted request sent directly to a peer.
+    forward,        ///< Directory-initiated forward/invalidate.
+    response,       ///< Control response (Ack/Nack/completion).
+    data,           ///< Data-bearing response or writeback.
+    dirUpdate,      ///< Sharing-state update from a predicted node.
+};
+
+/** Description of one packet handed to the mesh for delivery. */
+struct Packet
+{
+    CoreId src = invalidCore;
+    CoreId dst = invalidCore;
+    unsigned bytes = 0;
+    TrafficClass cls = TrafficClass::request;
+};
+
+} // namespace spp
+
+#endif // SPP_NOC_PACKET_HH

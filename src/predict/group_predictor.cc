@@ -1,0 +1,96 @@
+#include "predict/group_predictor.hh"
+
+namespace spp {
+
+GroupPredictor::GroupPredictor(const Config &cfg, unsigned n_cores,
+                               GroupIndex index)
+    : cfg_(cfg), n_cores_(n_cores), index_(index)
+{
+    tables_.reserve(n_cores);
+    for (unsigned c = 0; c < n_cores; ++c)
+        tables_.emplace_back(static_cast<std::size_t>(
+            index == GroupIndex::none ? 1 : cfg.predictorEntries));
+}
+
+std::uint64_t
+GroupPredictor::keyOf(Addr macro_block, Pc pc) const
+{
+    switch (index_) {
+      case GroupIndex::macroBlock:  return macro_block;
+      case GroupIndex::instruction: return pc;
+      case GroupIndex::none:        return 0;
+    }
+    return 0;
+}
+
+Prediction
+GroupPredictor::predict(const PredictionQuery &q)
+{
+    Prediction p;
+    const GroupEntry *e =
+        tables_[q.core].peek(keyOf(q.macroBlock, q.pc));
+    if (!e)
+        return p;
+    CoreSet targets = e->predict(cfg_.groupThreshold);
+    targets.reset(q.core);
+    if (targets.empty())
+        return p;
+    p.targets = targets;
+    p.source = PredSource::table;
+    return p;
+}
+
+void
+GroupPredictor::trainResponse(const PredictionQuery &q,
+                              const CoreSet &who)
+{
+    tables_[q.core].entry(keyOf(q.macroBlock, q.pc))
+        .train(who, cfg_.trainDownPeriod);
+}
+
+void
+GroupPredictor::trainExternal(CoreId observer, Addr line,
+                              Addr macro_block, Pc last_pc,
+                              CoreId requester, bool is_write)
+{
+    // An external coherence request tells this node that @p requester
+    // is a future communication target for this block / instruction.
+    (void)line;
+    (void)is_write;
+    tables_[observer].entry(keyOf(macro_block, last_pc))
+        .train(CoreSet::single(requester), cfg_.trainDownPeriod);
+}
+
+void
+GroupPredictor::feedback(CoreId core, const Prediction &pred,
+                         bool communicating, bool sufficient)
+{
+    // Group predictors have no confidence mechanism.
+    (void)core;
+    (void)pred;
+    (void)communicating;
+    (void)sufficient;
+}
+
+std::size_t
+GroupPredictor::storageBits() const
+{
+    // Per entry: 2 bits per core of train-up counters plus a 5-bit
+    // rollover counter (Section 5.4: 37 bits for 16 cores).
+    const std::size_t entry_bits = 2ul * n_cores_ + 5;
+    std::size_t entries = 0;
+    for (const auto &t : tables_)
+        entries += t.size();
+    return entries * entry_bits;
+}
+
+std::uint64_t
+GroupPredictor::tableAccesses() const
+{
+    std::uint64_t n = 0;
+    for (const auto &t : tables_)
+        n += t.accesses();
+    return n;
+}
+
+} // namespace spp

@@ -1,0 +1,75 @@
+/**
+ * @file
+ * Region-based sharing filter (after RegionScout [38] / TLB-based
+ * snoop filtering [17], which Section 5.3 cites as the orthogonal fix
+ * for prediction bandwidth wasted on non-communicating misses).
+ *
+ * Each core tracks the memory regions it has ever observed *shared*:
+ * a region becomes shared when one of the core's misses in it was
+ * serviced by a remote cache, or when the core receives an external
+ * coherence request for a line in it. Misses to regions never seen
+ * shared skip the prediction action entirely — they are almost
+ * certainly private or cold data that only memory can service.
+ */
+
+#ifndef SPP_PREDICT_SHARING_FILTER_HH
+#define SPP_PREDICT_SHARING_FILTER_HH
+
+#include <bit>
+#include <unordered_set>
+#include <vector>
+
+#include "common/stats.hh"
+#include "common/types.hh"
+
+namespace spp {
+
+/** Per-core region sharing filter. */
+class SharingFilter
+{
+  public:
+    SharingFilter(unsigned n_cores, unsigned region_bytes)
+        : shift_(std::countr_zero(
+              static_cast<unsigned long>(region_bytes))),
+          regions_(n_cores)
+    {}
+
+    /** Should a prediction be attempted for this miss? */
+    bool
+    allowPrediction(CoreId core, Addr addr) const
+    {
+        return regions_[core].contains(addr >> shift_);
+    }
+
+    /** The core observed communication on a line of this region. */
+    void
+    markShared(CoreId core, Addr addr)
+    {
+        regions_[core].insert(addr >> shift_);
+    }
+
+    /** Regions currently tracked as shared at @p core. */
+    std::size_t
+    sharedRegions(CoreId core) const
+    {
+        return regions_[core].size();
+    }
+
+    /** Modelled storage: one tag per tracked region per core. */
+    std::size_t
+    storageBits() const
+    {
+        std::size_t n = 0;
+        for (const auto &r : regions_)
+            n += r.size();
+        return n * 32;
+    }
+
+  private:
+    unsigned shift_;
+    std::vector<std::unordered_set<Addr>> regions_;
+};
+
+} // namespace spp
+
+#endif // SPP_PREDICT_SHARING_FILTER_HH

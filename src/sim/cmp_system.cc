@@ -1,0 +1,121 @@
+#include "sim/cmp_system.hh"
+
+#include "coherence/broadcast_protocol.hh"
+#include "coherence/multicast_protocol.hh"
+#include "common/logging.hh"
+
+namespace spp {
+
+CmpSystem::CmpSystem(const Config &cfg) : cfg_(cfg)
+{
+    cfg_.validate();
+    mesh_ = std::make_unique<Mesh>(cfg_, eq_);
+
+    if (cfg_.protocol == Protocol::predicted ||
+        cfg_.protocol == Protocol::multicast) {
+        switch (cfg_.predictor) {
+          case PredictorKind::sp: {
+            auto sp = std::make_unique<SpPredictor>(cfg_,
+                                                    cfg_.numCores);
+            sp_predictor_ = sp.get();
+            predictor_ = std::move(sp);
+            break;
+          }
+          case PredictorKind::addr:
+            predictor_ = std::make_unique<GroupPredictor>(
+                cfg_, cfg_.numCores, GroupIndex::macroBlock);
+            break;
+          case PredictorKind::inst:
+            predictor_ = std::make_unique<GroupPredictor>(
+                cfg_, cfg_.numCores, GroupIndex::instruction);
+            break;
+          case PredictorKind::uni:
+            predictor_ = std::make_unique<GroupPredictor>(
+                cfg_, cfg_.numCores, GroupIndex::none);
+            break;
+          case PredictorKind::none:
+            SPP_FATAL("predicted protocol without predictor");
+        }
+    }
+
+    if (cfg_.protocol == Protocol::broadcast) {
+        mem_ = std::make_unique<BroadcastMemSys>(cfg_, eq_, *mesh_);
+    } else if (cfg_.protocol == Protocol::multicast) {
+        mem_ = std::make_unique<MulticastMemSys>(cfg_, eq_, *mesh_,
+                                                 predictor_.get());
+    } else {
+        mem_ = std::make_unique<DirectoryMemSys>(cfg_, eq_, *mesh_,
+                                                 predictor_.get());
+    }
+
+    sync_ = std::make_unique<SyncManager>(cfg_, eq_,
+                                          layout::syncBase);
+    if (sp_predictor_)
+        sync_->addListener(sp_predictor_);
+
+    contexts_.reserve(cfg_.numCores);
+    for (unsigned c = 0; c < cfg_.numCores; ++c) {
+        contexts_.push_back(std::make_unique<ThreadContext>(
+            *this, c, cfg_.numCores, cfg_.seed * 7919 + c));
+    }
+}
+
+CmpSystem::~CmpSystem() = default;
+
+DirectoryMemSys *
+CmpSystem::directory()
+{
+    return dynamic_cast<DirectoryMemSys *>(mem_.get());
+}
+
+RunResult
+CmpSystem::run(const ThreadFn &thread_fn)
+{
+    SPP_ASSERT(tasks_.empty(), "CmpSystem::run may only be called once");
+
+    tasks_.reserve(cfg_.numCores);
+    for (unsigned c = 0; c < cfg_.numCores; ++c)
+        tasks_.push_back(thread_fn(*contexts_[c]));
+
+    // Every thread begins with an implicit sync-point so the first
+    // epoch is well defined, then starts at tick 0.
+    for (unsigned c = 0; c < cfg_.numCores; ++c) {
+        sync_->notify(c, SyncType::threadStart, 0);
+        eq_.schedule(0, [this, c]() {
+            tasks_[c].start([this, c]() {
+                sync_->threadDone(c);
+                ++finished_;
+            });
+        });
+    }
+
+    const bool drained_queue = eq_.run(cfg_.maxTicks);
+    if (!drained_queue) {
+        SPP_FATAL("run exceeded maxTicks = {} ({} threads finished)",
+                  cfg_.maxTicks, finished_);
+    }
+    if (finished_ != cfg_.numCores) {
+        SPP_PANIC("event queue drained with only {}/{} threads "
+                  "finished (workload deadlock?)\n{}",
+                  finished_, cfg_.numCores, mem_->dumpOutstanding());
+    }
+    SPP_ASSERT(mem_->drained(), "memory system not drained at exit");
+
+    RunResult r;
+    r.ticks = eq_.curTick();
+    r.mem = mem_->stats();
+    r.noc = mesh_->stats();
+    r.sync = sync_->stats();
+    if (sp_predictor_)
+        r.sp = sp_predictor_->stats();
+    if (predictor_) {
+        r.predictorStorageBits = predictor_->storageBits();
+        r.predictorTableAccesses = predictor_->tableAccesses();
+    }
+    if (auto *dir = directory())
+        r.indirectionsAvoided = dir->indirectionsAvoided();
+    r.eventsExecuted = eq_.executed();
+    return r;
+}
+
+} // namespace spp

@@ -1,0 +1,134 @@
+/**
+ * @file
+ * Coroutine task type for simulated threads.
+ *
+ * A workload's per-thread program is a C++20 coroutine returning
+ * Task. Awaiting a ThreadContext operation suspends the coroutine
+ * until the simulated operation (memory access, barrier, ...)
+ * completes; awaiting a nested Task runs a sub-program to completion
+ * (symmetric transfer, no event-queue round trip).
+ */
+
+#ifndef SPP_SIM_TASK_HH
+#define SPP_SIM_TASK_HH
+
+#include <coroutine>
+#include <exception>
+#include <functional>
+#include <utility>
+
+namespace spp {
+
+/** A lazily-started coroutine; resumes its awaiter when done. */
+class [[nodiscard]] Task
+{
+  public:
+    struct promise_type
+    {
+        std::coroutine_handle<> continuation;
+        std::function<void()> onDone;
+
+        Task
+        get_return_object()
+        {
+            return Task{std::coroutine_handle<promise_type>::
+                            from_promise(*this)};
+        }
+
+        std::suspend_always initial_suspend() noexcept { return {}; }
+
+        struct FinalAwaiter
+        {
+            bool await_ready() noexcept { return false; }
+
+            std::coroutine_handle<>
+            await_suspend(
+                std::coroutine_handle<promise_type> h) noexcept
+            {
+                promise_type &p = h.promise();
+                if (p.onDone)
+                    p.onDone();
+                return p.continuation ? p.continuation
+                                      : std::noop_coroutine();
+            }
+
+            void await_resume() noexcept {}
+        };
+
+        FinalAwaiter final_suspend() noexcept { return {}; }
+        void return_void() {}
+        void unhandled_exception() { std::terminate(); }
+    };
+
+    Task() = default;
+
+    explicit Task(std::coroutine_handle<promise_type> h) : handle_(h) {}
+
+    Task(Task &&other) noexcept
+        : handle_(std::exchange(other.handle_, nullptr))
+    {}
+
+    Task &
+    operator=(Task &&other) noexcept
+    {
+        if (this != &other) {
+            destroy();
+            handle_ = std::exchange(other.handle_, nullptr);
+        }
+        return *this;
+    }
+
+    Task(const Task &) = delete;
+    Task &operator=(const Task &) = delete;
+
+    ~Task() { destroy(); }
+
+    /** Start a top-level task; @p on_done fires at completion. */
+    void
+    start(std::function<void()> on_done = {})
+    {
+        handle_.promise().onDone = std::move(on_done);
+        handle_.resume();
+    }
+
+    bool done() const { return !handle_ || handle_.done(); }
+
+    /** Awaiting a Task runs it to completion, then resumes the
+     * awaiter via symmetric transfer. */
+    auto
+    operator co_await() &&
+    {
+        struct Awaiter
+        {
+            std::coroutine_handle<promise_type> h;
+
+            bool await_ready() const { return !h || h.done(); }
+
+            std::coroutine_handle<>
+            await_suspend(std::coroutine_handle<> cont)
+            {
+                h.promise().continuation = cont;
+                return h;
+            }
+
+            void await_resume() {}
+        };
+        return Awaiter{handle_};
+    }
+
+  private:
+    void
+    destroy()
+    {
+        if (handle_) {
+            handle_.destroy();
+            handle_ = nullptr;
+        }
+    }
+
+    std::coroutine_handle<promise_type> handle_;
+};
+
+} // namespace spp
+
+#endif // SPP_SIM_TASK_HH

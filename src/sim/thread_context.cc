@@ -1,0 +1,202 @@
+#include "sim/thread_context.hh"
+
+#include "sim/cmp_system.hh"
+
+namespace spp {
+
+ThreadContext::ThreadContext(CmpSystem &sys, CoreId core,
+                             unsigned n_threads, std::uint64_t seed)
+    : sys_(sys), core_(core), n_threads_(n_threads), rng_(seed)
+{
+}
+
+Addr
+ThreadContext::shared(std::uint64_t index) const
+{
+    return layout::sharedBase +
+        index * sys_.config().lineBytes;
+}
+
+Addr
+ThreadContext::priv(std::uint64_t index) const
+{
+    return privOf(core_, index);
+}
+
+Addr
+ThreadContext::privOf(CoreId t, std::uint64_t index) const
+{
+    return layout::privateBase +
+        static_cast<Addr>(t) * layout::privateStride +
+        index * sys_.config().lineBytes;
+}
+
+void
+ThreadContext::mem(Addr addr, bool is_write, Pc pc, Action done)
+{
+    sys_.memSys().access(core_, addr, is_write, pc,
+        [this, addr, pc, done = std::move(done)](
+            const AccessOutcome &out) {
+            last_outcome_ = out;
+            if (sys_.accessObserver())
+                sys_.accessObserver()(core_, addr, pc, out);
+            done();
+        });
+}
+
+ThreadContext::Op
+ThreadContext::read(Addr addr, Pc pc)
+{
+    return Op{this, [this, addr, pc](Action resume) {
+        mem(addr, false, pc, std::move(resume));
+    }};
+}
+
+ThreadContext::Op
+ThreadContext::write(Addr addr, Pc pc)
+{
+    return Op{this, [this, addr, pc](Action resume) {
+        mem(addr, true, pc, std::move(resume));
+    }};
+}
+
+ThreadContext::Op
+ThreadContext::compute(std::uint64_t instructions)
+{
+    // 2-issue in-order core: IPC of 2 on compute bursts.
+    const Tick delay = (instructions + 1) / 2;
+    return Op{this, [this, delay](Action resume) {
+        sys_.eventQueue().scheduleAfter(delay > 0 ? delay : 1,
+                                        std::move(resume));
+    }};
+}
+
+ThreadContext::Op
+ThreadContext::barrier(unsigned id, Pc sid)
+{
+    return Op{this, [this, id, sid](Action resume) {
+        SyncManager &mgr = sys_.syncManager();
+        // Arrival: write the barrier counter line (contended), then
+        // block; on release read the generation flag written by the
+        // last arriver, then continue into the new epoch.
+        mem(mgr.barrierAddr(id), true, layout::syncPcBase + id,
+            [this, id, sid, resume = std::move(resume)]() {
+                SyncManager &m = sys_.syncManager();
+                m.barrierArrive(core_, id, n_threads_, sid,
+                    [this, id, resume = std::move(resume)]() {
+                        SyncManager &mm = sys_.syncManager();
+                        mem(mm.barrierGenAddr(id), false,
+                            layout::syncPcBase + 0x1000 + id,
+                            std::move(resume));
+                    });
+            });
+    }};
+}
+
+ThreadContext::Op
+ThreadContext::lock(unsigned id)
+{
+    return Op{this, [this, id](Action resume) {
+        SyncManager &mgr = sys_.syncManager();
+        mgr.lockAcquire(core_, id,
+            [this, id, resume = std::move(resume)]() {
+                // Lock-word read-modify-write: communicates with the
+                // previous holder (migratory pattern).
+                mem(sys_.syncManager().lockAddr(id), true,
+                    layout::syncPcBase + 0x2000 + id,
+                    std::move(resume));
+            });
+    }};
+}
+
+ThreadContext::Op
+ThreadContext::unlock(unsigned id)
+{
+    return Op{this, [this, id](Action resume) {
+        // Release store on the lock word, then hand the lock over.
+        mem(sys_.syncManager().lockAddr(id), true,
+            layout::syncPcBase + 0x3000 + id,
+            [this, id, resume = std::move(resume)]() {
+                sys_.syncManager().lockRelease(core_, id);
+                resume();
+            });
+    }};
+}
+
+ThreadContext::Op
+ThreadContext::condWait(unsigned id, Pc sid)
+{
+    return Op{this, [this, id, sid](Action resume) {
+        sys_.syncManager().condWait(core_, id, sid,
+            [this, id, resume = std::move(resume)]() {
+                // Read the state the signaller published.
+                mem(sys_.syncManager().condAddr(id), false,
+                    layout::syncPcBase + 0x4000 + id,
+                    std::move(resume));
+            });
+    }};
+}
+
+ThreadContext::Op
+ThreadContext::condSignal(unsigned id, Pc sid)
+{
+    return Op{this, [this, id, sid](Action resume) {
+        mem(sys_.syncManager().condAddr(id), true,
+            layout::syncPcBase + 0x5000 + id,
+            [this, id, sid, resume = std::move(resume)]() {
+                sys_.syncManager().condSignal(core_, id, sid);
+                resume();
+            });
+    }};
+}
+
+ThreadContext::Op
+ThreadContext::condBroadcast(unsigned id, Pc sid)
+{
+    return Op{this, [this, id, sid](Action resume) {
+        mem(sys_.syncManager().condAddr(id), true,
+            layout::syncPcBase + 0x6000 + id,
+            [this, id, sid, resume = std::move(resume)]() {
+                sys_.syncManager().condBroadcast(core_, id, sid);
+                resume();
+            });
+    }};
+}
+
+ThreadContext::Op
+ThreadContext::semPost(unsigned id, Pc sid)
+{
+    return Op{this, [this, id, sid](Action resume) {
+        // Publish the produced state, then post the token.
+        mem(sys_.syncManager().condAddr(id), true,
+            layout::syncPcBase + 0x7000 + id,
+            [this, id, sid, resume = std::move(resume)]() {
+                sys_.syncManager().semPost(core_, id, sid);
+                resume();
+            });
+    }};
+}
+
+ThreadContext::Op
+ThreadContext::semWait(unsigned id, Pc sid)
+{
+    return Op{this, [this, id, sid](Action resume) {
+        sys_.syncManager().semWait(core_, id, sid,
+            [this, id, resume = std::move(resume)]() {
+                // Consume: read the state the producer published.
+                mem(sys_.syncManager().condAddr(id), false,
+                    layout::syncPcBase + 0x8000 + id,
+                    std::move(resume));
+            });
+    }};
+}
+
+ThreadContext::Op
+ThreadContext::join(Pc sid)
+{
+    return Op{this, [this, sid](Action resume) {
+        sys_.syncManager().joinAll(core_, sid, std::move(resume));
+    }};
+}
+
+} // namespace spp

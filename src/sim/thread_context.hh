@@ -1,0 +1,120 @@
+/**
+ * @file
+ * Per-thread simulation context: the API workload programs run
+ * against.
+ *
+ * A ThreadContext pins one logical thread to one core (the paper's
+ * first-touch binding) and exposes awaitable operations: memory
+ * accesses, compute delays, and synchronization primitives. Sync
+ * primitives model their own coherence traffic (barrier arrival
+ * writes, lock-word read-modify-writes, condition flag reads), so
+ * synchronization costs flow through the same cache/NoC path as data.
+ */
+
+#ifndef SPP_SIM_THREAD_CONTEXT_HH
+#define SPP_SIM_THREAD_CONTEXT_HH
+
+#include <coroutine>
+#include <functional>
+
+#include "coherence/mem_sys.hh"
+#include "common/rng.hh"
+#include "common/types.hh"
+#include "sync/sync_manager.hh"
+
+namespace spp {
+
+class CmpSystem;
+
+/** Shared-memory layout constants used by workloads. */
+namespace layout {
+/** Base of the synchronization-variable region. */
+inline constexpr Addr syncBase = 0x0000'0000;
+/** Base of the shared data region. */
+inline constexpr Addr sharedBase = 0x1000'0000;
+/** Base of core 0's private region; one privateStride per core. */
+inline constexpr Addr privateBase = 0x8000'0000;
+inline constexpr Addr privateStride = 0x0100'0000;
+/** Synthetic PCs for sync-primitive memory operations. */
+inline constexpr Pc syncPcBase = 0xff00'0000;
+} // namespace layout
+
+/**
+ * The per-thread execution context.
+ */
+class ThreadContext
+{
+  public:
+    using Action = std::function<void()>;
+
+    ThreadContext(CmpSystem &sys, CoreId core, unsigned n_threads,
+                  std::uint64_t seed);
+
+    CoreId self() const { return core_; }
+    unsigned numThreads() const { return n_threads_; }
+    Rng &rng() { return rng_; }
+
+    /** Address of shared line #@p index. */
+    Addr shared(std::uint64_t index) const;
+    /** Address of this thread's private line #@p index. */
+    Addr priv(std::uint64_t index) const;
+    /** Address of thread @p t's private line #@p index (sharing). */
+    Addr privOf(CoreId t, std::uint64_t index) const;
+
+    /** Awaitable wrapper around a callback-style operation. */
+    struct Op
+    {
+        ThreadContext *tc;
+        std::function<void(Action)> fn;
+
+        bool await_ready() const noexcept { return false; }
+
+        void
+        await_suspend(std::coroutine_handle<> h)
+        {
+            fn([h]() { h.resume(); });
+        }
+
+        AccessOutcome await_resume() const { return tc->last_outcome_; }
+    };
+
+    /** Load from @p addr attributed to static instruction @p pc. */
+    Op read(Addr addr, Pc pc);
+    /** Store to @p addr attributed to static instruction @p pc. */
+    Op write(Addr addr, Pc pc);
+    /** Execute @p instructions of local compute (2-issue core). */
+    Op compute(std::uint64_t instructions);
+
+    /** Global barrier across all threads; @p sid is the call site. */
+    Op barrier(unsigned id, Pc sid);
+    /** Acquire lock @p id (critical section begins). */
+    Op lock(unsigned id);
+    /** Release lock @p id (critical section ends). */
+    Op unlock(unsigned id);
+    /** Wait on condition @p id until signalled. */
+    Op condWait(unsigned id, Pc sid);
+    /** Signal one waiter of condition @p id. */
+    Op condSignal(unsigned id, Pc sid);
+    /** Wake all waiters of condition @p id. */
+    Op condBroadcast(unsigned id, Pc sid);
+    /** Semaphore post: wake a waiter or bank a token. */
+    Op semPost(unsigned id, Pc sid);
+    /** Semaphore wait: proceed immediately if a token is banked. */
+    Op semWait(unsigned id, Pc sid);
+    /** Wait for all other threads to finish. */
+    Op join(Pc sid);
+
+    /** Callback-style memory access (used by the Op wrappers). */
+    void mem(Addr addr, bool is_write, Pc pc, Action done);
+
+  private:
+    CmpSystem &sys_;
+    CoreId core_;
+    unsigned n_threads_;
+    Rng rng_;
+    AccessOutcome last_outcome_;
+};
+
+} // namespace spp
+
+#endif // SPP_SIM_THREAD_CONTEXT_HH

@@ -1,0 +1,246 @@
+#include "sync/sync_manager.hh"
+
+#include "common/logging.hh"
+
+namespace spp {
+
+const char *
+toString(SyncType t)
+{
+    switch (t) {
+      case SyncType::threadStart:   return "start";
+      case SyncType::barrier:       return "barrier";
+      case SyncType::lock:          return "lock";
+      case SyncType::unlock:        return "unlock";
+      case SyncType::join:          return "join";
+      case SyncType::wakeup:        return "wakeup";
+      case SyncType::broadcastWake: return "broadcast";
+    }
+    return "?";
+}
+
+SyncManager::SyncManager(const Config &cfg, EventQueue &eq,
+                         Addr sync_base)
+    : cfg_(cfg), eq_(eq), sync_base_(sync_base)
+{
+    dyn_counts_.resize(cfg.numCores);
+}
+
+// Synchronization variables live in distinct cache lines within a
+// dedicated region: [barriers | barrier generations | locks | conds].
+// The region is sized generously; ids are small integers.
+static constexpr unsigned regionSlots = 4096;
+
+Addr
+SyncManager::barrierAddr(unsigned id) const
+{
+    return sync_base_ + static_cast<Addr>(id) * cfg_.lineBytes;
+}
+
+Addr
+SyncManager::barrierGenAddr(unsigned id) const
+{
+    return sync_base_ +
+        (regionSlots + static_cast<Addr>(id)) * cfg_.lineBytes;
+}
+
+Addr
+SyncManager::lockAddr(unsigned id) const
+{
+    return sync_base_ +
+        (2ul * regionSlots + static_cast<Addr>(id)) * cfg_.lineBytes;
+}
+
+Addr
+SyncManager::condAddr(unsigned id) const
+{
+    return sync_base_ +
+        (3ul * regionSlots + static_cast<Addr>(id)) * cfg_.lineBytes;
+}
+
+void
+SyncManager::notify(CoreId core, SyncType type, std::uint64_t static_id,
+                    CoreId prev_holder)
+{
+    ++stats_.syncPoints;
+    SyncPointInfo info;
+    info.type = type;
+    info.staticId = static_id;
+    info.dynamicId = dyn_counts_[core][static_id]++;
+    info.prevHolder = prev_holder;
+    for (SyncListener *l : listeners_)
+        l->onSyncPoint(core, info);
+}
+
+void
+SyncManager::barrierArrive(CoreId core, unsigned id,
+                           unsigned participants,
+                           std::uint64_t static_id, Action on_release)
+{
+    SPP_ASSERT(participants > 0, "barrier with no participants");
+    Barrier &b = barriers_[id];
+    b.staticId = static_id;
+    ++b.arrived;
+    b.waiters.emplace_back(core, std::move(on_release));
+    if (b.arrived < participants)
+        return;
+
+    // Last arriver: release everyone.
+    ++stats_.barriersReleased;
+    std::vector<std::pair<CoreId, Action>> waiters =
+        std::move(b.waiters);
+    const std::uint64_t sid = b.staticId;
+    barriers_.erase(id);
+    for (auto &[c, action] : waiters) {
+        notify(c, SyncType::barrier, sid);
+        eq_.scheduleAfter(0, std::move(action));
+    }
+}
+
+void
+SyncManager::grantLock(CoreId core, unsigned id, Action on_granted)
+{
+    Lock &l = locks_[id];
+    l.held = true;
+    l.holder = core;
+    ++stats_.lockAcquisitions;
+    notify(core, SyncType::lock, lockAddr(id), l.lastReleaser);
+    eq_.scheduleAfter(0, std::move(on_granted));
+}
+
+void
+SyncManager::lockAcquire(CoreId core, unsigned id, Action on_granted)
+{
+    Lock &l = locks_[id];
+    if (!l.held) {
+        grantLock(core, id, std::move(on_granted));
+        return;
+    }
+    ++stats_.lockContended;
+    l.waiters.emplace_back(core, std::move(on_granted));
+}
+
+void
+SyncManager::lockRelease(CoreId core, unsigned id)
+{
+    Lock &l = locks_[id];
+    SPP_ASSERT(l.held && l.holder == core,
+               "core {} released lock {} it does not hold", core, id);
+    l.held = false;
+    l.holder = invalidCore;
+    l.lastReleaser = core;
+    notify(core, SyncType::unlock, lockAddr(id));
+    if (!l.waiters.empty()) {
+        auto [next, action] = std::move(l.waiters.front());
+        l.waiters.pop_front();
+        grantLock(next, id, std::move(action));
+    }
+}
+
+void
+SyncManager::condWait(CoreId core, unsigned id, std::uint64_t static_id,
+                      Action on_wake)
+{
+    conds_[id].waiters.emplace_back(
+        core, std::make_pair(static_id, std::move(on_wake)));
+}
+
+void
+SyncManager::condSignal(CoreId core, unsigned id,
+                        std::uint64_t static_id)
+{
+    notify(core, SyncType::wakeup, static_id);
+    Cond &cv = conds_[id];
+    if (cv.waiters.empty())
+        return;
+    ++stats_.wakeups;
+    auto [waiter, sid_action] = std::move(cv.waiters.front());
+    cv.waiters.pop_front();
+    notify(waiter, SyncType::wakeup, sid_action.first);
+    eq_.scheduleAfter(0, std::move(sid_action.second));
+}
+
+void
+SyncManager::condBroadcast(CoreId core, unsigned id,
+                           std::uint64_t static_id)
+{
+    notify(core, SyncType::broadcastWake, static_id);
+    Cond &cv = conds_[id];
+    auto waiters = std::move(cv.waiters);
+    cv.waiters.clear();
+    for (auto &[waiter, sid_action] : waiters) {
+        ++stats_.wakeups;
+        notify(waiter, SyncType::broadcastWake, sid_action.first);
+        eq_.scheduleAfter(0, std::move(sid_action.second));
+    }
+}
+
+void
+SyncManager::semPost(CoreId core, unsigned id, std::uint64_t static_id)
+{
+    notify(core, SyncType::wakeup, static_id);
+    Sem &s = sems_[id];
+    if (s.waiters.empty()) {
+        ++s.tokens;
+        return;
+    }
+    ++stats_.wakeups;
+    auto [waiter, sid_action] = std::move(s.waiters.front());
+    s.waiters.pop_front();
+    notify(waiter, SyncType::wakeup, sid_action.first);
+    eq_.scheduleAfter(0, std::move(sid_action.second));
+}
+
+void
+SyncManager::semWait(CoreId core, unsigned id, std::uint64_t static_id,
+                     Action on_wake)
+{
+    Sem &s = sems_[id];
+    if (s.tokens > 0) {
+        --s.tokens;
+        notify(core, SyncType::wakeup, static_id);
+        eq_.scheduleAfter(0, std::move(on_wake));
+        return;
+    }
+    s.waiters.emplace_back(
+        core, std::make_pair(static_id, std::move(on_wake)));
+}
+
+void
+SyncManager::threadDone(CoreId core)
+{
+    (void)core;
+    ++done_count_;
+    // Joiners proceed once every *other* thread has finished.
+    if (done_count_ + 1 < cfg_.numCores)
+        return;
+    auto joiners = std::move(joiners_);
+    joiners_.clear();
+    for (auto &[c, sid_action] : joiners) {
+        notify(c, SyncType::join, sid_action.first);
+        eq_.scheduleAfter(0, std::move(sid_action.second));
+    }
+}
+
+void
+SyncManager::joinAll(CoreId core, std::uint64_t static_id,
+                     Action on_all_done)
+{
+    // "All threads" means all *other* threads; the caller still runs.
+    if (done_count_ >= cfg_.numCores - 1) {
+        notify(core, SyncType::join, static_id);
+        eq_.scheduleAfter(0, std::move(on_all_done));
+        return;
+    }
+    joiners_.emplace_back(
+        core, std::make_pair(static_id, std::move(on_all_done)));
+}
+
+CoreId
+SyncManager::lastReleaser(unsigned id) const
+{
+    auto it = locks_.find(id);
+    return it == locks_.end() ? invalidCore : it->second.lastReleaser;
+}
+
+} // namespace spp

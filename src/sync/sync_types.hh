@@ -1,0 +1,65 @@
+/**
+ * @file
+ * Synchronization point taxonomy (Section 3.1).
+ *
+ * A sync-point is the execution point at which a synchronization
+ * routine is invoked. It has a type, a static ID (call site PC, or
+ * the lock address for lock/unlock) and a dynamic ID (how many times
+ * this static sync-point has executed on this core). A sync-epoch is
+ * the interval between two consecutive sync-points and is named by
+ * its *beginning* sync-point.
+ */
+
+#ifndef SPP_SYNC_SYNC_TYPES_HH
+#define SPP_SYNC_SYNC_TYPES_HH
+
+#include <cstdint>
+
+#include "common/types.hh"
+
+namespace spp {
+
+enum class SyncType : std::uint8_t
+{
+    threadStart,    ///< Implicit first sync-point of each thread.
+    barrier,
+    lock,           ///< Lock acquired: a critical section begins.
+    unlock,         ///< Lock released: the critical section ends.
+    join,
+    wakeup,         ///< Condition signal (one waiter).
+    broadcastWake,  ///< Condition broadcast (all waiters).
+};
+
+const char *toString(SyncType t);
+
+/** Everything a listener learns when a sync-point fires. */
+struct SyncPointInfo
+{
+    SyncType type = SyncType::threadStart;
+    /** Call-site PC, or lock address for lock/unlock types. */
+    std::uint64_t staticId = 0;
+    /** Occurrence count of this static sync-point on this core. */
+    std::uint64_t dynamicId = 0;
+    /** lock type: the core that released the lock last (or invalid). */
+    CoreId prevHolder = invalidCore;
+};
+
+/** True if an epoch beginning at this sync-point is a critical
+ * section. */
+constexpr bool
+beginsCriticalSection(SyncType t)
+{
+    return t == SyncType::lock;
+}
+
+/** Observer of sync-points (SP-predictor, trace collectors, ...). */
+class SyncListener
+{
+  public:
+    virtual ~SyncListener() = default;
+    virtual void onSyncPoint(CoreId core, const SyncPointInfo &info) = 0;
+};
+
+} // namespace spp
+
+#endif // SPP_SYNC_SYNC_TYPES_HH

@@ -1,0 +1,354 @@
+/**
+ * @file
+ * PARSEC workload generators (see workload.hh for the modeling
+ * philosophy). Communication structure follows Bienia et al.
+ * (PACT'08) and Barrow-Williams et al. (IISWC'09).
+ */
+
+#include "workload/parsec.hh"
+
+#include "workload/patterns.hh"
+
+namespace spp {
+namespace wl {
+
+namespace {
+
+Task
+initPartition(ThreadContext &ctx, Pc pc, unsigned lines = 256)
+{
+    for (unsigned i = 0; i < lines; ++i) {
+        co_await ctx.write(partAddr(ctx, ctx.self(), i), pc);
+        co_await ctx.compute(2);
+    }
+}
+
+} // namespace
+
+// ---------------------------------------------------------------------
+// bodytrack: per-frame particle-filter phases. Each phase has its own
+// stable producer mapping, so hot sets are stable across dynamic
+// instances of a static epoch but differ between epochs (Figure 2).
+// ---------------------------------------------------------------------
+Task
+bodytrack(ThreadContext &ctx, const WorkloadParams &p)
+{
+    constexpr Pc pc = 0xa0000;
+    const CoreId t = ctx.self();
+    const unsigned n = ctx.numThreads();
+    std::uint64_t priv_cursor = 0;
+
+    co_await initPartition(ctx, pc + 0);
+    co_await ctx.barrier(0, pc + 1);
+
+    const unsigned frames = p.iters(12);
+    for (unsigned f = 0; f < frames; ++f) {
+        const std::uint64_t off = (f % 4) * 72;
+
+        // Phase 1: edge maps from a fixed camera owner (core 0 reads
+        // core 5, etc., as in the paper's Figure 2 example).
+        const CoreId cam = static_cast<CoreId>((t * 5 + 5) % n);
+        co_await writeOwn(ctx, off, 24, pc + 2);
+        co_await ctx.barrier(1, pc + 3);
+        co_await readFrom(ctx, cam, off, 26, pc + 4);
+        co_await streamPrivate(ctx, priv_cursor, 16, 0.3, pc + 5);
+
+        // Phase 2: particle weights from a different stable mapping.
+        const CoreId peer = static_cast<CoreId>((t + 8) % n);
+        co_await ctx.barrier(2, pc + 6);
+        co_await readFrom(ctx, peer, off, 20, pc + 7);
+        co_await writeOwn(ctx, off + 24, 14, pc + 8);
+
+        // Phase 3: resampling with a touch of randomness and one
+        // of four per-layer work-queue locks.
+        co_await ctx.barrier(3, pc + 9);
+        const unsigned l = f % 4;
+        co_await ctx.lock(l);
+        co_await touchLockRegion(ctx, l, 3, 0.5, pc + 10);
+        co_await ctx.unlock(l);
+        co_await touchRandomShared(ctx, 6, 0.2, pc + 11);
+        co_await streamPrivate(ctx, priv_cursor, 12, 0.4, pc + 12);
+
+        // Annealing layers alternate two extra phase sites.
+        if (f % 2 == 1) {
+            co_await ctx.barrier(5 + (f / 2) % 2, pc + 15 + (f / 2) % 2);
+            co_await readFrom(ctx, cam, off + 40, 8, pc + 17);
+        }
+    }
+    co_await ctx.barrier(4, pc + 13);
+    if (t == 0)
+        co_await ctx.join(pc + 14);
+}
+
+// ---------------------------------------------------------------------
+// fluidanimate: grid of fluid cells on the 4x4 tile layout;
+// boundary exchanges with 2D neighbours under fine-grain locks.
+// ---------------------------------------------------------------------
+Task
+fluidanimate(ThreadContext &ctx, const WorkloadParams &p)
+{
+    constexpr Pc pc = 0xb0000;
+    const CoreId t = ctx.self();
+    const unsigned n = ctx.numThreads();
+    std::uint64_t priv_cursor = 0;
+
+    co_await initPartition(ctx, pc + 0);
+    co_await ctx.barrier(0, pc + 1);
+
+    const unsigned frames = p.iters(10);
+    for (unsigned f = 0; f < frames; ++f) {
+        const std::uint64_t off = (f % 4) * 64;
+        const CoreId right = (t + 1) % n;
+        const CoreId below = (t + 4) % n;
+
+        // Density pass: read 2D-neighbour boundary cells.
+        co_await readFrom(ctx, right, off, 9, pc + 2);
+        co_await readFrom(ctx, below, off, 9, pc + 3);
+        co_await writeOwn(ctx, off, 12, pc + 4);
+        co_await ctx.barrier(1, pc + 5);
+
+        // Force pass: update boundary cells under per-border locks.
+        for (unsigned b = 0; b < 2; ++b) {
+            const unsigned l = (t + b * 4) % 8;
+            const CoreId nb = b == 0 ? right : below;
+            co_await ctx.lock(l);
+            co_await ctx.write(partAddr(ctx, nb, off + b), pc + 6);
+            co_await ctx.write(partAddr(ctx, t, off + b), pc + 7);
+            co_await ctx.unlock(l);
+        }
+        co_await streamPrivate(ctx, priv_cursor, 8, 0.4, pc + 8);
+        co_await ctx.barrier(2, pc + 9);
+
+        // Position integration: own cells only.
+        co_await writeOwn(ctx, off + 16, 16, pc + 10);
+        co_await ctx.barrier(3, pc + 11);
+    }
+    if (t == 0)
+        co_await ctx.join(pc + 12);
+}
+
+// ---------------------------------------------------------------------
+// streamcluster: repeated clustering passes whose gather target
+// alternates between two mappings -> stride-2 repetitive hot sets,
+// the pattern-based prediction showcase.
+// ---------------------------------------------------------------------
+Task
+streamcluster(ThreadContext &ctx, const WorkloadParams &p)
+{
+    constexpr Pc pc = 0xc0000;
+    const CoreId t = ctx.self();
+    const unsigned n = ctx.numThreads();
+    std::uint64_t priv_cursor = 0;
+
+    co_await initPartition(ctx, pc + 0);
+    co_await ctx.barrier(0, pc + 1);
+
+    const unsigned iters = p.iters(80);
+    for (unsigned it = 0; it < iters; ++it) {
+        // The candidate-centre owner alternates between two mappings
+        // on successive iterations (stride-2 dynamic pattern).
+        const CoreId center = it % 2 == 0
+            ? static_cast<CoreId>((t + 1) % n)
+            : static_cast<CoreId>((t + 8) % n);
+        const std::uint64_t off = (it % 4) * 48;
+
+        co_await writeOwn(ctx, off, 14, pc + 2);
+        co_await ctx.barrier(1, pc + 3);
+        co_await readFrom(ctx, center, off, 24, pc + 4);
+        co_await streamPrivate(ctx, priv_cursor, 2, 0.3, pc + 5);
+        co_await ctx.barrier(2, pc + 6);
+    }
+    if (t == 0)
+        co_await ctx.join(pc + 7);
+}
+
+// ---------------------------------------------------------------------
+// vips: image pipeline over strips; each worker consumes the strip
+// its predecessor produced. Stable chain-neighbour communication.
+// ---------------------------------------------------------------------
+Task
+vips(ThreadContext &ctx, const WorkloadParams &p)
+{
+    constexpr Pc pc = 0xd0000;
+    const CoreId t = ctx.self();
+    const unsigned n = ctx.numThreads();
+    const CoreId prev = (t + n - 1) % n;
+    std::uint64_t priv_cursor = 0;
+
+    co_await initPartition(ctx, pc + 0);
+    co_await ctx.barrier(0, pc + 1);
+
+    const unsigned strips = p.iters(22);
+    for (unsigned s = 0; s < strips; ++s) {
+        const std::uint64_t off = (s % 8) * 40;
+        // Produce this stage's output strip.
+        co_await writeOwn(ctx, off, 20, pc + 2);
+        co_await streamPrivate(ctx, priv_cursor, 18, 0.35, pc + 3);
+        co_await ctx.barrier(1, pc + 4);
+        // Consume the predecessor stage's strip.
+        co_await readFrom(ctx, prev, off, 20, pc + 5);
+        // Region-buffer bookkeeping under one of six stripe locks.
+        if (s % 2 == 0) {
+            const unsigned l = (t + s) % 6;
+            co_await ctx.lock(l);
+            co_await touchLockRegion(ctx, l, 2, 0.5, pc + 9);
+            co_await ctx.unlock(l);
+        }
+        if (s % 8 == 7)
+            co_await ctx.barrier(2, pc + 6);
+    }
+    co_await ctx.barrier(3, pc + 7);
+    if (t == 0)
+        co_await ctx.join(pc + 8);
+}
+
+// ---------------------------------------------------------------------
+// facesim: iterative FEM solver; 2D-neighbour stencil with one
+// barrier per sweep; few static but many dynamic epochs.
+// ---------------------------------------------------------------------
+Task
+facesim(ThreadContext &ctx, const WorkloadParams &p)
+{
+    constexpr Pc pc = 0xe0000;
+    const CoreId t = ctx.self();
+    const unsigned n = ctx.numThreads();
+    std::uint64_t priv_cursor = 0;
+
+    co_await initPartition(ctx, pc + 0);
+    co_await ctx.barrier(0, pc + 1);
+
+    const unsigned sweeps = p.iters(32);
+    for (unsigned s = 0; s < sweeps; ++s) {
+        const std::uint64_t off = (s % 6) * 40;
+        co_await writeOwn(ctx, off, 16, pc + 2);
+        co_await ctx.barrier(1, pc + 3);
+        co_await readFrom(ctx, (t + 1) % n, off, 9, pc + 4);
+        co_await readFrom(ctx, (t + 4) % n, off, 9, pc + 5);
+        co_await streamPrivate(ctx, priv_cursor, 10, 0.4, pc + 6);
+    }
+    co_await ctx.barrier(2, pc + 7);
+    if (t == 0)
+        co_await ctx.join(pc + 8);
+}
+
+// ---------------------------------------------------------------------
+// ferret: similarity-search pipeline arranged as a worker chain with
+// coarse, batch-granularity hand-offs (few, long epochs).
+// ---------------------------------------------------------------------
+Task
+ferret(ThreadContext &ctx, const WorkloadParams &p)
+{
+    constexpr Pc pc = 0xf0000;
+    const CoreId t = ctx.self();
+    const unsigned n = ctx.numThreads();
+    std::uint64_t priv_cursor = 0;
+
+    co_await initPartition(ctx, pc + 0);
+    co_await ctx.barrier(0, pc + 1);
+
+    const unsigned batches = p.iters(10);
+    for (unsigned b = 0; b < batches; ++b) {
+        const std::uint64_t off = (b % 4) * 96;
+        if (t != 0) {
+            // Wait for the upstream stage's batch.
+            co_await ctx.semWait(t, pc + 2);
+            co_await readFrom(ctx, t - 1, off, 28, pc + 3);
+        } else {
+            // Input stage: load a segment of images (off-chip).
+            co_await streamPrivate(ctx, priv_cursor, 18, 0.2, pc + 4);
+        }
+
+        // Rank candidates against the database under a table lock.
+        co_await ctx.lock(t % 4);
+        co_await touchLockRegion(ctx, t % 4, 5, 0.35, pc + 5);
+        co_await ctx.unlock(t % 4);
+
+        co_await writeOwn(ctx, off, 28, pc + 6);
+        co_await streamPrivate(ctx, priv_cursor, 8, 0.3, pc + 7);
+        if (t + 1 < n)
+            co_await ctx.semPost(t + 1, pc + 8);
+    }
+    co_await ctx.barrier(1, pc + 9);
+    if (t == 0)
+        co_await ctx.join(pc + 10);
+}
+
+// ---------------------------------------------------------------------
+// dedup: deduplication pipeline with a lock-protected global hash
+// table (migratory random sharing) on top of the worker chain.
+// ---------------------------------------------------------------------
+Task
+dedup(ThreadContext &ctx, const WorkloadParams &p)
+{
+    constexpr Pc pc = 0x100000;
+    const CoreId t = ctx.self();
+    const unsigned n = ctx.numThreads();
+    std::uint64_t priv_cursor = 0;
+
+    co_await initPartition(ctx, pc + 0);
+    co_await ctx.barrier(0, pc + 1);
+
+    const unsigned chunks = p.iters(24);
+    for (unsigned c = 0; c < chunks; ++c) {
+        const std::uint64_t off = (c % 6) * 56;
+        if (t != 0) {
+            co_await ctx.semWait(t, pc + 2);
+            co_await readFrom(ctx, t - 1, off, 12, pc + 3);
+        } else {
+            co_await streamPrivate(ctx, priv_cursor, 10, 0.3, pc + 4);
+        }
+
+        // Hash-table probe/insert under one of three bucket locks.
+        const unsigned l = (t + c) % 3;
+        co_await ctx.lock(l);
+        co_await touchLockRegion(ctx, l, 5, 0.55, pc + 5);
+        co_await ctx.unlock(l);
+
+        co_await writeOwn(ctx, off, 12, pc + 6);
+        co_await streamPrivate(ctx, priv_cursor, 4, 0.3, pc + 7);
+        if (t + 1 < n)
+            co_await ctx.semPost(t + 1, pc + 8);
+    }
+    co_await ctx.barrier(1, pc + 9);
+    if (t == 0)
+        co_await ctx.join(pc + 10);
+}
+
+// ---------------------------------------------------------------------
+// x264: wavefront-parallel encoder. Thread t consumes the row its
+// predecessor finished (semaphore hand-off), giving an almost pure,
+// highly-communicating neighbour chain with very few static
+// sync-points.
+// ---------------------------------------------------------------------
+Task
+x264(ThreadContext &ctx, const WorkloadParams &p)
+{
+    constexpr Pc pc = 0x110000;
+    const CoreId t = ctx.self();
+    const unsigned n = ctx.numThreads();
+    std::uint64_t priv_cursor = 0;
+
+    co_await initPartition(ctx, pc + 0, 128);
+    co_await ctx.barrier(0, pc + 1);
+
+    const unsigned frames = p.iters(16);
+    for (unsigned f = 0; f < frames; ++f) {
+        const std::uint64_t off = (f % 4) * 64;
+        if (t != 0) {
+            // Wait until the row above has advanced far enough.
+            co_await ctx.semWait(t, pc + 2);
+            co_await readFrom(ctx, t - 1, off, 26, pc + 3);
+        }
+        // Encode own macroblock row.
+        co_await writeOwn(ctx, off, 26, pc + 4);
+        co_await streamPrivate(ctx, priv_cursor, 2, 0.3, pc + 5);
+        if (t + 1 < n)
+            co_await ctx.semPost(t + 1, pc + 6);
+    }
+    co_await ctx.barrier(1, pc + 7);
+    if (t == 0)
+        co_await ctx.join(pc + 8);
+}
+
+} // namespace wl
+} // namespace spp

@@ -1,0 +1,26 @@
+/**
+ * @file
+ * PARSEC workload generator declarations.
+ */
+
+#ifndef SPP_WORKLOAD_PARSEC_HH
+#define SPP_WORKLOAD_PARSEC_HH
+
+#include "workload/workload.hh"
+
+namespace spp {
+namespace wl {
+
+Task bodytrack(ThreadContext &ctx, const WorkloadParams &p);
+Task fluidanimate(ThreadContext &ctx, const WorkloadParams &p);
+Task streamcluster(ThreadContext &ctx, const WorkloadParams &p);
+Task vips(ThreadContext &ctx, const WorkloadParams &p);
+Task facesim(ThreadContext &ctx, const WorkloadParams &p);
+Task ferret(ThreadContext &ctx, const WorkloadParams &p);
+Task dedup(ThreadContext &ctx, const WorkloadParams &p);
+Task x264(ThreadContext &ctx, const WorkloadParams &p);
+
+} // namespace wl
+} // namespace spp
+
+#endif // SPP_WORKLOAD_PARSEC_HH

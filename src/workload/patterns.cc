@@ -1,0 +1,105 @@
+#include "workload/patterns.hh"
+
+namespace spp {
+namespace wl {
+
+Task
+readFrom(ThreadContext &ctx, CoreId owner, std::uint64_t start,
+         unsigned n, Pc pc)
+{
+    for (unsigned i = 0; i < n; ++i) {
+        co_await ctx.read(partAddr(ctx, owner, start + i), pc);
+        co_await ctx.compute(6);
+    }
+}
+
+Task
+writeOwn(ThreadContext &ctx, std::uint64_t start, unsigned n, Pc pc)
+{
+    for (unsigned i = 0; i < n; ++i) {
+        co_await ctx.write(partAddr(ctx, ctx.self(), start + i), pc);
+        co_await ctx.compute(6);
+    }
+}
+
+Task
+streamPrivate(ThreadContext &ctx, std::uint64_t &cursor, unsigned n,
+              double write_frac, Pc pc)
+{
+    for (unsigned i = 0; i < n; ++i) {
+        const Addr a = ctx.priv(cursor++);
+        if (ctx.rng().chance(write_frac))
+            co_await ctx.write(a, pc);
+        else
+            co_await ctx.read(a, pc);
+        co_await ctx.compute(4);
+    }
+}
+
+Task
+touchRandomShared(ThreadContext &ctx, unsigned n, double write_frac,
+                  Pc pc)
+{
+    const std::uint64_t total =
+        static_cast<std::uint64_t>(ctx.numThreads()) * kPartLines;
+    for (unsigned i = 0; i < n; ++i) {
+        const Addr a = ctx.shared(ctx.rng().below(total));
+        if (ctx.rng().chance(write_frac))
+            co_await ctx.write(a, pc);
+        else
+            co_await ctx.read(a, pc);
+        co_await ctx.compute(8);
+    }
+}
+
+Task
+touchLockRegion(ThreadContext &ctx, unsigned lock_id, unsigned n,
+                double write_frac, Pc pc)
+{
+    // Lock-protected regions live past the per-thread partitions.
+    const std::uint64_t base =
+        static_cast<std::uint64_t>(ctx.numThreads()) * kPartLines +
+        static_cast<std::uint64_t>(lock_id) * 64;
+    for (unsigned i = 0; i < n; ++i) {
+        const Addr a = ctx.shared(base + i % 64);
+        if (ctx.rng().chance(write_frac))
+            co_await ctx.write(a, pc);
+        else
+            co_await ctx.read(a, pc);
+        co_await ctx.compute(6);
+    }
+}
+
+Task
+touchSkewedShared(ThreadContext &ctx, CoreId hot_owner, double focus,
+                  unsigned n, double write_frac, Pc pc)
+{
+    const std::uint64_t total =
+        static_cast<std::uint64_t>(ctx.numThreads()) * kPartLines;
+    for (unsigned i = 0; i < n; ++i) {
+        Addr a;
+        if (ctx.rng().chance(focus)) {
+            a = partAddr(ctx, hot_owner, ctx.rng().below(256));
+        } else {
+            a = ctx.shared(ctx.rng().below(total));
+        }
+        if (ctx.rng().chance(write_frac))
+            co_await ctx.write(a, pc);
+        else
+            co_await ctx.read(a, pc);
+        co_await ctx.compute(8);
+    }
+}
+
+Task
+readRandomFrom(ThreadContext &ctx, CoreId owner, unsigned n, Pc pc)
+{
+    for (unsigned i = 0; i < n; ++i) {
+        const std::uint64_t line = ctx.rng().below(kPartLines);
+        co_await ctx.read(partAddr(ctx, owner, line), pc);
+        co_await ctx.compute(6);
+    }
+}
+
+} // namespace wl
+} // namespace spp

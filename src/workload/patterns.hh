@@ -1,0 +1,96 @@
+/**
+ * @file
+ * Reusable access-pattern subroutines for workload generators.
+ *
+ * The shared region is partitioned by thread: partition t holds
+ * kPartLines cache lines that thread t owns (first-touches and
+ * rewrites); other threads reading partition t communicate with t.
+ * Private regions model thread-local data whose misses go to memory
+ * (non-communicating).
+ */
+
+#ifndef SPP_WORKLOAD_PATTERNS_HH
+#define SPP_WORKLOAD_PATTERNS_HH
+
+#include "sim/task.hh"
+#include "sim/thread_context.hh"
+
+namespace spp {
+namespace wl {
+
+/** Lines per thread partition of the shared region. */
+inline constexpr std::uint64_t kPartLines = 2048;
+
+/** Shared-region line index of partition @p t, line @p i. */
+inline std::uint64_t
+partLine(CoreId t, std::uint64_t i)
+{
+    return static_cast<std::uint64_t>(t) * kPartLines +
+        (i % kPartLines);
+}
+
+/** Address of line @p i of thread @p t's shared partition. */
+inline Addr
+partAddr(ThreadContext &ctx, CoreId t, std::uint64_t i)
+{
+    return ctx.shared(partLine(t, i));
+}
+
+/**
+ * Read @p n consecutive lines of @p owner's partition starting at
+ * @p start; models consuming data @p owner produced.
+ */
+Task readFrom(ThreadContext &ctx, CoreId owner, std::uint64_t start,
+              unsigned n, Pc pc);
+
+/**
+ * Write @p n consecutive lines of the caller's own partition starting
+ * at @p start; models producing data (invalidates remote readers).
+ */
+Task writeOwn(ThreadContext &ctx, std::uint64_t start, unsigned n,
+              Pc pc);
+
+/**
+ * Stream @p n lines of private data (cursor advances; cold misses go
+ * to memory). @p write_frac of the accesses are stores.
+ */
+Task streamPrivate(ThreadContext &ctx, std::uint64_t &cursor,
+                   unsigned n, double write_frac, Pc pc);
+
+/**
+ * Touch @p n random lines across all partitions; @p write_frac
+ * stores. Models migratory / widely shared data with random targets.
+ */
+Task touchRandomShared(ThreadContext &ctx, unsigned n,
+                       double write_frac, Pc pc);
+
+/**
+ * Read @p n random lines from one specific @p owner partition.
+ */
+Task readRandomFrom(ThreadContext &ctx, CoreId owner, unsigned n,
+                    Pc pc);
+
+/**
+ * Touch @p n lines of the data region protected by lock @p lock_id
+ * (call while holding that lock). Migratory sharing: consecutive
+ * holders touch the same lines, so misses communicate with the
+ * previous holder — exactly the pattern lock-signature prediction
+ * captures.
+ */
+Task touchLockRegion(ThreadContext &ctx, unsigned lock_id, unsigned n,
+                     double write_frac, Pc pc);
+
+/**
+ * Touch @p n lines drawn from a skewed distribution: with probability
+ * @p focus from the partition of @p hot_owner, else uniformly from
+ * the whole shared region. Models irregular applications whose
+ * "random" accesses still exhibit transient owner affinity.
+ */
+Task touchSkewedShared(ThreadContext &ctx, CoreId hot_owner,
+                       double focus, unsigned n, double write_frac,
+                       Pc pc);
+
+} // namespace wl
+} // namespace spp
+
+#endif // SPP_WORKLOAD_PATTERNS_HH

@@ -1,0 +1,48 @@
+#include "workload/workload.hh"
+
+#include "workload/parsec.hh"
+#include "workload/splash.hh"
+
+namespace spp {
+
+const std::vector<WorkloadSpec> &
+workloadRegistry()
+{
+    // Paper reference columns are from Table 1 (per-core averages).
+    static const std::vector<WorkloadSpec> registry = {
+        {"fmm", "splash2", "16K (particles)", 30, 20, 2789, wl::fmm},
+        {"lu", "splash2", "521 (matrix)", 7, 5, 185, wl::lu},
+        {"ocean", "splash2", "258 (grid)", 28, 20, 2685, wl::ocean},
+        {"radiosity", "splash2", "room", 34, 12, 17637,
+         wl::radiosity},
+        {"water-ns", "splash2", "512 (mol.)", 20, 8, 1224,
+         wl::waterNs},
+        {"cholesky", "splash2", "tk15.O", 28, 27, 1998, wl::cholesky},
+        {"fft", "splash2", "256K (points)", 8, 8, 22, wl::fft},
+        {"radix", "splash2", "4M (keys)", 8, 4, 35, wl::radix},
+        {"water-sp", "splash2", "512 (mol.)", 17, 1, 83, wl::waterSp},
+        {"bodytrack", "parsec", "simsmall", 16, 20, 456,
+         wl::bodytrack},
+        {"fluidanimate", "parsec", "simsmall", 11, 20, 8991,
+         wl::fluidanimate},
+        {"streamcluster", "parsec", "simsmall", 1, 24, 11454,
+         wl::streamcluster},
+        {"vips", "parsec", "simsmall", 14, 8, 419, wl::vips},
+        {"facesim", "parsec", "simsmall", 2, 3, 3826, wl::facesim},
+        {"ferret", "parsec", "simsmall", 4, 6, 25, wl::ferret},
+        {"dedup", "parsec", "simsmall", 3, 4, 508, wl::dedup},
+        {"x264", "parsec", "simsmall", 2, 3, 56, wl::x264},
+    };
+    return registry;
+}
+
+const WorkloadSpec *
+findWorkload(const std::string &name)
+{
+    for (const auto &spec : workloadRegistry())
+        if (spec.name == name)
+            return &spec;
+    return nullptr;
+}
+
+} // namespace spp

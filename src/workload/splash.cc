@@ -1,0 +1,428 @@
+/**
+ * @file
+ * SPLASH-2 workload generators (see workload.hh for the modeling
+ * philosophy). Each function is the per-thread program; sharing
+ * structure follows the well-documented communication behaviour of
+ * the original benchmarks (Woo et al., ISCA'95; Barrow-Williams et
+ * al., IISWC'09).
+ */
+
+#include "workload/splash.hh"
+
+#include "workload/patterns.hh"
+
+namespace spp {
+namespace wl {
+
+namespace {
+
+/** Per-thread parallel initialization: first-touch the partition. */
+Task
+initPartition(ThreadContext &ctx, Pc pc, unsigned lines = 256)
+{
+    for (unsigned i = 0; i < lines; ++i) {
+        co_await ctx.write(partAddr(ctx, ctx.self(), i), pc);
+        co_await ctx.compute(2);
+    }
+}
+
+} // namespace
+
+// ---------------------------------------------------------------------
+// fmm: adaptive N-body. Tree-structured exchange: leaf intervals read
+// from the parent's level, inner intervals read from the children
+// (the paper's Section 2 example). Alternating stable hot sets.
+// ---------------------------------------------------------------------
+Task
+fmm(ThreadContext &ctx, const WorkloadParams &p)
+{
+    constexpr Pc pc = 0x10000;
+    const CoreId t = ctx.self();
+    const unsigned n = ctx.numThreads();
+    const CoreId parent = t / 2;
+    const CoreId parent_sib = parent ^ 1u;
+    std::uint64_t priv_cursor = 0;
+
+    co_await initPartition(ctx, pc + 0);
+    co_await ctx.barrier(0, pc + 1);
+
+    const unsigned iters = p.iters(8);
+    for (unsigned it = 0; it < iters; ++it) {
+        const std::uint64_t off = (it % 4) * 96;
+
+        // Build local expansions (produce own data).
+        co_await writeOwn(ctx, off, 40, pc + 2);
+        co_await streamPrivate(ctx, priv_cursor, 32, 0.3, pc + 3);
+        co_await ctx.barrier(1, pc + 4);
+
+        // Interval A: act as a leaf, pull from the parent level.
+        co_await readFrom(ctx, parent, off, 20, pc + 5);
+        co_await readFrom(ctx, parent_sib, off, 14, pc + 6);
+        co_await streamPrivate(ctx, priv_cursor, 20, 0.2, pc + 7);
+        co_await ctx.barrier(2, pc + 8);
+
+        // Interval B: act as an inner node, pull from the children.
+        const CoreId c0 = 2 * t;
+        const CoreId c1 = 2 * t + 1;
+        if (c1 < n) {
+            co_await readFrom(ctx, c0, off, 14, pc + 9);
+            co_await readFrom(ctx, c1, off, 14, pc + 10);
+        } else {
+            co_await streamPrivate(ctx, priv_cursor, 20, 0.2, pc + 11);
+        }
+        co_await writeOwn(ctx, off + 40, 16, pc + 12);
+        co_await ctx.barrier(3, pc + 13);
+
+        // Occasional cost-zone rebalancing under one of eight
+        // partition locks, plus a periodic tree-rebuild phase.
+        if (it % 3 == 0) {
+            const unsigned l = (t + it) % 8;
+            co_await ctx.lock(l);
+            co_await touchLockRegion(ctx, l, 3, 0.5, pc + 14);
+            co_await ctx.unlock(l);
+        }
+        if (it % 4 == 3) {
+            co_await writeOwn(ctx, 600, 12, pc + 16);
+            co_await ctx.barrier(4, pc + 17);
+            co_await readFrom(ctx, parent, 600, 8, pc + 18);
+        }
+    }
+    if (t == 0)
+        co_await ctx.join(pc + 15);
+}
+
+// ---------------------------------------------------------------------
+// lu: blocked dense LU. One diagonal-block owner per step produces;
+// everyone consumes that block: a single hot target rotating with k.
+// Few static epochs, modest communicating fraction.
+// ---------------------------------------------------------------------
+Task
+lu(ThreadContext &ctx, const WorkloadParams &p)
+{
+    constexpr Pc pc = 0x20000;
+    const CoreId t = ctx.self();
+    const unsigned n = ctx.numThreads();
+    std::uint64_t priv_cursor = 0;
+
+    co_await initPartition(ctx, pc + 0);
+    co_await ctx.barrier(0, pc + 1);
+
+    const unsigned steps = p.iters(24);
+    for (unsigned k = 0; k < steps; ++k) {
+        const CoreId owner = static_cast<CoreId>(k % n);
+        const std::uint64_t blk = (k * 48) % kPartLines;
+
+        // The owner factorizes the diagonal block.
+        if (t == owner) {
+            co_await writeOwn(ctx, blk, 56, pc + 2);
+        } else {
+            co_await streamPrivate(ctx, priv_cursor, 30, 0.4, pc + 3);
+        }
+        co_await ctx.barrier(1, pc + 4);
+
+        // Everyone consumes the diagonal block, then updates its own
+        // trailing blocks (private-heavy).
+        if (t != owner)
+            co_await readFrom(ctx, owner, blk, 40, pc + 5);
+        co_await writeOwn(ctx, (blk + 512) % kPartLines, 20, pc + 6);
+        co_await streamPrivate(ctx, priv_cursor, 45, 0.5, pc + 7);
+        co_await ctx.barrier(2, pc + 8);
+    }
+    if (t == 0)
+        co_await ctx.join(pc + 9);
+}
+
+// ---------------------------------------------------------------------
+// ocean: red-black Gauss-Seidel on a strip-partitioned grid. Stable
+// nearest-neighbour hot sets {t-1, t+1}; many dynamic epochs.
+// ---------------------------------------------------------------------
+Task
+ocean(ThreadContext &ctx, const WorkloadParams &p)
+{
+    constexpr Pc pc = 0x30000;
+    const CoreId t = ctx.self();
+    const unsigned n = ctx.numThreads();
+    const CoreId up = (t + n - 1) % n;
+    const CoreId down = (t + 1) % n;
+    std::uint64_t priv_cursor = 0;
+
+    co_await initPartition(ctx, pc + 0);
+    co_await ctx.barrier(0, pc + 1);
+
+    const unsigned iters = p.iters(24);
+    for (unsigned it = 0; it < iters; ++it) {
+        // Multigrid: coarse and fine sweeps alternate between two
+        // sets of static phases (distinct call sites, as in the
+        // original's many static epochs).
+        const unsigned level = it % 2;
+        for (unsigned phase = 0; phase < 4; ++phase) {
+            const std::uint64_t off = (level * 4 + phase) * 32;
+            const unsigned site = level * 4 + phase;
+            // Update own strip (boundary rows included).
+            co_await writeOwn(ctx, off, 20, pc + 2 + site);
+            co_await streamPrivate(ctx, priv_cursor, 20, 0.4,
+                                   pc + 10 + site);
+            co_await ctx.barrier(1 + site, pc + 20 + site);
+            // Read the neighbours' boundary rows.
+            co_await readFrom(ctx, up, off, 10, pc + 30 + site);
+            co_await readFrom(ctx, down, off, 10, pc + 40 + site);
+        }
+        // Global error-norm reduction under per-level locks.
+        const unsigned l = level * 2 + (t % 2);
+        co_await ctx.lock(l);
+        co_await touchLockRegion(ctx, l, 2, 0.7, pc + 50);
+        co_await ctx.unlock(l);
+    }
+    co_await ctx.barrier(9, pc + 51);
+    if (t == 0)
+        co_await ctx.join(pc + 52);
+}
+
+// ---------------------------------------------------------------------
+// radiosity: task-stealing over an irregular scene. Lock-protected
+// task queues; migratory, effectively random communication.
+// ---------------------------------------------------------------------
+Task
+radiosity(ThreadContext &ctx, const WorkloadParams &p)
+{
+    constexpr Pc pc = 0x40000;
+    const CoreId t = ctx.self();
+    std::uint64_t priv_cursor = 0;
+
+    co_await initPartition(ctx, pc + 0);
+    co_await ctx.barrier(0, pc + 1);
+
+    const unsigned tasks = p.iters(220);
+    for (unsigned i = 0; i < tasks; ++i) {
+        // Grab work from one of the distributed task queues.
+        const unsigned q = (t + i) % 8;
+        co_await ctx.lock(q);
+        co_await touchLockRegion(ctx, q, 4, 0.6, pc + 2);
+        co_await ctx.unlock(q);
+
+        // Visibility-cache probe under one of four extra locks.
+        if (i % 3 == 0) {
+            const unsigned v = 8 + (t + i) % 4;
+            co_await ctx.lock(v);
+            co_await touchLockRegion(ctx, v, 2, 0.4, pc + 8);
+            co_await ctx.unlock(v);
+        }
+
+        // Process the interaction: patch visibility has transient
+        // owner affinity (the enqueuing thread produced the patch).
+        const CoreId hot = static_cast<CoreId>((t + i / 24) %
+                                               ctx.numThreads());
+        co_await touchSkewedShared(ctx, hot, 0.7, 12, 0.25, pc + 3);
+        co_await streamPrivate(ctx, priv_cursor, 2, 0.3, pc + 4);
+
+        if (i % 16 == 15)
+            co_await ctx.barrier(1, pc + 5);
+    }
+    co_await ctx.barrier(2, pc + 6);
+    if (t == 0)
+        co_await ctx.join(pc + 7);
+}
+
+// ---------------------------------------------------------------------
+// water-ns: O(n^2) molecular dynamics. Barrier phases with
+// neighbour-window force reads plus fine-grain per-pair locks.
+// ---------------------------------------------------------------------
+Task
+waterNs(ThreadContext &ctx, const WorkloadParams &p)
+{
+    constexpr Pc pc = 0x50000;
+    const CoreId t = ctx.self();
+    const unsigned n = ctx.numThreads();
+    std::uint64_t priv_cursor = 0;
+
+    co_await initPartition(ctx, pc + 0);
+    co_await ctx.barrier(0, pc + 1);
+
+    const unsigned steps = p.iters(10);
+    for (unsigned it = 0; it < steps; ++it) {
+        const std::uint64_t off = (it % 4) * 64;
+
+        // Inter-molecular forces: read a window of neighbours.
+        for (unsigned d = 1; d <= 2; ++d) {
+            co_await readFrom(ctx, (t + d) % n, off, 10, pc + 2 + d);
+            co_await readFrom(ctx, (t + n - d) % n, off, 10,
+                              pc + 4 + d);
+        }
+
+        // Accumulate forces into shared molecules under pair locks.
+        for (unsigned m = 0; m < 6; ++m) {
+            const unsigned l = (t + m) % 8;
+            co_await ctx.lock(l);
+            const CoreId other = static_cast<CoreId>((t + m + 1) % n);
+            co_await ctx.write(partAddr(ctx, other, off + m), pc + 7);
+            co_await ctx.write(partAddr(ctx, t, off + m), pc + 8);
+            co_await ctx.unlock(l);
+        }
+        co_await ctx.barrier(1, pc + 9);
+
+        // Intra-molecular update: own data and private scratch.
+        co_await writeOwn(ctx, off, 24, pc + 10);
+        co_await streamPrivate(ctx, priv_cursor, 10, 0.4, pc + 11);
+        co_await ctx.barrier(2, pc + 12);
+    }
+    if (t == 0)
+        co_await ctx.join(pc + 13);
+}
+
+// ---------------------------------------------------------------------
+// cholesky: sparse supernodal factorization via a task queue.
+// Lock-grabbed tasks whose data lives at a task-dependent owner.
+// ---------------------------------------------------------------------
+Task
+cholesky(ThreadContext &ctx, const WorkloadParams &p)
+{
+    constexpr Pc pc = 0x60000;
+    const CoreId t = ctx.self();
+    const unsigned n = ctx.numThreads();
+    std::uint64_t priv_cursor = 0;
+
+    co_await initPartition(ctx, pc + 0);
+    co_await ctx.barrier(0, pc + 1);
+
+    const unsigned tasks = p.iters(140);
+    for (unsigned i = 0; i < tasks; ++i) {
+        // Task queue plus per-supernode column locks.
+        const unsigned q = i % 2;
+        co_await ctx.lock(q);
+        co_await touchLockRegion(ctx, q, 3, 0.5, pc + 2);
+        co_await ctx.unlock(q);
+        if (i % 4 == 1) {
+            const unsigned col = 2 + (t + i) % 6;
+            co_await ctx.lock(col);
+            co_await touchLockRegion(ctx, col, 2, 0.6, pc + 8);
+            co_await ctx.unlock(col);
+        }
+
+        // The supernode the task updates lives at a pseudo-random
+        // owner; reads are concentrated there.
+        const CoreId owner =
+            static_cast<CoreId>((i * 7 + t * 3) % n);
+        co_await readRandomFrom(ctx, owner, 10, pc + 3);
+        co_await writeOwn(ctx, (i * 16) % kPartLines, 8, pc + 4);
+        co_await streamPrivate(ctx, priv_cursor, 5, 0.4, pc + 5);
+    }
+    co_await ctx.barrier(1, pc + 6);
+    if (t == 0)
+        co_await ctx.join(pc + 7);
+}
+
+// ---------------------------------------------------------------------
+// fft: radix-sqrt(n) six-step FFT. Butterfly stages exchange with
+// partner t ^ 2^s; a transpose phase is all-to-all. Few epochs.
+// ---------------------------------------------------------------------
+Task
+fft(ThreadContext &ctx, const WorkloadParams &p)
+{
+    constexpr Pc pc = 0x70000;
+    const CoreId t = ctx.self();
+    const unsigned n = ctx.numThreads();
+    std::uint64_t priv_cursor = 0;
+
+    co_await initPartition(ctx, pc + 0, 384);
+    co_await ctx.barrier(0, pc + 1);
+
+    const unsigned rounds = p.iters(2);
+    for (unsigned r = 0; r < rounds; ++r) {
+        // Butterfly stages.
+        for (unsigned s = 0; (1u << s) < n; ++s) {
+            const CoreId partner = t ^ (1u << s);
+            co_await readFrom(ctx, partner, r * 128, 48, pc + 2 + s);
+            co_await writeOwn(ctx, r * 128, 48, pc + 10 + s);
+            co_await ctx.barrier(1 + s, pc + 20 + s);
+        }
+        // Transpose: strided all-to-all.
+        for (unsigned d = 1; d < n; ++d) {
+            const CoreId from = (t + d) % n;
+            co_await readFrom(ctx, from, 256 + t * 8, 6, pc + 30);
+        }
+        co_await writeOwn(ctx, 256, 64, pc + 31);
+        co_await streamPrivate(ctx, priv_cursor, 120, 0.5, pc + 32);
+        co_await ctx.barrier(8, pc + 33);
+    }
+    if (t == 0)
+        co_await ctx.join(pc + 34);
+}
+
+// ---------------------------------------------------------------------
+// radix: parallel radix sort. Private-key streaming dominates; the
+// permutation phase scatters writes across random partitions. Low
+// communicating fraction.
+// ---------------------------------------------------------------------
+Task
+radix(ThreadContext &ctx, const WorkloadParams &p)
+{
+    constexpr Pc pc = 0x80000;
+    const CoreId t = ctx.self();
+    std::uint64_t priv_cursor = 0;
+
+    co_await initPartition(ctx, pc + 0);
+    co_await ctx.barrier(0, pc + 1);
+
+    const unsigned passes = p.iters(3);
+    for (unsigned pass = 0; pass < passes; ++pass) {
+        // Histogram own keys (private streaming, mostly off-chip).
+        co_await streamPrivate(ctx, priv_cursor, 280, 0.35, pc + 2);
+        co_await ctx.barrier(1, pc + 3);
+
+        // Prefix-sum of the global histogram (read all partitions a
+        // little).
+        for (unsigned d = 1; d < ctx.numThreads(); ++d)
+            co_await readFrom(ctx, (t + d) % ctx.numThreads(),
+                              pass * 4, 2, pc + 4);
+        co_await ctx.barrier(2, pc + 5);
+
+        // Permute: scatter writes whose destinations carry the
+        // key-digit skew of partially sorted data.
+        const CoreId dense = static_cast<CoreId>((t + 5) %
+                                                 ctx.numThreads());
+        co_await touchSkewedShared(ctx, dense, 0.6, 40, 1.0, pc + 6);
+        co_await ctx.barrier(3, pc + 7);
+    }
+    if (t == 0)
+        co_await ctx.join(pc + 8);
+}
+
+// ---------------------------------------------------------------------
+// water-sp: spatial-decomposition molecular dynamics. Essentially a
+// single long sync-epoch (one static epoch) with steady neighbour
+// communication and a couple of rare reduction locks.
+// ---------------------------------------------------------------------
+Task
+waterSp(ThreadContext &ctx, const WorkloadParams &p)
+{
+    constexpr Pc pc = 0x90000;
+    const CoreId t = ctx.self();
+    const unsigned n = ctx.numThreads();
+    std::uint64_t priv_cursor = 0;
+
+    co_await initPartition(ctx, pc + 0);
+    co_await ctx.barrier(0, pc + 1);
+
+    const unsigned steps = p.iters(12);
+    for (unsigned it = 0; it < steps; ++it) {
+        const std::uint64_t off = (it % 6) * 48;
+        // Spatial cells: only adjacent boxes interact.
+        co_await readFrom(ctx, (t + 1) % n, off, 18, pc + 2);
+        co_await readFrom(ctx, (t + n - 1) % n, off, 18, pc + 3);
+        co_await writeOwn(ctx, off, 22, pc + 4);
+        co_await streamPrivate(ctx, priv_cursor, 6, 0.4, pc + 5);
+
+        // Rare global-energy reduction.
+        if (it % 6 == 5) {
+            co_await ctx.lock(0);
+            co_await touchRandomShared(ctx, 3, 0.7, pc + 6);
+            co_await ctx.unlock(0);
+        }
+    }
+    co_await ctx.barrier(1, pc + 7);
+    if (t == 0)
+        co_await ctx.join(pc + 8);
+}
+
+} // namespace wl
+} // namespace spp

@@ -1,0 +1,27 @@
+/**
+ * @file
+ * SPLASH-2 workload generator declarations.
+ */
+
+#ifndef SPP_WORKLOAD_SPLASH_HH
+#define SPP_WORKLOAD_SPLASH_HH
+
+#include "workload/workload.hh"
+
+namespace spp {
+namespace wl {
+
+Task fmm(ThreadContext &ctx, const WorkloadParams &p);
+Task lu(ThreadContext &ctx, const WorkloadParams &p);
+Task ocean(ThreadContext &ctx, const WorkloadParams &p);
+Task radiosity(ThreadContext &ctx, const WorkloadParams &p);
+Task waterNs(ThreadContext &ctx, const WorkloadParams &p);
+Task cholesky(ThreadContext &ctx, const WorkloadParams &p);
+Task fft(ThreadContext &ctx, const WorkloadParams &p);
+Task radix(ThreadContext &ctx, const WorkloadParams &p);
+Task waterSp(ThreadContext &ctx, const WorkloadParams &p);
+
+} // namespace wl
+} // namespace spp
+
+#endif // SPP_WORKLOAD_SPLASH_HH

@@ -1,0 +1,246 @@
+/**
+ * @file
+ * Unit tests for the common utilities: strfmt, Rng, stats, Config
+ * validation.
+ */
+
+#include <gtest/gtest.h>
+
+#include <set>
+#include <sstream>
+
+#include "common/config.hh"
+#include "common/format.hh"
+#include "common/rng.hh"
+#include "common/stats.hh"
+
+using namespace spp;
+
+// --- strfmt ---
+
+TEST(Format, Basic)
+{
+    EXPECT_EQ(strfmt("a {} c {}", 1, "x"), "a 1 c x");
+}
+
+TEST(Format, NoArgs)
+{
+    EXPECT_EQ(strfmt("plain"), "plain");
+}
+
+TEST(Format, EscapedBrace)
+{
+    EXPECT_EQ(strfmt("{{}} {}", 7), "{} 7");
+}
+
+TEST(Format, SurplusArgs)
+{
+    EXPECT_EQ(strfmt("x", 1, 2), "x 1 2");
+}
+
+TEST(Format, SurplusPlaceholders)
+{
+    EXPECT_EQ(strfmt("{} {}", 1), "1 {}");
+}
+
+// --- Rng ---
+
+TEST(Rng, Deterministic)
+{
+    Rng a(42), b(42);
+    for (int i = 0; i < 100; ++i)
+        EXPECT_EQ(a.next(), b.next());
+}
+
+TEST(Rng, DifferentSeedsDiffer)
+{
+    Rng a(1), b(2);
+    bool differ = false;
+    for (int i = 0; i < 10 && !differ; ++i)
+        differ = a.next() != b.next();
+    EXPECT_TRUE(differ);
+}
+
+TEST(Rng, BelowInRange)
+{
+    Rng r(7);
+    for (int i = 0; i < 1000; ++i)
+        EXPECT_LT(r.below(17), 17u);
+}
+
+TEST(Rng, RangeInclusive)
+{
+    Rng r(9);
+    std::set<std::uint64_t> seen;
+    for (int i = 0; i < 500; ++i) {
+        auto v = r.range(3, 6);
+        EXPECT_GE(v, 3u);
+        EXPECT_LE(v, 6u);
+        seen.insert(v);
+    }
+    EXPECT_EQ(seen.size(), 4u); // All values hit.
+}
+
+TEST(Rng, RealInUnitInterval)
+{
+    Rng r(11);
+    for (int i = 0; i < 1000; ++i) {
+        const double v = r.real();
+        EXPECT_GE(v, 0.0);
+        EXPECT_LT(v, 1.0);
+    }
+}
+
+TEST(Rng, ChanceExtremes)
+{
+    Rng r(13);
+    for (int i = 0; i < 100; ++i) {
+        EXPECT_FALSE(r.chance(0.0));
+        EXPECT_TRUE(r.chance(1.0));
+    }
+}
+
+TEST(Rng, ChanceApproximatesProbability)
+{
+    Rng r(17);
+    int hits = 0;
+    for (int i = 0; i < 10000; ++i)
+        hits += r.chance(0.3);
+    EXPECT_NEAR(hits / 10000.0, 0.3, 0.03);
+}
+
+TEST(Rng, BurstBounded)
+{
+    Rng r(19);
+    for (int i = 0; i < 200; ++i) {
+        const unsigned b = r.burst(0.9, 8);
+        EXPECT_GE(b, 1u);
+        EXPECT_LE(b, 8u);
+    }
+}
+
+// --- Stats ---
+
+TEST(Stats, Counter)
+{
+    Counter c;
+    EXPECT_EQ(c.value(), 0u);
+    ++c;
+    c += 5;
+    EXPECT_EQ(c.value(), 6u);
+    c.reset();
+    EXPECT_EQ(c.value(), 0u);
+}
+
+TEST(Stats, Average)
+{
+    Average a;
+    EXPECT_EQ(a.mean(), 0.0);
+    a.sample(2);
+    a.sample(4);
+    a.sample(9);
+    EXPECT_DOUBLE_EQ(a.mean(), 5.0);
+    EXPECT_EQ(a.count(), 3u);
+    EXPECT_DOUBLE_EQ(a.max(), 9.0);
+    EXPECT_DOUBLE_EQ(a.min(), 2.0);
+}
+
+TEST(Stats, Distribution)
+{
+    Distribution d(4, 10.0);
+    d.sample(5);
+    d.sample(15);
+    d.sample(100); // Clamps into the last bucket.
+    EXPECT_EQ(d.counts()[0], 1u);
+    EXPECT_EQ(d.counts()[1], 1u);
+    EXPECT_EQ(d.counts()[3], 1u);
+    EXPECT_EQ(d.summary().count(), 3u);
+}
+
+TEST(Stats, GroupDump)
+{
+    StatGroup g("grp");
+    Counter c;
+    c += 3;
+    Average a;
+    a.sample(2.0);
+    g.regCounter("hits", c);
+    g.regAverage("lat", a);
+    std::ostringstream os;
+    g.dump(os);
+    const std::string s = os.str();
+    EXPECT_NE(s.find("grp.hits 3"), std::string::npos);
+    EXPECT_NE(s.find("grp.lat.mean 2"), std::string::npos);
+}
+
+// --- Config ---
+
+TEST(Config, DefaultsValidate)
+{
+    Config cfg;
+    cfg.validate(); // Must not fatal.
+    EXPECT_EQ(cfg.numCores, 16u);
+    EXPECT_EQ(cfg.meshX * cfg.meshY, cfg.numCores);
+}
+
+TEST(Config, DeathOnBadMesh)
+{
+    Config cfg;
+    cfg.numCores = 12; // 4x4 mesh no longer covers it.
+    EXPECT_DEATH({ cfg.validate(); }, "mesh");
+}
+
+TEST(Config, DeathOnBadLineSize)
+{
+    Config cfg;
+    cfg.lineBytes = 48;
+    EXPECT_DEATH({ cfg.validate(); }, "power of two");
+}
+
+TEST(Config, DeathOnPredictedWithoutPredictor)
+{
+    Config cfg;
+    cfg.protocol = Protocol::predicted;
+    cfg.predictor = PredictorKind::none;
+    EXPECT_DEATH({ cfg.validate(); }, "predictor");
+}
+
+TEST(Config, ProtocolNames)
+{
+    EXPECT_STREQ(toString(Protocol::directory), "directory");
+    EXPECT_STREQ(toString(Protocol::broadcast), "broadcast");
+    EXPECT_STREQ(toString(Protocol::predicted), "predicted");
+    EXPECT_STREQ(toString(PredictorKind::sp), "sp");
+    EXPECT_STREQ(toString(PredictorKind::addr), "addr");
+}
+
+TEST(Config, CleanSharedFillFollowsFState)
+{
+    Config cfg;
+    EXPECT_EQ(cfg.cleanSharedFill(), Mesif::forwarding);
+    cfg.enableFState = false;
+    EXPECT_EQ(cfg.cleanSharedFill(), Mesif::shared);
+}
+
+TEST(Config, DeathOnBadDram)
+{
+    Config cfg;
+    cfg.enableDram = true;
+    cfg.dramBanks = 0;
+    EXPECT_DEATH({ cfg.validate(); }, "DRAM");
+}
+
+TEST(Config, DeathOnBadFilterRegion)
+{
+    Config cfg;
+    cfg.filterRegionBytes = 48;
+    EXPECT_DEATH({ cfg.validate(); }, "filterRegionBytes");
+}
+
+TEST(Config, MulticastNeedsPredictor)
+{
+    Config cfg;
+    cfg.protocol = Protocol::multicast;
+    EXPECT_DEATH({ cfg.validate(); }, "requires a predictor");
+    EXPECT_STREQ(toString(Protocol::multicast), "multicast");
+}

@@ -1,0 +1,134 @@
+/**
+ * @file
+ * Unit tests for CoreSet.
+ */
+
+#include <gtest/gtest.h>
+
+#include "common/core_set.hh"
+
+using namespace spp;
+
+TEST(CoreSet, StartsEmpty)
+{
+    CoreSet s;
+    EXPECT_TRUE(s.empty());
+    EXPECT_EQ(s.count(), 0u);
+    EXPECT_EQ(s.mask(), 0u);
+}
+
+TEST(CoreSet, SetResetTest)
+{
+    CoreSet s;
+    s.set(3);
+    s.set(15);
+    EXPECT_TRUE(s.test(3));
+    EXPECT_TRUE(s.test(15));
+    EXPECT_FALSE(s.test(4));
+    EXPECT_EQ(s.count(), 2u);
+    s.reset(3);
+    EXPECT_FALSE(s.test(3));
+    EXPECT_EQ(s.count(), 1u);
+}
+
+TEST(CoreSet, InitializerList)
+{
+    CoreSet s{1, 5, 9};
+    EXPECT_EQ(s.count(), 3u);
+    EXPECT_TRUE(s.test(1));
+    EXPECT_TRUE(s.test(5));
+    EXPECT_TRUE(s.test(9));
+}
+
+TEST(CoreSet, Single)
+{
+    CoreSet s = CoreSet::single(7);
+    EXPECT_EQ(s.count(), 1u);
+    EXPECT_EQ(s.first(), 7u);
+}
+
+TEST(CoreSet, All)
+{
+    EXPECT_EQ(CoreSet::all(16).count(), 16u);
+    EXPECT_EQ(CoreSet::all(64).count(), 64u);
+    EXPECT_EQ(CoreSet::all(1).mask(), 1u);
+}
+
+TEST(CoreSet, SetOperations)
+{
+    CoreSet a{1, 2, 3};
+    CoreSet b{3, 4};
+    EXPECT_EQ((a | b), (CoreSet{1, 2, 3, 4}));
+    EXPECT_EQ((a & b), CoreSet{3});
+    EXPECT_EQ((a - b), (CoreSet{1, 2}));
+    EXPECT_TRUE(a.intersects(b));
+    EXPECT_FALSE((a - b).intersects(b));
+}
+
+TEST(CoreSet, Contains)
+{
+    CoreSet big{1, 2, 3, 4};
+    EXPECT_TRUE(big.contains(CoreSet{2, 3}));
+    EXPECT_TRUE(big.contains(CoreSet{}));
+    EXPECT_FALSE(big.contains(CoreSet{2, 5}));
+    EXPECT_TRUE(CoreSet{}.contains(CoreSet{}));
+}
+
+TEST(CoreSet, Iteration)
+{
+    CoreSet s{0, 7, 31, 63};
+    std::vector<CoreId> seen;
+    for (CoreId c : s)
+        seen.push_back(c);
+    EXPECT_EQ(seen, (std::vector<CoreId>{0, 7, 31, 63}));
+}
+
+TEST(CoreSet, ToString)
+{
+    EXPECT_EQ((CoreSet{0, 5}).toString(), "{0,5}");
+    EXPECT_EQ(CoreSet{}.toString(), "{}");
+}
+
+TEST(CoreSet, ToBitString)
+{
+    CoreSet s{0, 3};
+    EXPECT_EQ(s.toBitString(4), "1001");
+    EXPECT_EQ(s.toBitString(6), "100100");
+}
+
+TEST(CoreSet, CompoundAssignment)
+{
+    CoreSet s{1};
+    s |= CoreSet{2};
+    EXPECT_EQ(s, (CoreSet{1, 2}));
+    s &= CoreSet{2, 3};
+    EXPECT_EQ(s, CoreSet{2});
+}
+
+// Property-style sweep: union/intersection/difference relations hold
+// for a range of generated masks.
+class CoreSetAlgebra : public ::testing::TestWithParam<std::uint64_t>
+{};
+
+TEST_P(CoreSetAlgebra, Laws)
+{
+    const std::uint64_t seed = GetParam();
+    const CoreSet a = CoreSet::fromMask(seed * 0x9e3779b97f4a7c15ULL);
+    const CoreSet b = CoreSet::fromMask(seed * 0xbf58476d1ce4e5b9ULL);
+
+    EXPECT_EQ((a | b).count() + (a & b).count(),
+              a.count() + b.count());
+    EXPECT_TRUE((a | b).contains(a));
+    EXPECT_TRUE(a.contains(a & b));
+    EXPECT_EQ(((a - b) | (a & b)), a);
+    EXPECT_FALSE((a - b).intersects(b));
+    unsigned n = 0;
+    for (CoreId c : a) {
+        EXPECT_TRUE(a.test(c));
+        ++n;
+    }
+    EXPECT_EQ(n, a.count());
+}
+
+INSTANTIATE_TEST_SUITE_P(Masks, CoreSetAlgebra,
+                         ::testing::Range<std::uint64_t>(1, 50));

@@ -1,0 +1,86 @@
+/**
+ * @file
+ * Unit tests for the discrete-event kernel.
+ */
+
+#include <gtest/gtest.h>
+
+#include "event/event_queue.hh"
+
+using namespace spp;
+
+TEST(EventQueue, StartsAtZeroAndEmpty)
+{
+    EventQueue eq;
+    EXPECT_EQ(eq.curTick(), 0u);
+    EXPECT_TRUE(eq.empty());
+}
+
+TEST(EventQueue, ExecutesInTimeOrder)
+{
+    EventQueue eq;
+    std::vector<int> order;
+    eq.schedule(30, [&] { order.push_back(3); });
+    eq.schedule(10, [&] { order.push_back(1); });
+    eq.schedule(20, [&] { order.push_back(2); });
+    EXPECT_TRUE(eq.run());
+    EXPECT_EQ(order, (std::vector<int>{1, 2, 3}));
+    EXPECT_EQ(eq.curTick(), 30u);
+}
+
+TEST(EventQueue, SameTickFifo)
+{
+    EventQueue eq;
+    std::vector<int> order;
+    for (int i = 0; i < 5; ++i)
+        eq.schedule(7, [&, i] { order.push_back(i); });
+    eq.run();
+    EXPECT_EQ(order, (std::vector<int>{0, 1, 2, 3, 4}));
+}
+
+TEST(EventQueue, EventsScheduleEvents)
+{
+    EventQueue eq;
+    int fired = 0;
+    eq.schedule(5, [&] {
+        ++fired;
+        eq.scheduleAfter(5, [&] {
+            ++fired;
+            eq.scheduleAfter(5, [&] { ++fired; });
+        });
+    });
+    eq.run();
+    EXPECT_EQ(fired, 3);
+    EXPECT_EQ(eq.curTick(), 15u);
+}
+
+TEST(EventQueue, RunLimitStopsEarly)
+{
+    EventQueue eq;
+    bool late_fired = false;
+    eq.schedule(10, [] {});
+    eq.schedule(100, [&] { late_fired = true; });
+    EXPECT_FALSE(eq.run(50));
+    EXPECT_FALSE(late_fired);
+    EXPECT_EQ(eq.pending(), 1u);
+    EXPECT_TRUE(eq.run());
+    EXPECT_TRUE(late_fired);
+}
+
+TEST(EventQueue, CountsExecuted)
+{
+    EventQueue eq;
+    for (int i = 0; i < 7; ++i)
+        eq.schedule(i, [] {});
+    eq.run();
+    EXPECT_EQ(eq.executed(), 7u);
+}
+
+TEST(EventQueue, SchedulingInPastPanics)
+{
+    EventQueue eq;
+    eq.schedule(10, [&] {
+        EXPECT_DEATH({ eq.schedule(5, [] {}); }, "past");
+    });
+    eq.run();
+}

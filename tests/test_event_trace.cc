@@ -1,0 +1,169 @@
+/**
+ * @file
+ * Tests for the event-trace subsystem: recording, save/load
+ * round-trip, and the offline predictor evaluator.
+ */
+
+#include <gtest/gtest.h>
+
+#include <sstream>
+
+#include "analysis/event_trace.hh"
+#include "workload/workload.hh"
+
+using namespace spp;
+
+namespace {
+
+/** Record a small ocean run. */
+EventTrace
+recordOcean(double scale = 0.25)
+{
+    Config cfg;
+    cfg.l2Bytes = 128 * 1024;
+    cfg.l1Bytes = 4 * 1024;
+    CmpSystem sys(cfg);
+    EventTrace trace;
+    trace.attach(sys);
+    WorkloadParams params;
+    params.scale = scale;
+    const WorkloadSpec *spec = findWorkload("ocean");
+    sys.run([&](ThreadContext &ctx) {
+        return spec->run(ctx, params);
+    });
+    return trace;
+}
+
+} // namespace
+
+TEST(EventTrace, RecordsMissesAndSyncPoints)
+{
+    EventTrace trace = recordOcean();
+    EXPECT_GT(trace.size(), 1000u);
+    unsigned misses = 0, syncs = 0, comm = 0;
+    for (const TraceEvent &e : trace.events()) {
+        if (e.kind == TraceEvent::Kind::miss) {
+            ++misses;
+            comm += e.communicating;
+            EXPECT_LT(e.core, 16u);
+            EXPECT_EQ(e.line % 64, 0u);
+            if (e.communicating)
+                EXPECT_FALSE(e.targets.empty());
+        } else {
+            ++syncs;
+        }
+    }
+    EXPECT_GT(misses, 0u);
+    EXPECT_GT(syncs, 0u);
+    EXPECT_GT(comm, 0u);
+}
+
+TEST(EventTrace, SaveLoadRoundTrip)
+{
+    EventTrace trace = recordOcean();
+    std::ostringstream os;
+    trace.save(os);
+    std::istringstream is(os.str());
+    EventTrace loaded = EventTrace::load(is);
+    ASSERT_EQ(loaded.size(), trace.size());
+    for (std::size_t i = 0; i < trace.size(); ++i) {
+        const TraceEvent &a = trace.events()[i];
+        const TraceEvent &b = loaded.events()[i];
+        EXPECT_EQ(a.kind, b.kind);
+        EXPECT_EQ(a.core, b.core);
+        if (a.kind == TraceEvent::Kind::miss) {
+            EXPECT_EQ(a.line, b.line);
+            EXPECT_EQ(a.pc, b.pc);
+            EXPECT_EQ(a.isWrite, b.isWrite);
+            EXPECT_EQ(a.communicating, b.communicating);
+            EXPECT_EQ(a.targets, b.targets);
+        } else {
+            EXPECT_EQ(a.type, b.type);
+            EXPECT_EQ(a.staticId, b.staticId);
+        }
+    }
+}
+
+TEST(EventTrace, LoadRejectsGarbage)
+{
+    std::istringstream is("X this is not a trace\n");
+    EXPECT_DEATH({ EventTrace::load(is); }, "malformed");
+}
+
+TEST(EventTrace, SyntheticAppend)
+{
+    EventTrace trace;
+    TraceEvent e;
+    e.kind = TraceEvent::Kind::syncPoint;
+    e.core = 3;
+    e.type = SyncType::barrier;
+    e.staticId = 0x42;
+    trace.append(e);
+    EXPECT_EQ(trace.size(), 1u);
+    EXPECT_EQ(trace.events()[0].staticId, 0x42u);
+}
+
+TEST(OfflineReplay, SpAccuracyMatchesLiveBallpark)
+{
+    EventTrace trace = recordOcean(0.5);
+    Config cfg;
+    OfflineResult r = evaluateOffline(trace, cfg, PredictorKind::sp);
+    EXPECT_GT(r.misses, 0u);
+    EXPECT_GT(r.commMisses, 0u);
+    // Ocean's stable neighbour pattern predicts well offline too.
+    EXPECT_GT(r.accuracy(), 0.7);
+    EXPECT_GT(r.storageBits, 0u);
+}
+
+TEST(OfflineReplay, AllPredictorsRun)
+{
+    EventTrace trace = recordOcean();
+    Config cfg;
+    for (auto kind : {PredictorKind::sp, PredictorKind::addr,
+                      PredictorKind::inst, PredictorKind::uni}) {
+        OfflineResult r = evaluateOffline(trace, cfg, kind);
+        EXPECT_GT(r.attempted, 0u) << toString(kind);
+        EXPECT_LE(r.sufficient, r.commMisses);
+    }
+}
+
+TEST(OfflineReplay, DeterministicAcrossReplays)
+{
+    EventTrace trace = recordOcean();
+    Config cfg;
+    OfflineResult a = evaluateOffline(trace, cfg, PredictorKind::sp);
+    OfflineResult b = evaluateOffline(trace, cfg, PredictorKind::sp);
+    EXPECT_EQ(a.sufficient, b.sufficient);
+    EXPECT_EQ(a.attempted, b.attempted);
+}
+
+TEST(OfflineReplay, SyntheticStableTrace)
+{
+    // Hand-built trace: 3 instances of one epoch, 20 communicating
+    // misses towards core 7 each; the second and third instances are
+    // fully predictable.
+    EventTrace trace;
+    for (int instance = 0; instance < 3; ++instance) {
+        TraceEvent s;
+        s.kind = TraceEvent::Kind::syncPoint;
+        s.core = 0;
+        s.type = SyncType::barrier;
+        s.staticId = 0x11;
+        trace.append(s);
+        for (int i = 0; i < 20; ++i) {
+            TraceEvent m;
+            m.kind = TraceEvent::Kind::miss;
+            m.core = 0;
+            m.line = 0x1000 + i * 64;
+            m.pc = 0x5;
+            m.communicating = true;
+            m.targets = CoreSet{7};
+            trace.append(m);
+        }
+    }
+    Config cfg;
+    OfflineResult r = evaluateOffline(trace, cfg, PredictorKind::sp);
+    EXPECT_EQ(r.commMisses, 60u);
+    EXPECT_EQ(r.sufficient, 40u); // Instances 2 and 3.
+    EXPECT_DOUBLE_EQ(r.predictedTargets, 1.0);
+}

@@ -1,0 +1,156 @@
+/**
+ * @file
+ * End-to-end integration tests reproducing the paper's headline
+ * claims in miniature: SP-prediction achieves high accuracy on
+ * predictable workloads, reduces miss latency and execution time
+ * relative to the directory baseline, costs far less bandwidth than
+ * broadcast, and needs far less storage than ADDR/INST.
+ */
+
+#include <gtest/gtest.h>
+
+#include "analysis/experiment.hh"
+
+using namespace spp;
+
+namespace {
+
+ExperimentResult
+run(const char *wl, Protocol proto,
+    PredictorKind kind = PredictorKind::none, double scale = 0.5)
+{
+    ExperimentConfig cfg;
+    cfg.protocol = proto;
+    cfg.predictor = kind;
+    cfg.scale = scale;
+    return runExperiment(wl, cfg);
+}
+
+} // namespace
+
+TEST(Integration, SpAccuracyHighOnStableWorkload)
+{
+    ExperimentResult r =
+        run("ocean", Protocol::predicted, PredictorKind::sp);
+    EXPECT_GT(r.predictionAccuracy(), 0.75);
+}
+
+TEST(Integration, SpAccuracyHighOnStridePattern)
+{
+    ExperimentResult r =
+        run("streamcluster", Protocol::predicted, PredictorKind::sp);
+    EXPECT_GT(r.predictionAccuracy(), 0.6);
+}
+
+TEST(Integration, SpReducesMissLatency)
+{
+    ExperimentResult dir = run("x264", Protocol::directory);
+    ExperimentResult sp =
+        run("x264", Protocol::predicted, PredictorKind::sp);
+    EXPECT_LT(sp.avgMissLatency(), dir.avgMissLatency());
+}
+
+TEST(Integration, SpReducesExecutionTime)
+{
+    ExperimentResult dir = run("facesim", Protocol::directory);
+    ExperimentResult sp =
+        run("facesim", Protocol::predicted, PredictorKind::sp);
+    EXPECT_LT(sp.run.ticks, dir.run.ticks);
+}
+
+TEST(Integration, BroadcastIsLatencyBestButBandwidthWorst)
+{
+    ExperimentResult dir = run("ocean", Protocol::directory);
+    ExperimentResult bc = run("ocean", Protocol::broadcast);
+    ExperimentResult sp =
+        run("ocean", Protocol::predicted, PredictorKind::sp);
+    EXPECT_LT(bc.avgMissLatency(), dir.avgMissLatency());
+    // SP's bandwidth overhead is a small fraction of broadcast's.
+    const double sp_extra = sp.bytesPerMiss() - dir.bytesPerMiss();
+    const double bc_extra = bc.bytesPerMiss() - dir.bytesPerMiss();
+    EXPECT_LT(sp_extra, 0.35 * bc_extra);
+    // Energy ordering: dir < sp << broadcast (Fig. 11).
+    EXPECT_LT(sp.energy, 1.6 * dir.energy);
+    EXPECT_GT(bc.energy, 2.0 * dir.energy);
+}
+
+TEST(Integration, SpStorageFarBelowAddr)
+{
+    // (The paper also beats INST by ~4x; our synthetic programs have
+    // unrealistically few static instructions, so only the ADDR
+    // comparison is meaningful on this substrate -- see DESIGN.md.)
+    ExperimentResult sp =
+        run("bodytrack", Protocol::predicted, PredictorKind::sp);
+    ExperimentResult addr =
+        run("bodytrack", Protocol::predicted, PredictorKind::addr);
+    EXPECT_LT(sp.run.predictorStorageBits,
+              addr.run.predictorStorageBits / 4);
+}
+
+TEST(Integration, SpTableAccessedFarLessOften)
+{
+    // Section 5.5: SP accesses its table only on sync-points; the
+    // table-indexed predictors probe on every miss.
+    ExperimentResult sp =
+        run("ocean", Protocol::predicted, PredictorKind::sp);
+    ExperimentResult addr =
+        run("ocean", Protocol::predicted, PredictorKind::addr);
+    EXPECT_LT(sp.run.predictorTableAccesses * 10,
+              addr.run.predictorTableAccesses);
+}
+
+TEST(Integration, CapacityLimitHurtsAddrNotSp)
+{
+    auto accuracy = [](PredictorKind kind, unsigned entries) {
+        ExperimentConfig cfg;
+        cfg.protocol = Protocol::predicted;
+        cfg.predictor = kind;
+        cfg.scale = 0.5;
+        cfg.predictorEntries = entries;
+        return runExperiment("ocean", cfg).predictionAccuracy();
+    };
+    const double addr_full = accuracy(PredictorKind::addr, 0);
+    const double addr_small = accuracy(PredictorKind::addr, 16);
+    EXPECT_LT(addr_small, addr_full);
+    const double sp_full = accuracy(PredictorKind::sp, 0);
+    const double sp_small = accuracy(PredictorKind::sp, 16);
+    EXPECT_NEAR(sp_small, sp_full, 1e-9); // SP ignores the limit.
+}
+
+TEST(Integration, UniCostsMoreBandwidthPerPrediction)
+{
+    // UNI reaches decent coverage only by predicting larger sets of
+    // recent destinations; SP's sets are tighter (Fig. 12's
+    // bandwidth dimension).
+    ExperimentResult uni =
+        run("bodytrack", Protocol::predicted, PredictorKind::uni);
+    ExperimentResult sp =
+        run("bodytrack", Protocol::predicted, PredictorKind::sp);
+    EXPECT_GT(uni.run.mem.predictionsAttempted.value(), 0u);
+    EXPECT_GT(uni.run.mem.predictedTargets.mean(),
+              sp.run.mem.predictedTargets.mean());
+}
+
+TEST(Integration, LockPredictionHelpsLockHeavyWorkloads)
+{
+    ExperimentResult r =
+        run("radiosity", Protocol::predicted, PredictorKind::sp);
+    const auto lock_hits = r.run.mem.sufficientBySource[
+        static_cast<std::size_t>(PredSource::lock)];
+    EXPECT_GT(lock_hits, 0u);
+    // Lock-sourced predictions carry a large share of radiosity's
+    // accuracy (Section 5.5's commercial-workload projection).
+    EXPECT_GT(static_cast<double>(lock_hits),
+              0.2 * static_cast<double>(
+                        r.run.mem.predictionsSufficient.value()));
+}
+
+TEST(Integration, RecoveryContributes)
+{
+    ExperimentResult r =
+        run("water-sp", Protocol::predicted, PredictorKind::sp);
+    EXPECT_GT(r.run.sp.recoveries.value(), 0u);
+    EXPECT_GT(r.run.mem.sufficientBySource[
+                  static_cast<std::size_t>(PredSource::recovery)],
+              0u);
+}

@@ -1,0 +1,124 @@
+/**
+ * @file
+ * Unit tests for the mesh NoC model.
+ */
+
+#include <gtest/gtest.h>
+
+#include "common/config.hh"
+#include "event/event_queue.hh"
+#include "noc/mesh.hh"
+
+using namespace spp;
+
+namespace {
+
+struct MeshFixture : ::testing::Test
+{
+    Config cfg;
+    EventQueue eq;
+    Mesh mesh{cfg, eq};
+};
+
+} // namespace
+
+TEST_F(MeshFixture, HopsAreManhattanDistance)
+{
+    // 4x4 mesh: tile = y * 4 + x.
+    EXPECT_EQ(mesh.hops(0, 0), 0u);
+    EXPECT_EQ(mesh.hops(0, 3), 3u);
+    EXPECT_EQ(mesh.hops(0, 12), 3u);
+    EXPECT_EQ(mesh.hops(0, 15), 6u);
+    EXPECT_EQ(mesh.hops(5, 10), 2u);
+    EXPECT_EQ(mesh.hops(10, 5), 2u);
+}
+
+TEST_F(MeshFixture, ZeroLoadLatency)
+{
+    // router 2 + hops * (link 1 + router 2) + serialization.
+    const Tick one_hop_ctrl = mesh.zeroLoadLatency(1, 8);
+    EXPECT_EQ(one_hop_ctrl, 2u + 3u + 1u);
+    const Tick data = mesh.zeroLoadLatency(2, 72);
+    EXPECT_EQ(data, 2u + 6u + 5u); // ceil(72/16) = 5.
+    EXPECT_EQ(mesh.zeroLoadLatency(0, 72), 2u); // Local: router only.
+}
+
+TEST_F(MeshFixture, DeliveryAtExpectedTick)
+{
+    Tick delivered = 0;
+    Packet p{0, 3, 8, TrafficClass::request};
+    mesh.send(p, [&] { delivered = eq.curTick(); });
+    eq.run();
+    EXPECT_EQ(delivered, mesh.zeroLoadLatency(3, 8));
+}
+
+TEST_F(MeshFixture, LocalDelivery)
+{
+    Tick delivered = 0;
+    mesh.send(Packet{5, 5, 8, TrafficClass::request},
+              [&] { delivered = eq.curTick(); });
+    eq.run();
+    EXPECT_EQ(delivered, cfg.routerLatency);
+}
+
+TEST_F(MeshFixture, BytesAccounting)
+{
+    mesh.send(Packet{0, 1, 8, TrafficClass::request}, [] {});
+    mesh.send(Packet{0, 2, 72, TrafficClass::data}, [] {});
+    eq.run();
+    EXPECT_EQ(mesh.stats().packets.value(), 2u);
+    EXPECT_EQ(mesh.stats().flitBytes.value(), 80u);
+    EXPECT_EQ(mesh.stats().byteHops.value(), 8u * 1 + 72u * 2);
+    EXPECT_EQ(mesh.stats().byteRouters.value(), 8u * 2 + 72u * 3);
+    EXPECT_EQ(mesh.stats().bytesOf(TrafficClass::request), 8u);
+    EXPECT_EQ(mesh.stats().bytesOf(TrafficClass::data), 72u);
+}
+
+TEST_F(MeshFixture, ContentionDelaysSecondPacket)
+{
+    // Two large packets on the same path: the second head waits.
+    Tick t1 = 0, t2 = 0;
+    mesh.send(Packet{0, 3, 72, TrafficClass::data},
+              [&] { t1 = eq.curTick(); });
+    mesh.send(Packet{0, 3, 72, TrafficClass::data},
+              [&] { t2 = eq.curTick(); });
+    eq.run();
+    EXPECT_GT(t2, t1);
+}
+
+TEST_F(MeshFixture, SameRouteIsFifo)
+{
+    std::vector<int> order;
+    for (int i = 0; i < 6; ++i) {
+        mesh.send(Packet{0, 15, 8, TrafficClass::request},
+                  [&order, i] { order.push_back(i); });
+    }
+    eq.run();
+    EXPECT_EQ(order, (std::vector<int>{0, 1, 2, 3, 4, 5}));
+}
+
+TEST(MeshNoContention, ZeroLoadWhenDisabled)
+{
+    Config cfg;
+    cfg.modelContention = false;
+    EventQueue eq;
+    Mesh mesh(cfg, eq);
+    Tick t1 = 0, t2 = 0;
+    mesh.send(Packet{0, 3, 72, TrafficClass::data},
+              [&] { t1 = eq.curTick(); });
+    mesh.send(Packet{0, 3, 72, TrafficClass::data},
+              [&] { t2 = eq.curTick(); });
+    eq.run();
+    EXPECT_EQ(t1, t2); // No queueing in the zero-load model.
+}
+
+TEST(MeshLatencySample, RecordsLatencies)
+{
+    Config cfg;
+    EventQueue eq;
+    Mesh mesh(cfg, eq);
+    mesh.send(Packet{0, 15, 8, TrafficClass::request}, [] {});
+    eq.run();
+    EXPECT_EQ(mesh.stats().packetLatency.count(), 1u);
+    EXPECT_GT(mesh.stats().packetLatency.mean(), 0.0);
+}

@@ -1,0 +1,97 @@
+/**
+ * @file
+ * System-size generality: the machine, protocols and workloads are
+ * parameterized by core count and mesh shape; 4-core (2x2) and
+ * 64-core (8x8) systems must work end to end, not just the paper's
+ * 16-core 4x4 configuration.
+ */
+
+#include <gtest/gtest.h>
+
+#include "analysis/experiment.hh"
+#include "harness.hh"
+
+using namespace spp;
+using namespace spp::test;
+
+namespace {
+
+Config
+sized(unsigned cores, unsigned x, unsigned y,
+      Protocol proto = Protocol::directory,
+      PredictorKind kind = PredictorKind::none)
+{
+    Config cfg = ProtoHarness::smallConfig();
+    cfg.numCores = cores;
+    cfg.meshX = x;
+    cfg.meshY = y;
+    cfg.protocol = proto;
+    cfg.predictor = kind;
+    return cfg;
+}
+
+struct SizeParam
+{
+    unsigned cores, x, y;
+};
+
+class MeshSizes : public ::testing::TestWithParam<SizeParam>
+{};
+
+} // namespace
+
+TEST_P(MeshSizes, ProtocolScenariosHold)
+{
+    const auto [cores, x, y] = GetParam();
+    ProtoHarness h(sized(cores, x, y));
+    h.access(0, 0x10000, true);
+    AccessOutcome out = h.access(cores - 1, 0x10000, false);
+    EXPECT_TRUE(out.communicating);
+    EXPECT_EQ(out.servicedBy, CoreSet{0});
+    if (cores > 2) {
+        AccessOutcome w = h.access(1, 0x10000, true);
+        EXPECT_TRUE(w.communicating);
+    }
+    h.sys->checkCoherence();
+    h.dir()->checkDirectory();
+}
+
+TEST_P(MeshSizes, WorkloadRunsEndToEnd)
+{
+    const auto [cores, x, y] = GetParam();
+    ExperimentConfig cfg;
+    cfg.scale = 0.2;
+    cfg.protocol = Protocol::predicted;
+    cfg.predictor = PredictorKind::sp;
+    cfg.tweak = [cores = cores, x = x, y = y](Config &c) {
+        c.numCores = cores;
+        c.meshX = x;
+        c.meshY = y;
+        c.l2Bytes = 128 * 1024;
+        c.l1Bytes = 4 * 1024;
+    };
+    ExperimentResult r = runExperiment("ocean", cfg);
+    EXPECT_GT(r.run.ticks, 0u);
+    EXPECT_GT(r.run.mem.communicatingMisses.value(), 0u);
+    EXPECT_GT(r.run.mem.predictionsSufficient.value(), 0u);
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    Sizes, MeshSizes,
+    ::testing::Values(SizeParam{4, 2, 2}, SizeParam{8, 4, 2},
+                      SizeParam{16, 4, 4}, SizeParam{32, 8, 4},
+                      SizeParam{64, 8, 8}),
+    [](const auto &info) {
+        return "c" + std::to_string(info.param.cores);
+    });
+
+TEST(MeshSizes, SignatureWidthFollowsCoreCount)
+{
+    // A 64-core system's signatures span all 64 bits.
+    Config cfg = sized(64, 8, 8, Protocol::predicted,
+                       PredictorKind::sp);
+    ProtoHarness h(cfg);
+    h.access(63, 0x10000, true);
+    AccessOutcome out = h.access(0, 0x10000, false);
+    EXPECT_EQ(out.servicedBy, CoreSet{63});
+}

@@ -1,0 +1,181 @@
+/**
+ * @file
+ * Broadcast snooping protocol scenario tests.
+ */
+
+#include <gtest/gtest.h>
+
+#include <set>
+
+#include "harness.hh"
+
+using namespace spp;
+using namespace spp::test;
+
+namespace {
+
+Config
+bcConfig()
+{
+    Config cfg = ProtoHarness::smallConfig();
+    cfg.protocol = Protocol::broadcast;
+    return cfg;
+}
+
+} // namespace
+
+TEST(Broadcast, ColdReadFromMemory)
+{
+    ProtoHarness h(bcConfig());
+    AccessOutcome out = h.access(0, 0x10000, false);
+    EXPECT_TRUE(out.miss());
+    EXPECT_TRUE(out.offChip);
+    EXPECT_FALSE(out.communicating);
+    EXPECT_EQ(h.l2State(0, 0x10000), Mesif::exclusive);
+    EXPECT_TRUE(h.sys->drained());
+}
+
+TEST(Broadcast, CacheToCacheRead)
+{
+    ProtoHarness h(bcConfig());
+    h.access(0, 0x10000, true);
+    AccessOutcome out = h.access(1, 0x10000, false);
+    EXPECT_TRUE(out.communicating);
+    EXPECT_FALSE(out.offChip);
+    EXPECT_EQ(out.servicedBy, CoreSet{0});
+    EXPECT_EQ(h.l2State(1, 0x10000), Mesif::forwarding);
+    EXPECT_EQ(h.l2State(0, 0x10000), Mesif::shared);
+    h.sys->checkCoherence();
+}
+
+TEST(Broadcast, CacheToCacheBeatsDirectoryLatency)
+{
+    Tick dir_lat = 0, bc_lat = 0;
+    {
+        ProtoHarness h;
+        h.access(0, 0x10000, true);
+        dir_lat = h.access(1, 0x10000, false).latency();
+    }
+    {
+        ProtoHarness h(bcConfig());
+        h.access(0, 0x10000, true);
+        bc_lat = h.access(1, 0x10000, false).latency();
+    }
+    EXPECT_LT(bc_lat, dir_lat);
+}
+
+TEST(Broadcast, WriteInvalidatesSharers)
+{
+    ProtoHarness h(bcConfig());
+    h.access(0, 0x10000, false);
+    h.access(1, 0x10000, false);
+    h.access(2, 0x10000, false);
+    AccessOutcome out = h.access(3, 0x10000, true);
+    EXPECT_TRUE(out.communicating);
+    EXPECT_TRUE(out.servicedBy.contains(CoreSet{0, 1, 2}));
+    for (CoreId c = 0; c < 3; ++c)
+        EXPECT_EQ(h.l2State(c, 0x10000), Mesif::invalid);
+    EXPECT_EQ(h.l2State(3, 0x10000), Mesif::modified);
+    h.sys->checkCoherence();
+}
+
+TEST(Broadcast, DirtyOwnerSuppliesData)
+{
+    ProtoHarness h(bcConfig());
+    AccessOutcome w = h.access(0, 0x10000, true);
+    AccessOutcome out = h.access(1, 0x10000, false);
+    // The (cancelled) speculative memory fetch must not have won:
+    // the reader sees the writer's version.
+    EXPECT_EQ(out.dataVersion, w.dataVersion);
+    EXPECT_EQ(out.servicedBy, CoreSet{0});
+}
+
+TEST(Broadcast, MemoryDataFillsForwardingWithSharers)
+{
+    ProtoHarness h(bcConfig());
+    h.access(0, 0x10000, false); // E at 0.
+    h.access(1, 0x10000, false); // c2c: F at 1, S at 0.
+    // Evict nothing; third reader: F at 1 forwards again.
+    AccessOutcome out = h.access(2, 0x10000, false);
+    EXPECT_EQ(out.servicedBy, CoreSet{1});
+    h.sys->checkCoherence();
+}
+
+TEST(Broadcast, SnoopLookupsChargedToAllPeers)
+{
+    ProtoHarness h(bcConfig());
+    h.access(0, 0x10000, false);
+    // Every miss snoops all 15 peers.
+    EXPECT_EQ(h.sys->stats().snoopLookups.value(), 15u);
+    h.access(1, 0x10000, false);
+    EXPECT_EQ(h.sys->stats().snoopLookups.value(), 30u);
+}
+
+TEST(Broadcast, BandwidthFarAboveDirectory)
+{
+    std::uint64_t dir_bytes = 0, bc_bytes = 0;
+    {
+        ProtoHarness h;
+        h.access(0, 0x10000, true);
+        h.access(1, 0x10000, false);
+        dir_bytes = h.mesh->stats().flitBytes.value();
+    }
+    {
+        ProtoHarness h(bcConfig());
+        h.access(0, 0x10000, true);
+        h.access(1, 0x10000, false);
+        bc_bytes = h.mesh->stats().flitBytes.value();
+    }
+    EXPECT_GT(bc_bytes, 2 * dir_bytes);
+}
+
+TEST(Broadcast, ConcurrentWritersSerialize)
+{
+    ProtoHarness h(bcConfig());
+    std::vector<std::tuple<CoreId, Addr, bool>> reqs;
+    for (CoreId c = 0; c < 8; ++c)
+        reqs.emplace_back(c, Addr{0x10000}, true);
+    auto outs = h.accessAll(reqs);
+    unsigned owners = 0;
+    for (CoreId c = 0; c < 16; ++c)
+        owners += h.l2State(c, 0x10000) == Mesif::modified;
+    EXPECT_EQ(owners, 1u);
+    // Versions are all distinct (every write serialized).
+    std::set<std::uint64_t> versions;
+    for (const auto &out : outs)
+        versions.insert(out.dataVersion);
+    EXPECT_EQ(versions.size(), outs.size());
+    EXPECT_TRUE(h.sys->drained());
+    h.sys->checkCoherence();
+}
+
+TEST(Broadcast, UpgradeCompletesWithoutData)
+{
+    ProtoHarness h(bcConfig());
+    h.access(0, 0x10000, false);
+    h.access(1, 0x10000, false);
+    AccessOutcome out = h.access(1, 0x10000, true); // Upgrade.
+    EXPECT_TRUE(out.upgrade);
+    EXPECT_FALSE(out.offChip);
+    EXPECT_EQ(h.l2State(1, 0x10000), Mesif::modified);
+    EXPECT_EQ(h.l2State(0, 0x10000), Mesif::invalid);
+    h.sys->checkCoherence();
+}
+
+TEST(Broadcast, DirtyEvictionWritesBack)
+{
+    Config cfg = bcConfig();
+    cfg.l2Bytes = 8 * 1024;
+    cfg.l2Assoc = 1;
+    cfg.l1Bytes = 1024;
+    ProtoHarness h(cfg);
+    const unsigned sets = cfg.l2Bytes / cfg.lineBytes;
+    const Addr a = 0x10000;
+    const Addr b = a + static_cast<Addr>(sets) * cfg.lineBytes;
+    AccessOutcome w = h.access(0, a, true);
+    h.access(0, b, false); // Evicts dirty a.
+    AccessOutcome out = h.access(1, a, false);
+    EXPECT_TRUE(out.offChip);
+    EXPECT_EQ(out.dataVersion, w.dataVersion);
+    h.sys->checkCoherence();
+}

@@ -1,0 +1,238 @@
+/**
+ * @file
+ * Directory MESIF protocol scenario tests: miss service paths, state
+ * transitions, writebacks, and the coherence/directory invariant
+ * checkers.
+ */
+
+#include <gtest/gtest.h>
+
+#include "harness.hh"
+
+using namespace spp;
+using namespace spp::test;
+
+TEST(DirProtocol, ColdReadFillsExclusive)
+{
+    ProtoHarness h;
+    AccessOutcome out = h.access(0, 0x10000, false);
+    EXPECT_TRUE(out.miss());
+    EXPECT_TRUE(out.offChip);
+    EXPECT_FALSE(out.communicating);
+    EXPECT_EQ(h.l2State(0, 0x10000), Mesif::exclusive);
+    EXPECT_TRUE(h.sys->drained());
+}
+
+TEST(DirProtocol, SecondReadIsLocalHit)
+{
+    ProtoHarness h;
+    h.access(0, 0x10000, false);
+    AccessOutcome out = h.access(0, 0x10000, false);
+    EXPECT_FALSE(out.miss());
+    EXPECT_TRUE(out.l1Hit);
+}
+
+TEST(DirProtocol, CacheToCacheReadFromExclusive)
+{
+    ProtoHarness h;
+    h.access(0, 0x10000, false); // Core 0 gets E.
+    AccessOutcome out = h.access(1, 0x10000, false);
+    EXPECT_TRUE(out.communicating);
+    EXPECT_FALSE(out.offChip);
+    EXPECT_EQ(out.servicedBy, CoreSet{0});
+    // Requester becomes the forwarder, the old owner degrades to S.
+    EXPECT_EQ(h.l2State(1, 0x10000), Mesif::forwarding);
+    EXPECT_EQ(h.l2State(0, 0x10000), Mesif::shared);
+}
+
+TEST(DirProtocol, CacheToCacheReadFromModified)
+{
+    ProtoHarness h;
+    h.access(0, 0x10000, true); // Core 0 gets M.
+    EXPECT_EQ(h.l2State(0, 0x10000), Mesif::modified);
+    AccessOutcome out = h.access(1, 0x10000, false);
+    EXPECT_TRUE(out.communicating);
+    EXPECT_EQ(out.servicedBy, CoreSet{0});
+    EXPECT_EQ(h.l2State(0, 0x10000), Mesif::shared);
+    EXPECT_EQ(h.l2State(1, 0x10000), Mesif::forwarding);
+    h.sys->checkCoherence(); // Dirty data deposited at home.
+}
+
+TEST(DirProtocol, ChainOfReadersPassesForwarding)
+{
+    ProtoHarness h;
+    h.access(0, 0x10000, true);
+    for (CoreId c = 1; c < 6; ++c) {
+        AccessOutcome out = h.access(c, 0x10000, false);
+        EXPECT_EQ(out.servicedBy, CoreSet::single(c - 1))
+            << "reader " << c;
+        EXPECT_EQ(h.l2State(c, 0x10000), Mesif::forwarding);
+        EXPECT_EQ(h.l2State(c - 1, 0x10000), Mesif::shared);
+    }
+    h.sys->checkCoherence();
+    h.dir()->checkDirectory();
+}
+
+TEST(DirProtocol, WriteInvalidatesAllSharers)
+{
+    ProtoHarness h;
+    h.access(0, 0x10000, false);
+    h.access(1, 0x10000, false);
+    h.access(2, 0x10000, false);
+    AccessOutcome out = h.access(3, 0x10000, true);
+    EXPECT_TRUE(out.communicating);
+    EXPECT_TRUE(out.servicedBy.contains(CoreSet{0, 1, 2}));
+    EXPECT_EQ(h.l2State(3, 0x10000), Mesif::modified);
+    for (CoreId c = 0; c < 3; ++c)
+        EXPECT_EQ(h.l2State(c, 0x10000), Mesif::invalid);
+    h.sys->checkCoherence();
+    h.dir()->checkDirectory();
+}
+
+TEST(DirProtocol, UpgradeFromShared)
+{
+    ProtoHarness h;
+    h.access(0, 0x10000, false); // E at 0.
+    h.access(1, 0x10000, false); // F at 1, S at 0.
+    AccessOutcome out = h.access(0, 0x10000, true); // Upgrade.
+    EXPECT_TRUE(out.upgrade);
+    EXPECT_TRUE(out.communicating);
+    EXPECT_TRUE(out.servicedBy.test(1));
+    EXPECT_EQ(h.l2State(0, 0x10000), Mesif::modified);
+    EXPECT_EQ(h.l2State(1, 0x10000), Mesif::invalid);
+}
+
+TEST(DirProtocol, SilentExclusiveToModified)
+{
+    ProtoHarness h;
+    h.access(0, 0x10000, false);
+    AccessOutcome out = h.access(0, 0x10000, true);
+    EXPECT_FALSE(out.miss()); // E -> M without a transaction.
+    EXPECT_EQ(h.l2State(0, 0x10000), Mesif::modified);
+}
+
+TEST(DirProtocol, WriteMissGetsDataFromOwner)
+{
+    ProtoHarness h;
+    h.access(0, 0x10000, true); // M at 0.
+    AccessOutcome out = h.access(1, 0x10000, true);
+    EXPECT_TRUE(out.communicating);
+    EXPECT_EQ(out.servicedBy, CoreSet{0});
+    EXPECT_FALSE(out.offChip);
+    EXPECT_EQ(h.l2State(0, 0x10000), Mesif::invalid);
+    EXPECT_EQ(h.l2State(1, 0x10000), Mesif::modified);
+}
+
+TEST(DirProtocol, DirtyEvictionWritesBack)
+{
+    // Tiny direct-mapped L2: two lines mapping to the same set.
+    Config cfg = ProtoHarness::smallConfig();
+    cfg.l2Bytes = 8 * 1024;
+    cfg.l2Assoc = 1;
+    cfg.l1Bytes = 1024;
+    ProtoHarness h(cfg);
+    const unsigned sets = cfg.l2Bytes / cfg.lineBytes;
+    const Addr a = 0x10000;
+    const Addr b = a + static_cast<Addr>(sets) * cfg.lineBytes;
+
+    h.access(0, a, true);  // M at 0.
+    h.access(0, b, false); // Evicts a; writeback to home.
+    EXPECT_EQ(h.l2State(0, a), Mesif::invalid);
+    EXPECT_GE(h.sys->stats().writebacks.value(), 1u);
+    EXPECT_TRUE(h.sys->drained());
+
+    // The dirty data must now live at memory: another core's read
+    // is serviced off-chip with the written version.
+    AccessOutcome out = h.access(1, a, false);
+    EXPECT_TRUE(out.offChip);
+    h.sys->checkCoherence();
+    h.dir()->checkDirectory();
+}
+
+TEST(DirProtocol, ReadAfterEvictionRefetches)
+{
+    Config cfg = ProtoHarness::smallConfig();
+    cfg.l2Bytes = 8 * 1024;
+    cfg.l2Assoc = 1;
+    cfg.l1Bytes = 1024;
+    ProtoHarness h(cfg);
+    const unsigned sets = cfg.l2Bytes / cfg.lineBytes;
+    const Addr a = 0x10000;
+    const Addr b = a + static_cast<Addr>(sets) * cfg.lineBytes;
+
+    AccessOutcome w = h.access(0, a, true);
+    h.access(0, b, false);
+    AccessOutcome out = h.access(0, a, false); // Back again.
+    EXPECT_TRUE(out.miss());
+    EXPECT_EQ(out.dataVersion, w.dataVersion); // Data survived.
+}
+
+TEST(DirProtocol, ConcurrentReadersSameLine)
+{
+    ProtoHarness h;
+    h.access(0, 0x10000, true);
+    std::vector<std::tuple<CoreId, Addr, bool>> reqs;
+    for (CoreId c = 1; c < 16; ++c)
+        reqs.emplace_back(c, Addr{0x10000}, false);
+    auto outs = h.accessAll(reqs);
+    for (const auto &out : outs) {
+        EXPECT_TRUE(out.communicating);
+        EXPECT_EQ(out.dataVersion, outs[0].dataVersion);
+    }
+    EXPECT_TRUE(h.sys->drained());
+    h.sys->checkCoherence();
+    h.dir()->checkDirectory();
+}
+
+TEST(DirProtocol, ConcurrentWritersSameLine)
+{
+    ProtoHarness h;
+    std::vector<std::tuple<CoreId, Addr, bool>> reqs;
+    for (CoreId c = 0; c < 8; ++c)
+        reqs.emplace_back(c, Addr{0x10000}, true);
+    auto outs = h.accessAll(reqs);
+    // Exactly one core ends with the line in M.
+    unsigned owners = 0;
+    for (CoreId c = 0; c < 16; ++c)
+        owners += h.l2State(c, 0x10000) == Mesif::modified;
+    EXPECT_EQ(owners, 1u);
+    h.sys->checkCoherence();
+    h.dir()->checkDirectory();
+}
+
+TEST(DirProtocol, MixedReadersWritersSameLine)
+{
+    ProtoHarness h;
+    std::vector<std::tuple<CoreId, Addr, bool>> reqs;
+    for (CoreId c = 0; c < 12; ++c)
+        reqs.emplace_back(c, Addr{0x10000}, c % 3 == 0);
+    h.accessAll(reqs);
+    EXPECT_TRUE(h.sys->drained());
+    h.sys->checkCoherence();
+    h.dir()->checkDirectory();
+}
+
+TEST(DirProtocol, VersionsMonotonicUnderWrites)
+{
+    ProtoHarness h;
+    std::uint64_t last = 0;
+    for (int i = 0; i < 10; ++i) {
+        AccessOutcome out = h.access(i % 4, 0x10000, true);
+        EXPECT_GT(out.dataVersion, last);
+        last = out.dataVersion;
+    }
+}
+
+TEST(DirProtocol, StatsAreConsistent)
+{
+    ProtoHarness h;
+    h.access(0, 0x10000, false);
+    h.access(1, 0x10000, false);
+    h.access(2, 0x20000, true);
+    const MemSysStats &s = h.sys->stats();
+    EXPECT_EQ(s.accesses.value(), 3u);
+    EXPECT_EQ(s.misses.value(), 3u);
+    EXPECT_EQ(s.communicatingMisses.value(), 1u);
+    EXPECT_EQ(s.offChipMisses.value(), 2u);
+    EXPECT_EQ(s.missLatency.count(), 3u);
+}

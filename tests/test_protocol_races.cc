@@ -1,0 +1,172 @@
+/**
+ * @file
+ * Targeted protocol race scenarios: upgrade/write races, reads
+ * crossing in-flight writebacks, predicted requests racing active
+ * transactions, and message-name coverage.
+ */
+
+#include <gtest/gtest.h>
+
+#include "coherence/messages.hh"
+#include "harness.hh"
+
+using namespace spp;
+using namespace spp::test;
+
+TEST(Races, UpgradeVsWriteOnSharedLine)
+{
+    // Both cores hold the line Shared, both upgrade concurrently:
+    // exactly one wins first, the loser re-fetches data, both writes
+    // serialize with distinct versions.
+    ProtoHarness h;
+    h.access(0, 0x10000, false);
+    h.access(1, 0x10000, false);
+    auto outs = h.accessAll({{0, 0x10000, true}, {1, 0x10000, true}});
+    EXPECT_NE(outs[0].dataVersion, outs[1].dataVersion);
+    unsigned owners = 0;
+    for (CoreId c = 0; c < 16; ++c)
+        owners += h.l2State(c, 0x10000) == Mesif::modified;
+    EXPECT_EQ(owners, 1u);
+    h.sys->checkCoherence();
+    h.dir()->checkDirectory();
+}
+
+TEST(Races, ReadVsWriteInterleave)
+{
+    ProtoHarness h;
+    h.access(0, 0x10000, true);
+    // Writer and three readers race on the same line.
+    auto outs = h.accessAll({{1, 0x10000, false},
+                             {2, 0x10000, true},
+                             {3, 0x10000, false},
+                             {4, 0x10000, false}});
+    for (const auto &out : outs)
+        EXPECT_TRUE(out.communicating);
+    h.sys->checkCoherence();
+    h.dir()->checkDirectory();
+}
+
+TEST(Races, ReadCrossesEviction)
+{
+    // Core 0's dirty line is being evicted (writeback in flight)
+    // while core 1 reads it; the writeback buffer must service or
+    // the memory path must deliver the committed version.
+    Config cfg = ProtoHarness::smallConfig();
+    cfg.l2Bytes = 8 * 1024;
+    cfg.l2Assoc = 1;
+    cfg.l1Bytes = 1024;
+    ProtoHarness h(cfg);
+    const unsigned sets = cfg.l2Bytes / cfg.lineBytes;
+    const Addr a = 0x10000;
+    const Addr conflict = a + static_cast<Addr>(sets) * cfg.lineBytes;
+
+    AccessOutcome w = h.access(0, a, true);
+    // Concurrently: core 0 touches the conflicting line (evicting a)
+    // while core 1 reads a.
+    auto outs = h.accessAll({{0, conflict, false},
+                             {1, Addr{a}, false}});
+    EXPECT_EQ(outs[1].dataVersion, w.dataVersion);
+    EXPECT_TRUE(h.sys->drained());
+    h.sys->checkCoherence();
+    h.dir()->checkDirectory();
+}
+
+TEST(Races, EvictorReacquiresOwnWritebackLine)
+{
+    // A core re-references a line it just evicted: the access stalls
+    // on the writeback buffer and then refetches cleanly.
+    Config cfg = ProtoHarness::smallConfig();
+    cfg.l2Bytes = 8 * 1024;
+    cfg.l2Assoc = 1;
+    cfg.l1Bytes = 1024;
+    ProtoHarness h(cfg);
+    const unsigned sets = cfg.l2Bytes / cfg.lineBytes;
+    const Addr a = 0x10000;
+    const Addr conflict = a + static_cast<Addr>(sets) * cfg.lineBytes;
+
+    AccessOutcome w = h.access(0, a, true);
+    // Both in flight from the same core is impossible (in-order), so
+    // force the tight sequence: evict then immediately re-access.
+    std::vector<AccessOutcome> outs(2);
+    h.sys->access(0, conflict, false, 0x1,
+                  [&](const AccessOutcome &o) {
+                      outs[0] = o;
+                      h.sys->access(0, a, false, 0x2,
+                                    [&](const AccessOutcome &oo) {
+                                        outs[1] = oo;
+                                    });
+                  });
+    h.eq.run();
+    EXPECT_EQ(outs[1].dataVersion, w.dataVersion);
+    EXPECT_TRUE(outs[1].miss());
+    h.sys->checkCoherence();
+}
+
+TEST(Races, PredictedRequestDuringActiveTransaction)
+{
+    // Core 1 predicts the owner while core 2's write transaction on
+    // the same line is in flight: the predicted request must Nack or
+    // resolve consistently; no deadlock, coherent end state.
+    Config cfg = ProtoHarness::smallConfig();
+    cfg.protocol = Protocol::predicted;
+    cfg.predictor = PredictorKind::sp;
+    ProtoHarness h(cfg);
+    h.access(5, 0x10000, true);
+
+    // Prime both cores 1 and 2 towards core 5.
+    for (CoreId c : {1u, 2u}) {
+        SyncPointInfo info;
+        info.type = SyncType::barrier;
+        info.staticId = 0x70;
+        PredictionQuery q;
+        q.core = c;
+        h.sp->onSyncPoint(c, info);
+        for (int i = 0; i < 20; ++i) {
+            h.sp->trainResponse(q, CoreSet{5});
+            h.sp->feedback(c, Prediction{}, true, false);
+        }
+        h.sp->onSyncPoint(c, info);
+    }
+
+    auto outs = h.accessAll({{2, 0x10000, true},
+                             {1, 0x10000, false}});
+    EXPECT_TRUE(h.sys->drained());
+    for (const auto &out : outs)
+        EXPECT_TRUE(out.communicating);
+    h.sys->checkCoherence();
+    h.dir()->checkDirectory();
+}
+
+TEST(Races, ManyLinesManyCoresChurn)
+{
+    // Dense conflict churn over a handful of lines, repeated so that
+    // queued transactions, upgrades-turned-misses and writebacks all
+    // interleave.
+    Config cfg = ProtoHarness::smallConfig();
+    cfg.l2Bytes = 8 * 1024;
+    cfg.l2Assoc = 1;
+    cfg.l1Bytes = 1024;
+    ProtoHarness h(cfg);
+    for (unsigned round = 0; round < 20; ++round) {
+        std::vector<std::tuple<CoreId, Addr, bool>> reqs;
+        for (CoreId c = 0; c < 16; ++c) {
+            const Addr line = 0x10000 +
+                ((c + round) % 4) * cfg.lineBytes;
+            reqs.emplace_back(c, line, (c + round) % 3 == 0);
+        }
+        h.accessAll(reqs);
+        ASSERT_TRUE(h.sys->drained()) << "round " << round;
+    }
+    h.sys->checkCoherence();
+    h.dir()->checkDirectory();
+}
+
+TEST(Messages, NamesCoverAllTypes)
+{
+    for (int i = 0; i <= static_cast<int>(MsgType::cancel); ++i) {
+        EXPECT_STRNE(toString(static_cast<MsgType>(i)), "?")
+            << "missing name for MsgType " << i;
+    }
+    EXPECT_STREQ(toString(MsgType::predFailed), "predFailed");
+    EXPECT_STREQ(toString(MsgType::wbAck), "wbAck");
+}

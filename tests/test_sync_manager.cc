@@ -1,0 +1,236 @@
+/**
+ * @file
+ * Unit tests for the synchronization runtime: barriers, locks,
+ * condition variables, semaphores, join and sync-point notification.
+ */
+
+#include <gtest/gtest.h>
+
+#include <set>
+
+#include "common/config.hh"
+#include "event/event_queue.hh"
+#include "sync/sync_manager.hh"
+
+using namespace spp;
+
+namespace {
+
+struct Recorder : SyncListener
+{
+    struct Event
+    {
+        CoreId core;
+        SyncPointInfo info;
+    };
+    std::vector<Event> events;
+
+    void
+    onSyncPoint(CoreId core, const SyncPointInfo &info) override
+    {
+        events.push_back({core, info});
+    }
+
+    unsigned
+    countOf(SyncType t) const
+    {
+        unsigned n = 0;
+        for (const auto &e : events)
+            n += e.info.type == t;
+        return n;
+    }
+};
+
+struct SyncFixture : ::testing::Test
+{
+    Config cfg;
+    EventQueue eq;
+    SyncManager mgr{cfg, eq, 0};
+    Recorder rec;
+
+    SyncFixture() { mgr.addListener(&rec); }
+};
+
+} // namespace
+
+TEST_F(SyncFixture, DistinctSyncVariableAddresses)
+{
+    std::set<Addr> addrs;
+    for (unsigned i = 0; i < 8; ++i) {
+        addrs.insert(mgr.barrierAddr(i));
+        addrs.insert(mgr.barrierGenAddr(i));
+        addrs.insert(mgr.lockAddr(i));
+        addrs.insert(mgr.condAddr(i));
+    }
+    EXPECT_EQ(addrs.size(), 32u); // All distinct cache lines.
+    EXPECT_EQ(mgr.barrierAddr(1) - mgr.barrierAddr(0), cfg.lineBytes);
+}
+
+TEST_F(SyncFixture, BarrierReleasesAllAtOnce)
+{
+    unsigned released = 0;
+    for (CoreId c = 0; c < 4; ++c)
+        mgr.barrierArrive(c, 0, 4, 0x99, [&] { ++released; });
+    EXPECT_EQ(released, 0u); // Callbacks run via the event queue.
+    eq.run();
+    EXPECT_EQ(released, 4u);
+    EXPECT_EQ(rec.countOf(SyncType::barrier), 4u);
+    EXPECT_EQ(mgr.stats().barriersReleased.value(), 1u);
+}
+
+TEST_F(SyncFixture, BarrierNotReleasedEarly)
+{
+    unsigned released = 0;
+    for (CoreId c = 0; c < 3; ++c)
+        mgr.barrierArrive(c, 0, 4, 0x99, [&] { ++released; });
+    eq.run();
+    EXPECT_EQ(released, 0u);
+    mgr.barrierArrive(3, 0, 4, 0x99, [&] { ++released; });
+    eq.run();
+    EXPECT_EQ(released, 4u);
+}
+
+TEST_F(SyncFixture, BarrierReusableAcrossInstances)
+{
+    for (int round = 0; round < 3; ++round) {
+        unsigned released = 0;
+        for (CoreId c = 0; c < 2; ++c)
+            mgr.barrierArrive(c, 5, 2, 0x99, [&] { ++released; });
+        eq.run();
+        EXPECT_EQ(released, 2u);
+    }
+    // Dynamic IDs advanced per core per static ID.
+    EXPECT_EQ(rec.events.back().info.dynamicId, 2u);
+}
+
+TEST_F(SyncFixture, LockGrantAndQueue)
+{
+    bool a = false, b = false;
+    mgr.lockAcquire(1, 0, [&] { a = true; });
+    eq.run();
+    EXPECT_TRUE(a);
+    mgr.lockAcquire(2, 0, [&] { b = true; });
+    eq.run();
+    EXPECT_FALSE(b); // Queued behind core 1.
+    EXPECT_EQ(mgr.stats().lockContended.value(), 1u);
+    mgr.lockRelease(1, 0);
+    eq.run();
+    EXPECT_TRUE(b);
+    EXPECT_EQ(mgr.lastReleaser(0), 1u);
+}
+
+TEST_F(SyncFixture, LockSyncPointCarriesPrevHolder)
+{
+    mgr.lockAcquire(1, 0, [] {});
+    eq.run();
+    mgr.lockRelease(1, 0);
+    mgr.lockAcquire(2, 0, [] {});
+    eq.run();
+    // Find the lock sync-point at core 2.
+    bool found = false;
+    for (const auto &e : rec.events) {
+        if (e.core == 2 && e.info.type == SyncType::lock) {
+            EXPECT_EQ(e.info.prevHolder, 1u);
+            EXPECT_EQ(e.info.staticId, mgr.lockAddr(0));
+            found = true;
+        }
+    }
+    EXPECT_TRUE(found);
+}
+
+TEST_F(SyncFixture, UnlockFiresUnlockSyncPoint)
+{
+    mgr.lockAcquire(1, 0, [] {});
+    eq.run();
+    mgr.lockRelease(1, 0);
+    EXPECT_EQ(rec.countOf(SyncType::unlock), 1u);
+}
+
+TEST_F(SyncFixture, ReleaseUnheldLockPanics)
+{
+    EXPECT_DEATH({ mgr.lockRelease(3, 7); }, "released lock");
+}
+
+TEST_F(SyncFixture, CondSignalWakesOne)
+{
+    unsigned woken = 0;
+    mgr.condWait(1, 0, 0x10, [&] { ++woken; });
+    mgr.condWait(2, 0, 0x10, [&] { ++woken; });
+    mgr.condSignal(3, 0, 0x11);
+    eq.run();
+    EXPECT_EQ(woken, 1u);
+    mgr.condSignal(3, 0, 0x11);
+    eq.run();
+    EXPECT_EQ(woken, 2u);
+}
+
+TEST_F(SyncFixture, CondBroadcastWakesAll)
+{
+    unsigned woken = 0;
+    for (CoreId c = 1; c <= 3; ++c)
+        mgr.condWait(c, 0, 0x10, [&] { ++woken; });
+    mgr.condBroadcast(0, 0, 0x11);
+    eq.run();
+    EXPECT_EQ(woken, 3u);
+    EXPECT_EQ(rec.countOf(SyncType::broadcastWake), 4u);
+}
+
+TEST_F(SyncFixture, SignalWithNoWaiterIsLost)
+{
+    mgr.condSignal(0, 0, 0x11);
+    unsigned woken = 0;
+    mgr.condWait(1, 0, 0x10, [&] { ++woken; });
+    eq.run();
+    EXPECT_EQ(woken, 0u); // Condvars lose signals (unlike sems).
+}
+
+TEST_F(SyncFixture, SemaphoreBanksTokens)
+{
+    mgr.semPost(0, 0, 0x20);
+    mgr.semPost(0, 0, 0x20);
+    unsigned woken = 0;
+    mgr.semWait(1, 0, 0x21, [&] { ++woken; });
+    mgr.semWait(2, 0, 0x21, [&] { ++woken; });
+    mgr.semWait(3, 0, 0x21, [&] { ++woken; });
+    eq.run();
+    EXPECT_EQ(woken, 2u); // Two banked tokens consumed.
+    mgr.semPost(0, 0, 0x20);
+    eq.run();
+    EXPECT_EQ(woken, 3u);
+}
+
+TEST_F(SyncFixture, JoinWaitsForAllOthers)
+{
+    bool joined = false;
+    mgr.joinAll(0, 0x30, [&] { joined = true; });
+    for (CoreId c = 1; c < cfg.numCores; ++c) {
+        EXPECT_FALSE(joined);
+        mgr.threadDone(c);
+        eq.run();
+    }
+    EXPECT_TRUE(joined);
+    EXPECT_EQ(rec.countOf(SyncType::join), 1u);
+}
+
+TEST_F(SyncFixture, JoinAfterAllDoneIsImmediate)
+{
+    for (CoreId c = 1; c < cfg.numCores; ++c)
+        mgr.threadDone(c);
+    bool joined = false;
+    mgr.joinAll(0, 0x30, [&] { joined = true; });
+    eq.run();
+    EXPECT_TRUE(joined);
+}
+
+TEST_F(SyncFixture, DynamicIdsCountPerCoreAndStaticId)
+{
+    mgr.notify(0, SyncType::barrier, 7);
+    mgr.notify(0, SyncType::barrier, 7);
+    mgr.notify(0, SyncType::barrier, 8);
+    mgr.notify(1, SyncType::barrier, 7);
+    ASSERT_EQ(rec.events.size(), 4u);
+    EXPECT_EQ(rec.events[0].info.dynamicId, 0u);
+    EXPECT_EQ(rec.events[1].info.dynamicId, 1u);
+    EXPECT_EQ(rec.events[2].info.dynamicId, 0u); // New static ID.
+    EXPECT_EQ(rec.events[3].info.dynamicId, 0u); // New core.
+}

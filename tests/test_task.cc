@@ -1,0 +1,256 @@
+/**
+ * @file
+ * Unit tests for the coroutine Task type and the ThreadContext /
+ * CmpSystem execution layer.
+ */
+
+#include <gtest/gtest.h>
+
+#include "sim/cmp_system.hh"
+#include "sim/task.hh"
+
+using namespace spp;
+
+namespace {
+
+Task
+noopTask(int &counter)
+{
+    ++counter;
+    co_return;
+}
+
+Task
+childTask(std::vector<int> &log, int id)
+{
+    log.push_back(id);
+    co_return;
+}
+
+Task
+parentTask(std::vector<int> &log)
+{
+    log.push_back(0);
+    co_await childTask(log, 1);
+    log.push_back(2);
+    co_await childTask(log, 3);
+    log.push_back(4);
+}
+
+} // namespace
+
+TEST(Task, LazyStart)
+{
+    int counter = 0;
+    Task t = noopTask(counter);
+    EXPECT_EQ(counter, 0); // Not started yet.
+    bool done = false;
+    t.start([&] { done = true; });
+    EXPECT_EQ(counter, 1);
+    EXPECT_TRUE(done);
+    EXPECT_TRUE(t.done());
+}
+
+TEST(Task, NestedTasksRunInOrder)
+{
+    std::vector<int> log;
+    Task t = parentTask(log);
+    t.start();
+    EXPECT_EQ(log, (std::vector<int>{0, 1, 2, 3, 4}));
+    EXPECT_TRUE(t.done());
+}
+
+TEST(Task, MoveTransfersOwnership)
+{
+    int counter = 0;
+    Task a = noopTask(counter);
+    Task b = std::move(a);
+    b.start();
+    EXPECT_EQ(counter, 1);
+}
+
+// --- CmpSystem-level execution ---
+
+namespace {
+
+Config
+tinyConfig()
+{
+    Config cfg;
+    cfg.l2Bytes = 64 * 1024;
+    cfg.l1Bytes = 4 * 1024;
+    return cfg;
+}
+
+} // namespace
+
+TEST(CmpSystem, RunsSimplePrograms)
+{
+    CmpSystem sys(tinyConfig());
+    RunResult r = sys.run([](ThreadContext &ctx) -> Task {
+        for (int i = 0; i < 10; ++i) {
+            co_await ctx.write(ctx.priv(i), 0x100);
+            co_await ctx.compute(10);
+        }
+    });
+    EXPECT_GT(r.ticks, 0u);
+    EXPECT_EQ(r.mem.accesses.value(), 16u * 10u);
+    EXPECT_GT(r.eventsExecuted, 0u);
+}
+
+TEST(CmpSystem, BarrierSynchronizesThreads)
+{
+    CmpSystem sys(tinyConfig());
+    // Producer/consumer through a barrier: every consumer must see
+    // the producer's version.
+    struct Shared
+    {
+        std::vector<std::uint64_t> versions =
+            std::vector<std::uint64_t>(16, 0);
+    };
+    auto shared = std::make_shared<Shared>();
+    sys.run([shared](ThreadContext &ctx) -> Task {
+        const Addr line = ctx.shared(0);
+        if (ctx.self() == 0)
+            co_await ctx.write(line, 0x10);
+        co_await ctx.barrier(0, 0x20);
+        AccessOutcome out = co_await ctx.read(line, 0x30);
+        shared->versions[ctx.self()] = out.dataVersion;
+    });
+    for (unsigned c = 1; c < 16; ++c)
+        EXPECT_EQ(shared->versions[c], shared->versions[0]);
+    EXPECT_GT(shared->versions[0], 0u);
+}
+
+TEST(CmpSystem, LocksAreMutuallyExclusiveAndOrdered)
+{
+    CmpSystem sys(tinyConfig());
+    auto order = std::make_shared<std::vector<CoreId>>();
+    sys.run([order](ThreadContext &ctx) -> Task {
+        co_await ctx.lock(0);
+        order->push_back(ctx.self());
+        co_await ctx.compute(50);
+        co_await ctx.unlock(0);
+    });
+    EXPECT_EQ(order->size(), 16u);
+    // All cores appear exactly once.
+    std::set<CoreId> seen(order->begin(), order->end());
+    EXPECT_EQ(seen.size(), 16u);
+}
+
+TEST(CmpSystem, SemaphoresChainPipelines)
+{
+    CmpSystem sys(tinyConfig());
+    auto order = std::make_shared<std::vector<CoreId>>();
+    sys.run([order](ThreadContext &ctx) -> Task {
+        const CoreId t = ctx.self();
+        if (t != 0)
+            co_await ctx.semWait(t, 0x10);
+        order->push_back(t);
+        if (t + 1 < ctx.numThreads())
+            co_await ctx.semPost(t + 1, 0x11);
+    });
+    // The chain enforces strictly increasing order.
+    for (unsigned i = 0; i < order->size(); ++i)
+        EXPECT_EQ((*order)[i], i);
+}
+
+TEST(CmpSystem, CondvarsSignalAcrossThreads)
+{
+    CmpSystem sys(tinyConfig());
+    auto woken = std::make_shared<std::vector<CoreId>>();
+    sys.run([woken](ThreadContext &ctx) -> Task {
+        const CoreId t = ctx.self();
+        if (t == 0) {
+            // Give waiters time to park, then wake them one by one,
+            // finishing with a broadcast.
+            co_await ctx.compute(4000);
+            co_await ctx.condSignal(0, 0x20);
+            co_await ctx.compute(200);
+            co_await ctx.condBroadcast(0, 0x21);
+        } else if (t < 5) {
+            co_await ctx.condWait(0, 0x22);
+            woken->push_back(t);
+        }
+    });
+    // One waiter woke on the signal, the rest on the broadcast.
+    EXPECT_EQ(woken->size(), 4u);
+}
+
+TEST(CmpSystem, SyncPointsReachListeners)
+{
+    CmpSystem sys(tinyConfig());
+    unsigned barriers = 0;
+    struct Listener : SyncListener
+    {
+        unsigned *count;
+        void
+        onSyncPoint(CoreId, const SyncPointInfo &info) override
+        {
+            if (info.type == SyncType::barrier)
+                ++*count;
+        }
+    } listener;
+    listener.count = &barriers;
+    sys.syncManager().addListener(&listener);
+    sys.run([](ThreadContext &ctx) -> Task {
+        co_await ctx.barrier(0, 0x99);
+        co_await ctx.barrier(1, 0x9a);
+    });
+    EXPECT_EQ(barriers, 32u);
+}
+
+TEST(CmpSystem, AccessObserverSeesEveryAccess)
+{
+    CmpSystem sys(tinyConfig());
+    unsigned seen = 0;
+    sys.setAccessObserver(
+        [&](CoreId, Addr, Pc, const AccessOutcome &) { ++seen; });
+    RunResult r = sys.run([](ThreadContext &ctx) -> Task {
+        for (int i = 0; i < 5; ++i)
+            co_await ctx.read(ctx.priv(i), 0x100);
+    });
+    EXPECT_EQ(seen, r.mem.accesses.value());
+}
+
+TEST(CmpSystem, DeterministicAcrossRuns)
+{
+    auto run_once = [] {
+        Config cfg;
+        cfg.l2Bytes = 64 * 1024;
+        cfg.l1Bytes = 4 * 1024;
+        cfg.seed = 77;
+        CmpSystem sys(cfg);
+        return sys.run([](ThreadContext &ctx) -> Task {
+            for (int i = 0; i < 50; ++i) {
+                const Addr a =
+                    ctx.shared(ctx.rng().below(64));
+                if (ctx.rng().chance(0.3))
+                    co_await ctx.write(a, 0x100);
+                else
+                    co_await ctx.read(a, 0x100);
+            }
+            co_await ctx.barrier(0, 0x200);
+        });
+    };
+    RunResult a = run_once();
+    RunResult b = run_once();
+    EXPECT_EQ(a.ticks, b.ticks);
+    EXPECT_EQ(a.mem.misses.value(), b.mem.misses.value());
+    EXPECT_EQ(a.noc.flitBytes.value(), b.noc.flitBytes.value());
+    EXPECT_EQ(a.eventsExecuted, b.eventsExecuted);
+}
+
+TEST(CmpSystem, MaxTicksGuardFires)
+{
+    Config cfg = tinyConfig();
+    cfg.maxTicks = 10; // Far too small to finish.
+    CmpSystem sys(cfg);
+    EXPECT_DEATH(
+        {
+            sys.run([](ThreadContext &ctx) -> Task {
+                co_await ctx.barrier(0, 1);
+            });
+        },
+        "maxTicks");
+}

@@ -1,0 +1,133 @@
+/**
+ * @file
+ * Workload-suite tests: every registered workload completes under
+ * every protocol at a reduced scale, generates communication, and
+ * leaves the system coherent. Parameterized sweep (17 workloads x 3
+ * schemes).
+ */
+
+#include <gtest/gtest.h>
+
+#include "analysis/epoch_stats.hh"
+#include "analysis/experiment.hh"
+#include "workload/workload.hh"
+
+using namespace spp;
+
+namespace {
+
+struct WlParam
+{
+    std::string workload;
+    Protocol protocol;
+    PredictorKind predictor;
+};
+
+class WorkloadSweep : public ::testing::TestWithParam<WlParam>
+{};
+
+std::vector<WlParam>
+allParams()
+{
+    std::vector<WlParam> params;
+    for (const auto &spec : workloadRegistry()) {
+        params.push_back(
+            {spec.name, Protocol::directory, PredictorKind::none});
+        params.push_back(
+            {spec.name, Protocol::broadcast, PredictorKind::none});
+        params.push_back(
+            {spec.name, Protocol::predicted, PredictorKind::sp});
+        params.push_back(
+            {spec.name, Protocol::multicast, PredictorKind::sp});
+    }
+    return params;
+}
+
+} // namespace
+
+TEST_P(WorkloadSweep, RunsToCompletionCoherently)
+{
+    const WlParam &p = GetParam();
+    ExperimentConfig cfg;
+    cfg.protocol = p.protocol;
+    cfg.predictor = p.predictor;
+    cfg.scale = 0.25;
+    cfg.collectTrace = true;
+    cfg.checkCoherence = true;
+    ExperimentResult r = runExperiment(p.workload, cfg);
+
+    EXPECT_GT(r.run.ticks, 0u);
+    EXPECT_GT(r.run.mem.misses.value(), 0u);
+    EXPECT_GT(r.run.mem.communicatingMisses.value(), 0u);
+    EXPECT_LE(r.run.mem.communicatingMisses.value(),
+              r.run.mem.misses.value());
+    EXPECT_GT(r.run.sync.syncPoints.value(), 0u);
+    EXPECT_GT(r.run.noc.flitBytes.value(), 0u);
+
+    // Epoch accounting is sane.
+    const EpochStats es = computeEpochStats(*r.trace);
+    EXPECT_GT(es.dynEpochsPerCore, 0.0);
+
+    if (p.protocol == Protocol::predicted ||
+        p.protocol == Protocol::multicast) {
+        EXPECT_GT(r.run.mem.predictionsAttempted.value(), 0u)
+            << "SP-prediction never fired on " << p.workload;
+    }
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    AllWorkloads, WorkloadSweep, ::testing::ValuesIn(allParams()),
+    [](const auto &info) {
+        std::string name = info.param.workload + "_" +
+            toString(info.param.protocol);
+        for (char &c : name)
+            if (c == '-')
+                c = '_';
+        return name;
+    });
+
+TEST(WorkloadRegistry, HasAllSeventeen)
+{
+    EXPECT_EQ(workloadRegistry().size(), 17u);
+    EXPECT_NE(findWorkload("fmm"), nullptr);
+    EXPECT_NE(findWorkload("x264"), nullptr);
+    EXPECT_EQ(findWorkload("nosuch"), nullptr);
+}
+
+TEST(WorkloadRegistry, MetadataMatchesPaperTable1)
+{
+    const WorkloadSpec *sc = findWorkload("streamcluster");
+    ASSERT_NE(sc, nullptr);
+    EXPECT_EQ(sc->paperStaticCS, 1u);
+    EXPECT_EQ(sc->paperDynEpochs, 11454u);
+    const WorkloadSpec *ws = findWorkload("water-sp");
+    ASSERT_NE(ws, nullptr);
+    EXPECT_EQ(ws->paperStaticEpochs, 1u);
+}
+
+TEST(WorkloadCharacter, FewVsManyEpochRegimes)
+{
+    // The epoch-count regimes of Table 1 must be preserved: x264 and
+    // ferret are sparse in sync-points, streamcluster and ocean are
+    // dense.
+    auto dyn_epochs = [](const char *name) {
+        ExperimentConfig cfg;
+        cfg.scale = 0.5;
+        cfg.collectTrace = true;
+        ExperimentResult r = runExperiment(name, cfg);
+        return computeEpochStats(*r.trace).dynEpochsPerCore;
+    };
+    const double sparse = dyn_epochs("x264");
+    const double dense = dyn_epochs("streamcluster");
+    EXPECT_GT(dense, 3.0 * sparse);
+}
+
+TEST(WorkloadCharacter, RadixIsPrivateHeavy)
+{
+    ExperimentConfig cfg;
+    cfg.scale = 0.5;
+    ExperimentResult radix = runExperiment("radix", cfg);
+    ExperimentResult x264 = runExperiment("x264", cfg);
+    EXPECT_LT(radix.commMissFraction(), 0.25);
+    EXPECT_GT(x264.commMissFraction(), 0.5);
+}
