@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "../bench/ablation_dram"
+  "../bench/ablation_dram.pdb"
+  "CMakeFiles/ablation_dram.dir/ablation_dram.cpp.o"
+  "CMakeFiles/ablation_dram.dir/ablation_dram.cpp.o.d"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/ablation_dram.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

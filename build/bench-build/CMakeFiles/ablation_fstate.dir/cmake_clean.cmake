@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "../bench/ablation_fstate"
+  "../bench/ablation_fstate.pdb"
+  "CMakeFiles/ablation_fstate.dir/ablation_fstate.cpp.o"
+  "CMakeFiles/ablation_fstate.dir/ablation_fstate.cpp.o.d"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/ablation_fstate.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "../bench/ablation_macroblock"
+  "../bench/ablation_macroblock.pdb"
+  "CMakeFiles/ablation_macroblock.dir/ablation_macroblock.cpp.o"
+  "CMakeFiles/ablation_macroblock.dir/ablation_macroblock.cpp.o.d"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/ablation_macroblock.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "../bench/ablation_profile"
+  "../bench/ablation_profile.pdb"
+  "CMakeFiles/ablation_profile.dir/ablation_profile.cpp.o"
+  "CMakeFiles/ablation_profile.dir/ablation_profile.cpp.o.d"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/ablation_profile.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

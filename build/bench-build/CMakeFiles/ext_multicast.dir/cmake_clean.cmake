@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "../bench/ext_multicast"
+  "../bench/ext_multicast.pdb"
+  "CMakeFiles/ext_multicast.dir/ext_multicast.cpp.o"
+  "CMakeFiles/ext_multicast.dir/ext_multicast.cpp.o.d"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/ext_multicast.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

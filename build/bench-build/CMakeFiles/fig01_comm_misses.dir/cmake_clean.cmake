@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "../bench/fig01_comm_misses"
+  "../bench/fig01_comm_misses.pdb"
+  "CMakeFiles/fig01_comm_misses.dir/fig01_comm_misses.cpp.o"
+  "CMakeFiles/fig01_comm_misses.dir/fig01_comm_misses.cpp.o.d"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fig01_comm_misses.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "../bench/fig02_comm_distribution"
+  "../bench/fig02_comm_distribution.pdb"
+  "CMakeFiles/fig02_comm_distribution.dir/fig02_comm_distribution.cpp.o"
+  "CMakeFiles/fig02_comm_distribution.dir/fig02_comm_distribution.cpp.o.d"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fig02_comm_distribution.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

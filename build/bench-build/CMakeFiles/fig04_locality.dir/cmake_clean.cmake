@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "../bench/fig04_locality"
+  "../bench/fig04_locality.pdb"
+  "CMakeFiles/fig04_locality.dir/fig04_locality.cpp.o"
+  "CMakeFiles/fig04_locality.dir/fig04_locality.cpp.o.d"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fig04_locality.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "../bench/fig05_hotset_sizes"
+  "../bench/fig05_hotset_sizes.pdb"
+  "CMakeFiles/fig05_hotset_sizes.dir/fig05_hotset_sizes.cpp.o"
+  "CMakeFiles/fig05_hotset_sizes.dir/fig05_hotset_sizes.cpp.o.d"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fig05_hotset_sizes.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

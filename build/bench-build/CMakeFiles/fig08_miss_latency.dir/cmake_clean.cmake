@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "../bench/fig08_miss_latency"
+  "../bench/fig08_miss_latency.pdb"
+  "CMakeFiles/fig08_miss_latency.dir/fig08_miss_latency.cpp.o"
+  "CMakeFiles/fig08_miss_latency.dir/fig08_miss_latency.cpp.o.d"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fig08_miss_latency.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

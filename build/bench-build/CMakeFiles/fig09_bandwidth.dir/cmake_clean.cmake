@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "../bench/fig09_bandwidth"
+  "../bench/fig09_bandwidth.pdb"
+  "CMakeFiles/fig09_bandwidth.dir/fig09_bandwidth.cpp.o"
+  "CMakeFiles/fig09_bandwidth.dir/fig09_bandwidth.cpp.o.d"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fig09_bandwidth.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "../bench/table1_sync_stats"
+  "../bench/table1_sync_stats.pdb"
+  "CMakeFiles/table1_sync_stats.dir/table1_sync_stats.cpp.o"
+  "CMakeFiles/table1_sync_stats.dir/table1_sync_stats.cpp.o.d"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/table1_sync_stats.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "../bench/table5_setsize"
+  "../bench/table5_setsize.pdb"
+  "CMakeFiles/table5_setsize.dir/table5_setsize.cpp.o"
+  "CMakeFiles/table5_setsize.dir/table5_setsize.cpp.o.d"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/table5_setsize.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

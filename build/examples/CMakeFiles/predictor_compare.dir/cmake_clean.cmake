@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/predictor_compare.dir/predictor_compare.cpp.o"
+  "CMakeFiles/predictor_compare.dir/predictor_compare.cpp.o.d"
+  "predictor_compare"
+  "predictor_compare.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/predictor_compare.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/runner.dir/runner.cpp.o"
+  "CMakeFiles/runner.dir/runner.cpp.o.d"
+  "runner"
+  "runner.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/runner.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,50 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/analysis/event_trace.cc" "src/CMakeFiles/spp.dir/analysis/event_trace.cc.o" "gcc" "src/CMakeFiles/spp.dir/analysis/event_trace.cc.o.d"
+  "/root/repo/src/analysis/experiment.cc" "src/CMakeFiles/spp.dir/analysis/experiment.cc.o" "gcc" "src/CMakeFiles/spp.dir/analysis/experiment.cc.o.d"
+  "/root/repo/src/analysis/locality.cc" "src/CMakeFiles/spp.dir/analysis/locality.cc.o" "gcc" "src/CMakeFiles/spp.dir/analysis/locality.cc.o.d"
+  "/root/repo/src/analysis/patterns.cc" "src/CMakeFiles/spp.dir/analysis/patterns.cc.o" "gcc" "src/CMakeFiles/spp.dir/analysis/patterns.cc.o.d"
+  "/root/repo/src/analysis/profile.cc" "src/CMakeFiles/spp.dir/analysis/profile.cc.o" "gcc" "src/CMakeFiles/spp.dir/analysis/profile.cc.o.d"
+  "/root/repo/src/analysis/report.cc" "src/CMakeFiles/spp.dir/analysis/report.cc.o" "gcc" "src/CMakeFiles/spp.dir/analysis/report.cc.o.d"
+  "/root/repo/src/analysis/stats_report.cc" "src/CMakeFiles/spp.dir/analysis/stats_report.cc.o" "gcc" "src/CMakeFiles/spp.dir/analysis/stats_report.cc.o.d"
+  "/root/repo/src/analysis/trace.cc" "src/CMakeFiles/spp.dir/analysis/trace.cc.o" "gcc" "src/CMakeFiles/spp.dir/analysis/trace.cc.o.d"
+  "/root/repo/src/coherence/broadcast_protocol.cc" "src/CMakeFiles/spp.dir/coherence/broadcast_protocol.cc.o" "gcc" "src/CMakeFiles/spp.dir/coherence/broadcast_protocol.cc.o.d"
+  "/root/repo/src/coherence/directory_protocol.cc" "src/CMakeFiles/spp.dir/coherence/directory_protocol.cc.o" "gcc" "src/CMakeFiles/spp.dir/coherence/directory_protocol.cc.o.d"
+  "/root/repo/src/coherence/mem_sys.cc" "src/CMakeFiles/spp.dir/coherence/mem_sys.cc.o" "gcc" "src/CMakeFiles/spp.dir/coherence/mem_sys.cc.o.d"
+  "/root/repo/src/coherence/messages.cc" "src/CMakeFiles/spp.dir/coherence/messages.cc.o" "gcc" "src/CMakeFiles/spp.dir/coherence/messages.cc.o.d"
+  "/root/repo/src/coherence/multicast_protocol.cc" "src/CMakeFiles/spp.dir/coherence/multicast_protocol.cc.o" "gcc" "src/CMakeFiles/spp.dir/coherence/multicast_protocol.cc.o.d"
+  "/root/repo/src/common/config.cc" "src/CMakeFiles/spp.dir/common/config.cc.o" "gcc" "src/CMakeFiles/spp.dir/common/config.cc.o.d"
+  "/root/repo/src/common/core_set.cc" "src/CMakeFiles/spp.dir/common/core_set.cc.o" "gcc" "src/CMakeFiles/spp.dir/common/core_set.cc.o.d"
+  "/root/repo/src/common/logging.cc" "src/CMakeFiles/spp.dir/common/logging.cc.o" "gcc" "src/CMakeFiles/spp.dir/common/logging.cc.o.d"
+  "/root/repo/src/common/stats.cc" "src/CMakeFiles/spp.dir/common/stats.cc.o" "gcc" "src/CMakeFiles/spp.dir/common/stats.cc.o.d"
+  "/root/repo/src/core/sp_predictor.cc" "src/CMakeFiles/spp.dir/core/sp_predictor.cc.o" "gcc" "src/CMakeFiles/spp.dir/core/sp_predictor.cc.o.d"
+  "/root/repo/src/core/sp_table.cc" "src/CMakeFiles/spp.dir/core/sp_table.cc.o" "gcc" "src/CMakeFiles/spp.dir/core/sp_table.cc.o.d"
+  "/root/repo/src/event/event_queue.cc" "src/CMakeFiles/spp.dir/event/event_queue.cc.o" "gcc" "src/CMakeFiles/spp.dir/event/event_queue.cc.o.d"
+  "/root/repo/src/mem/cache_array.cc" "src/CMakeFiles/spp.dir/mem/cache_array.cc.o" "gcc" "src/CMakeFiles/spp.dir/mem/cache_array.cc.o.d"
+  "/root/repo/src/mem/dram.cc" "src/CMakeFiles/spp.dir/mem/dram.cc.o" "gcc" "src/CMakeFiles/spp.dir/mem/dram.cc.o.d"
+  "/root/repo/src/mem/mesif.cc" "src/CMakeFiles/spp.dir/mem/mesif.cc.o" "gcc" "src/CMakeFiles/spp.dir/mem/mesif.cc.o.d"
+  "/root/repo/src/noc/mesh.cc" "src/CMakeFiles/spp.dir/noc/mesh.cc.o" "gcc" "src/CMakeFiles/spp.dir/noc/mesh.cc.o.d"
+  "/root/repo/src/predict/group_predictor.cc" "src/CMakeFiles/spp.dir/predict/group_predictor.cc.o" "gcc" "src/CMakeFiles/spp.dir/predict/group_predictor.cc.o.d"
+  "/root/repo/src/sim/cmp_system.cc" "src/CMakeFiles/spp.dir/sim/cmp_system.cc.o" "gcc" "src/CMakeFiles/spp.dir/sim/cmp_system.cc.o.d"
+  "/root/repo/src/sim/thread_context.cc" "src/CMakeFiles/spp.dir/sim/thread_context.cc.o" "gcc" "src/CMakeFiles/spp.dir/sim/thread_context.cc.o.d"
+  "/root/repo/src/sync/sync_manager.cc" "src/CMakeFiles/spp.dir/sync/sync_manager.cc.o" "gcc" "src/CMakeFiles/spp.dir/sync/sync_manager.cc.o.d"
+  "/root/repo/src/workload/parsec.cc" "src/CMakeFiles/spp.dir/workload/parsec.cc.o" "gcc" "src/CMakeFiles/spp.dir/workload/parsec.cc.o.d"
+  "/root/repo/src/workload/patterns.cc" "src/CMakeFiles/spp.dir/workload/patterns.cc.o" "gcc" "src/CMakeFiles/spp.dir/workload/patterns.cc.o.d"
+  "/root/repo/src/workload/registry.cc" "src/CMakeFiles/spp.dir/workload/registry.cc.o" "gcc" "src/CMakeFiles/spp.dir/workload/registry.cc.o.d"
+  "/root/repo/src/workload/splash.cc" "src/CMakeFiles/spp.dir/workload/splash.cc.o" "gcc" "src/CMakeFiles/spp.dir/workload/splash.cc.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

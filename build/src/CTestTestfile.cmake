@@ -1,0 +1,17 @@
+# CMake generated Testfile for 
+# Source directory: /root/repo/src
+# Build directory: /root/repo/build/src
+# 
+# This file includes the relevant testing commands required for 
+# testing this directory and lists subdirectories to be tested as well.
+subdirs("common")
+subdirs("event")
+subdirs("noc")
+subdirs("mem")
+subdirs("coherence")
+subdirs("sync")
+subdirs("core")
+subdirs("predict")
+subdirs("sim")
+subdirs("workload")
+subdirs("analysis")

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_comm_counters.dir/test_comm_counters.cc.o"
+  "CMakeFiles/test_comm_counters.dir/test_comm_counters.cc.o.d"
+  "test_comm_counters"
+  "test_comm_counters.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_comm_counters.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

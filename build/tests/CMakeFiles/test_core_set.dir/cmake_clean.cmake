@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_core_set.dir/test_core_set.cc.o"
+  "CMakeFiles/test_core_set.dir/test_core_set.cc.o.d"
+  "test_core_set"
+  "test_core_set.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_core_set.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

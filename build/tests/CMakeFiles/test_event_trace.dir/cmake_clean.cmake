@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_event_trace.dir/test_event_trace.cc.o"
+  "CMakeFiles/test_event_trace.dir/test_event_trace.cc.o.d"
+  "test_event_trace"
+  "test_event_trace.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_event_trace.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

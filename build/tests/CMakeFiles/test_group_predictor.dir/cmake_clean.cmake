@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_group_predictor.dir/test_group_predictor.cc.o"
+  "CMakeFiles/test_group_predictor.dir/test_group_predictor.cc.o.d"
+  "test_group_predictor"
+  "test_group_predictor.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_group_predictor.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_line_lock.dir/test_line_lock.cc.o"
+  "CMakeFiles/test_line_lock.dir/test_line_lock.cc.o.d"
+  "test_line_lock"
+  "test_line_lock.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_line_lock.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_mesh_sizes.dir/test_mesh_sizes.cc.o"
+  "CMakeFiles/test_mesh_sizes.dir/test_mesh_sizes.cc.o.d"
+  "test_mesh_sizes"
+  "test_mesh_sizes.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_mesh_sizes.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_protocol_broadcast.dir/test_protocol_broadcast.cc.o"
+  "CMakeFiles/test_protocol_broadcast.dir/test_protocol_broadcast.cc.o.d"
+  "test_protocol_broadcast"
+  "test_protocol_broadcast.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_protocol_broadcast.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

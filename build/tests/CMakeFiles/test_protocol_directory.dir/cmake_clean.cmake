@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_protocol_directory.dir/test_protocol_directory.cc.o"
+  "CMakeFiles/test_protocol_directory.dir/test_protocol_directory.cc.o.d"
+  "test_protocol_directory"
+  "test_protocol_directory.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_protocol_directory.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

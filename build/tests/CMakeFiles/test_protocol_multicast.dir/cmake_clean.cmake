@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_protocol_multicast.dir/test_protocol_multicast.cc.o"
+  "CMakeFiles/test_protocol_multicast.dir/test_protocol_multicast.cc.o.d"
+  "test_protocol_multicast"
+  "test_protocol_multicast.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_protocol_multicast.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_protocol_predicted.dir/test_protocol_predicted.cc.o"
+  "CMakeFiles/test_protocol_predicted.dir/test_protocol_predicted.cc.o.d"
+  "test_protocol_predicted"
+  "test_protocol_predicted.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_protocol_predicted.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

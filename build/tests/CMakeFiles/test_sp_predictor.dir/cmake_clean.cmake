@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_sp_predictor.dir/test_sp_predictor.cc.o"
+  "CMakeFiles/test_sp_predictor.dir/test_sp_predictor.cc.o.d"
+  "test_sp_predictor"
+  "test_sp_predictor.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_sp_predictor.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

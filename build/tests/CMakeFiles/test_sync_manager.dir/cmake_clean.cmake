@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_sync_manager.dir/test_sync_manager.cc.o"
+  "CMakeFiles/test_sync_manager.dir/test_sync_manager.cc.o.d"
+  "test_sync_manager"
+  "test_sync_manager.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_sync_manager.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()
