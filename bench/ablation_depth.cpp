@@ -11,23 +11,34 @@ using namespace spp;
 using namespace spp::bench;
 
 int
-main()
+main(int argc, char **argv)
 {
+    initBench(argc, argv);
     QuietScope quiet;
     banner("Ablation: history depth d (averages over all benchmarks)");
     Table t({"depth d", "accuracy %", "+bandwidth/miss %",
              "storage (KB)", "pattern hits"});
 
-    for (unsigned depth : {1u, 2u, 4u}) {
+    const std::vector<unsigned> depths = {1u, 2u, 4u};
+    std::vector<ExperimentConfig> configs = {directoryConfig()};
+    for (unsigned depth : depths) {
+        ExperimentConfig cfg = predictedConfig(PredictorKind::sp);
+        cfg.tweak = [depth](Config &c) { c.historyDepth = depth; };
+        configs.push_back(cfg);
+    }
+    const std::vector<std::string> names = allWorkloads();
+    const auto results = sweepMatrix(names, configs);
+
+    for (std::size_t d = 0; d < depths.size(); ++d) {
+        const unsigned depth = depths[d];
         double acc = 0, bw = 0, storage = 0;
         std::uint64_t patterns = 0;
         unsigned n = 0;
-        for (const std::string &name : allWorkloads()) {
-            ExperimentResult dir = runExperiment(name,
-                                                 directoryConfig());
-            ExperimentConfig cfg = predictedConfig(PredictorKind::sp);
-            cfg.tweak = [depth](Config &c) { c.historyDepth = depth; };
-            ExperimentResult r = runExperiment(name, cfg);
+        for (std::size_t i = 0; i < names.size(); ++i) {
+            const ExperimentResult &dir =
+                results[i * configs.size()];
+            const ExperimentResult &r =
+                results[i * configs.size() + 1 + d];
             acc += 100.0 * r.predictionAccuracy();
             bw += 100.0 * (r.bytesPerMiss() - dir.bytesPerMiss()) /
                 dir.bytesPerMiss();

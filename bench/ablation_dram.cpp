@@ -12,25 +12,38 @@ using namespace spp;
 using namespace spp::bench;
 
 int
-main()
+main(int argc, char **argv)
 {
+    initBench(argc, argv);
     QuietScope quiet;
     banner("Ablation: fixed-latency memory vs banked DRAM "
            "(averages over all benchmarks)");
     Table t({"memory model", "dir miss lat", "sp miss lat",
              "sp/dir", "row hit %", "sp accuracy %"});
 
+    // Four configs per workload: (fixed, dram) x (dir, sp).
+    std::vector<ExperimentConfig> configs;
     for (bool dram : {false, true}) {
+        ExperimentConfig dcfg = directoryConfig();
+        dcfg.tweak = [dram](Config &c) { c.enableDram = dram; };
+        ExperimentConfig scfg = predictedConfig(PredictorKind::sp);
+        scfg.tweak = dcfg.tweak;
+        configs.push_back(dcfg);
+        configs.push_back(scfg);
+    }
+    const std::vector<std::string> names = allWorkloads();
+    const auto results = sweepMatrix(names, configs);
+
+    for (bool dram : {false, true}) {
+        const std::size_t col = dram ? 2 : 0;
         double dir_lat = 0, sp_lat = 0, acc = 0;
         double hits = 0, accesses = 0;
         unsigned n = 0;
-        for (const std::string &name : allWorkloads()) {
-            ExperimentConfig dcfg = directoryConfig();
-            dcfg.tweak = [dram](Config &c) { c.enableDram = dram; };
-            ExperimentResult dir = runExperiment(name, dcfg);
-            ExperimentConfig scfg = predictedConfig(PredictorKind::sp);
-            scfg.tweak = dcfg.tweak;
-            ExperimentResult sp = runExperiment(name, scfg);
+        for (std::size_t i = 0; i < names.size(); ++i) {
+            const ExperimentResult &dir =
+                results[i * configs.size() + col];
+            const ExperimentResult &sp =
+                results[i * configs.size() + col + 1];
             dir_lat += dir.avgMissLatency();
             sp_lat += sp.avgMissLatency();
             acc += 100.0 * sp.predictionAccuracy();

@@ -12,28 +12,38 @@ using namespace spp;
 using namespace spp::bench;
 
 int
-main()
+main(int argc, char **argv)
 {
+    initBench(argc, argv);
     QuietScope quiet;
     banner("Ablation: MESIF vs MESI (averages over all benchmarks)");
     Table t({"protocol variant", "miss latency", "comm ratio",
              "sp accuracy %"});
 
+    // Four configs per workload: (MESIF, MESI) x (dir, sp).
+    std::vector<ExperimentConfig> configs;
     for (bool f_state : {true, false}) {
+        ExperimentConfig dir_cfg = directoryConfig();
+        dir_cfg.tweak = [f_state](Config &c) {
+            c.enableFState = f_state;
+        };
+        ExperimentConfig sp_cfg = predictedConfig(PredictorKind::sp);
+        sp_cfg.tweak = dir_cfg.tweak;
+        configs.push_back(dir_cfg);
+        configs.push_back(sp_cfg);
+    }
+    const std::vector<std::string> names = allWorkloads();
+    const auto results = sweepMatrix(names, configs);
+
+    for (bool f_state : {true, false}) {
+        const std::size_t col = f_state ? 0 : 2;
         double lat = 0, comm = 0, acc = 0;
         unsigned n = 0;
-        for (const std::string &name : allWorkloads()) {
-            ExperimentConfig dir_cfg = directoryConfig();
-            dir_cfg.tweak = [f_state](Config &c) {
-                c.enableFState = f_state;
-            };
-            ExperimentResult dir = runExperiment(name, dir_cfg);
-
-            ExperimentConfig sp_cfg =
-                predictedConfig(PredictorKind::sp);
-            sp_cfg.tweak = dir_cfg.tweak;
-            ExperimentResult sp = runExperiment(name, sp_cfg);
-
+        for (std::size_t i = 0; i < names.size(); ++i) {
+            const ExperimentResult &dir =
+                results[i * configs.size() + col];
+            const ExperimentResult &sp =
+                results[i * configs.size() + col + 1];
             lat += dir.avgMissLatency();
             comm += dir.commMissFraction();
             acc += 100.0 * sp.predictionAccuracy();

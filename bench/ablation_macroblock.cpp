@@ -11,26 +11,34 @@ using namespace spp;
 using namespace spp::bench;
 
 int
-main()
+main(int argc, char **argv)
 {
+    initBench(argc, argv);
     QuietScope quiet;
     banner("Ablation: ADDR macroblock size "
            "(averages over all benchmarks)");
     Table t({"macroblock", "accuracy %", "+bandwidth/miss %",
              "storage (KB)"});
 
-    for (unsigned bytes : {64u, 256u, 1024u}) {
+    const std::vector<unsigned> sizes = {64u, 256u, 1024u};
+    std::vector<ExperimentConfig> configs = {directoryConfig()};
+    for (unsigned bytes : sizes) {
+        ExperimentConfig cfg = predictedConfig(PredictorKind::addr);
+        cfg.tweak = [bytes](Config &c) { c.macroBlockBytes = bytes; };
+        configs.push_back(cfg);
+    }
+    const std::vector<std::string> names = allWorkloads();
+    const auto results = sweepMatrix(names, configs);
+
+    for (std::size_t b = 0; b < sizes.size(); ++b) {
+        const unsigned bytes = sizes[b];
         double acc = 0, bw = 0, storage = 0;
         unsigned n = 0;
-        for (const std::string &name : allWorkloads()) {
-            ExperimentResult dir = runExperiment(name,
-                                                 directoryConfig());
-            ExperimentConfig cfg =
-                predictedConfig(PredictorKind::addr);
-            cfg.tweak = [bytes](Config &c) {
-                c.macroBlockBytes = bytes;
-            };
-            ExperimentResult r = runExperiment(name, cfg);
+        for (std::size_t i = 0; i < names.size(); ++i) {
+            const ExperimentResult &dir =
+                results[i * configs.size()];
+            const ExperimentResult &r =
+                results[i * configs.size() + 1 + b];
             acc += 100.0 * r.predictionAccuracy();
             bw += 100.0 * (r.bytesPerMiss() - dir.bytesPerMiss()) /
                 dir.bytesPerMiss();

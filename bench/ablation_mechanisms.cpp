@@ -22,8 +22,9 @@ struct Variant
 } // namespace
 
 int
-main()
+main(int argc, char **argv)
 {
+    initBench(argc, argv);
     QuietScope quiet;
     banner("Ablation: SP-prediction mechanisms "
            "(averages over all benchmarks)");
@@ -44,16 +45,25 @@ main()
 
     Table t({"variant", "accuracy %", "+bandwidth/miss %",
              "recoveries", "pattern hits"});
+    std::vector<ExperimentConfig> configs = {directoryConfig()};
     for (const Variant &v : variants) {
+        ExperimentConfig cfg = predictedConfig(PredictorKind::sp);
+        cfg.tweak = v.tweak;
+        configs.push_back(cfg);
+    }
+    const std::vector<std::string> names = allWorkloads();
+    const auto results = sweepMatrix(names, configs);
+
+    for (std::size_t vi = 0; vi < variants.size(); ++vi) {
+        const Variant &v = variants[vi];
         double acc = 0, bw = 0;
         std::uint64_t recoveries = 0, patterns = 0;
         unsigned n = 0;
-        for (const std::string &name : allWorkloads()) {
-            ExperimentResult dir = runExperiment(name,
-                                                 directoryConfig());
-            ExperimentConfig cfg = predictedConfig(PredictorKind::sp);
-            cfg.tweak = v.tweak;
-            ExperimentResult r = runExperiment(name, cfg);
+        for (std::size_t i = 0; i < names.size(); ++i) {
+            const ExperimentResult &dir =
+                results[i * configs.size()];
+            const ExperimentResult &r =
+                results[i * configs.size() + 1 + vi];
             acc += 100.0 * r.predictionAccuracy();
             bw += 100.0 * (r.bytesPerMiss() - dir.bytesPerMiss()) /
                 dir.bytesPerMiss();

@@ -11,23 +11,34 @@ using namespace spp;
 using namespace spp::bench;
 
 int
-main()
+main(int argc, char **argv)
 {
+    initBench(argc, argv);
     QuietScope quiet;
     banner("Ablation: hot-set threshold "
            "(averages over all benchmarks)");
     Table t({"threshold", "accuracy %", "predicted set size",
              "+bandwidth/miss %"});
 
-    for (double thr : {0.05, 0.10, 0.20, 0.30}) {
+    const std::vector<double> thresholds = {0.05, 0.10, 0.20, 0.30};
+    std::vector<ExperimentConfig> configs = {directoryConfig()};
+    for (double thr : thresholds) {
+        ExperimentConfig cfg = predictedConfig(PredictorKind::sp);
+        cfg.tweak = [thr](Config &c) { c.hotThreshold = thr; };
+        configs.push_back(cfg);
+    }
+    const std::vector<std::string> names = allWorkloads();
+    const auto results = sweepMatrix(names, configs);
+
+    for (std::size_t ti = 0; ti < thresholds.size(); ++ti) {
+        const double thr = thresholds[ti];
         double acc = 0, setsz = 0, bw = 0;
         unsigned n = 0;
-        for (const std::string &name : allWorkloads()) {
-            ExperimentResult dir = runExperiment(name,
-                                                 directoryConfig());
-            ExperimentConfig cfg = predictedConfig(PredictorKind::sp);
-            cfg.tweak = [thr](Config &c) { c.hotThreshold = thr; };
-            ExperimentResult r = runExperiment(name, cfg);
+        for (std::size_t i = 0; i < names.size(); ++i) {
+            const ExperimentResult &dir =
+                results[i * configs.size()];
+            const ExperimentResult &r =
+                results[i * configs.size() + 1 + ti];
             acc += 100.0 * r.predictionAccuracy();
             setsz += r.run.mem.predictedTargets.mean();
             bw += 100.0 * (r.bytesPerMiss() - dir.bytesPerMiss()) /

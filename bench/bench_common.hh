@@ -7,12 +7,20 @@
  *
  * Scale: set SPP_BENCH_SCALE (default 1.0) to shrink or grow the
  * workload inputs.
+ *
+ * Parallelism: every driver submits its (workload, config) matrix
+ * through the SweepRunner. Pass --jobs N (or set SPP_JOBS) to pick
+ * the worker count; results are returned in job order, so the
+ * printed tables are byte-identical at any thread count. Set
+ * SPP_PROGRESS=1 to watch per-job completion lines on stderr.
  */
 
 #ifndef SPP_BENCH_BENCH_COMMON_HH
 #define SPP_BENCH_BENCH_COMMON_HH
 
 #include <cstdio>
+#include <cstdlib>
+#include <cstring>
 #include <string>
 #include <vector>
 
@@ -21,11 +29,58 @@
 #include "analysis/locality.hh"
 #include "analysis/patterns.hh"
 #include "analysis/report.hh"
+#include "analysis/sweep.hh"
 #include "common/logging.hh"
 #include "workload/workload.hh"
 
 namespace spp {
 namespace bench {
+
+/** Sweep worker count: 0 = SweepRunner::defaultJobs(). */
+inline unsigned g_jobs = 0;
+
+/** Parse the shared bench flags (--jobs N / --jobs=N); call first
+ * thing in every driver's main(). */
+inline void
+initBench(int argc, char **argv)
+{
+    for (int i = 1; i < argc; ++i) {
+        const char *arg = argv[i];
+        if (std::strcmp(arg, "--jobs") == 0 && i + 1 < argc) {
+            g_jobs = static_cast<unsigned>(std::atoi(argv[++i]));
+        } else if (std::strncmp(arg, "--jobs=", 7) == 0) {
+            g_jobs = static_cast<unsigned>(std::atoi(arg + 7));
+        } else {
+            std::fprintf(stderr,
+                         "usage: %s [--jobs N]   (also: SPP_JOBS, "
+                         "SPP_BENCH_SCALE, SPP_PROGRESS)\n", argv[0]);
+            std::exit(2);
+        }
+    }
+}
+
+/** Run a job list on the configured worker count. */
+inline std::vector<ExperimentResult>
+sweep(std::vector<SweepJob> jobs)
+{
+    return runSweep(jobs, g_jobs);
+}
+
+/**
+ * Run the full workload × config matrix in one sweep; the result of
+ * (names[i], configs[j]) lands at index i * configs.size() + j.
+ */
+inline std::vector<ExperimentResult>
+sweepMatrix(const std::vector<std::string> &names,
+            const std::vector<ExperimentConfig> &configs)
+{
+    std::vector<SweepJob> jobs;
+    jobs.reserve(names.size() * configs.size());
+    for (const std::string &name : names)
+        for (const ExperimentConfig &cfg : configs)
+            jobs.push_back({name, cfg, ""});
+    return sweep(std::move(jobs));
+}
 
 /** All workload names, in the paper's order. */
 inline std::vector<std::string>

@@ -13,24 +13,30 @@ using namespace spp;
 using namespace spp::bench;
 
 int
-main()
+main(int argc, char **argv)
 {
+    initBench(argc, argv);
     QuietScope quiet;
     banner("Extension: SP-driven multicast snooping "
            "(normalized to directory)");
     Table t({"benchmark", "bcast lat", "mcast lat", "sp-dir lat",
              "bcast +bw%", "mcast +bw%", "sp-dir +bw%"});
 
+    ExperimentConfig mc_cfg = predictedConfig(PredictorKind::sp);
+    mc_cfg.protocol = Protocol::multicast;
+    const std::vector<std::string> names = allWorkloads();
+    const auto results = sweepMatrix(
+        names, {directoryConfig(), broadcastConfig(), mc_cfg,
+                predictedConfig(PredictorKind::sp)});
+
     double mlat = 0, mbw = 0, blat = 0, bbw = 0;
     unsigned n = 0;
-    for (const std::string &name : allWorkloads()) {
-        ExperimentResult dir = runExperiment(name, directoryConfig());
-        ExperimentResult bc = runExperiment(name, broadcastConfig());
-        ExperimentConfig mc_cfg = predictedConfig(PredictorKind::sp);
-        mc_cfg.protocol = Protocol::multicast;
-        ExperimentResult mc = runExperiment(name, mc_cfg);
-        ExperimentResult sp =
-            runExperiment(name, predictedConfig(PredictorKind::sp));
+    for (std::size_t i = 0; i < names.size(); ++i) {
+        const std::string &name = names[i];
+        const ExperimentResult &dir = results[i * 4 + 0];
+        const ExperimentResult &bc = results[i * 4 + 1];
+        const ExperimentResult &mc = results[i * 4 + 2];
+        const ExperimentResult &sp = results[i * 4 + 3];
 
         const double base_lat = dir.avgMissLatency();
         const double base_bpm = dir.bytesPerMiss();

@@ -13,17 +13,22 @@ using namespace spp;
 using namespace spp::bench;
 
 int
-main()
+main(int argc, char **argv)
 {
+    initBench(argc, argv);
     QuietScope quiet;
     banner("Figure 1: Ratio of communicating misses");
     Table t({"benchmark", "misses", "communicating", "non-comm",
              "comm ratio"});
 
+    const std::vector<std::string> names = allWorkloads();
+    const auto results = sweepMatrix(names, {directoryConfig()});
+
     double sum_ratio = 0;
     unsigned n = 0;
-    for (const std::string &name : allWorkloads()) {
-        ExperimentResult r = runExperiment(name, directoryConfig());
+    for (std::size_t i = 0; i < names.size(); ++i) {
+        const std::string &name = names[i];
+        const ExperimentResult &r = results[i];
         const auto misses = r.run.mem.misses.value();
         const auto comm = r.run.mem.communicatingMisses.value();
         const double ratio = r.commMissFraction();

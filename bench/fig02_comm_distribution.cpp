@@ -38,12 +38,14 @@ widen(const std::array<std::uint32_t, maxCores> &v)
 } // namespace
 
 int
-main()
+main(int argc, char **argv)
 {
+    initBench(argc, argv);
     QuietScope quiet;
     ExperimentConfig cfg = directoryConfig();
     cfg.collectTrace = true;
-    ExperimentResult r = runExperiment("bodytrack", cfg);
+    const auto results = sweep({{"bodytrack", cfg, ""}});
+    const ExperimentResult &r = results[0];
     const CommTrace &trace = *r.trace;
     const unsigned n = trace.numCores();
 

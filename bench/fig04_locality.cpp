@@ -15,14 +15,18 @@ using namespace spp;
 using namespace spp::bench;
 
 int
-main()
+main(int argc, char **argv)
 {
+    initBench(argc, argv);
     QuietScope quiet;
-    for (const char *name : {"bodytrack", "fmm", "water-ns"}) {
-        ExperimentConfig cfg = directoryConfig();
-        cfg.collectTrace = true;
-        ExperimentResult r = runExperiment(name, cfg);
-        const CommTrace &trace = *r.trace;
+    const std::vector<std::string> names = {"bodytrack", "fmm",
+                                            "water-ns"};
+    ExperimentConfig cfg = directoryConfig();
+    cfg.collectTrace = true;
+    const auto results = sweepMatrix(names, {cfg});
+    for (std::size_t i = 0; i < names.size(); ++i) {
+        const std::string &name = names[i];
+        const CommTrace &trace = *results[i].trace;
 
         const LocalityCurve epoch = epochLocality(trace);
         const LocalityCurve whole = wholeRunLocality(trace);

@@ -13,20 +13,25 @@ using namespace spp;
 using namespace spp::bench;
 
 int
-main()
+main(int argc, char **argv)
 {
+    initBench(argc, argv);
     QuietScope quiet;
     banner("Figure 5: sync-epoch distribution by hot-set size "
            "(threshold 10%)");
     Table t({"benchmark", "1", "2", "3", "4", ">=5", "<=4 total"});
 
+    const std::vector<std::string> names = allWorkloads();
+    ExperimentConfig cfg = directoryConfig();
+    cfg.collectTrace = true;
+    const auto results = sweepMatrix(names, {cfg});
+
     double sum_small = 0;
     unsigned n = 0;
-    for (const std::string &name : allWorkloads()) {
-        ExperimentConfig cfg = directoryConfig();
-        cfg.collectTrace = true;
-        ExperimentResult r = runExperiment(name, cfg);
-        const auto dist = hotSetSizeDistribution(*r.trace, 0.10);
+    for (std::size_t i = 0; i < names.size(); ++i) {
+        const std::string &name = names[i];
+        const auto dist =
+            hotSetSizeDistribution(*results[i].trace, 0.10);
         const double small =
             dist[0] + dist[1] + dist[2] + dist[3];
         t.cell(name);

@@ -13,19 +13,24 @@ using namespace spp;
 using namespace spp::bench;
 
 int
-main()
+main(int argc, char **argv)
 {
+    initBench(argc, argv);
     QuietScope quiet;
     banner("Figure 6: hot-set patterns across dynamic epoch instances");
     Table t({"benchmark", "stable", "phase-chg", "stride", "random",
              "mixed"});
 
+    const std::vector<std::string> names = allWorkloads();
+    ExperimentConfig cfg = directoryConfig();
+    cfg.collectTrace = true;
+    const auto results = sweepMatrix(names, {cfg});
+
     std::map<HotSetPattern, EpochPatternInfo> examples;
-    for (const std::string &name : allWorkloads()) {
-        ExperimentConfig cfg = directoryConfig();
-        cfg.collectTrace = true;
-        ExperimentResult r = runExperiment(name, cfg);
-        auto infos = classifyEpochPatterns(*r.trace, 0.10, 8);
+    for (std::size_t i = 0; i < names.size(); ++i) {
+        const std::string &name = names[i];
+        auto infos =
+            classifyEpochPatterns(*results[i].trace, 0.10, 8);
         auto hist = patternHistogram(infos);
         t.cell(name)
             .cell(hist[HotSetPattern::stable])

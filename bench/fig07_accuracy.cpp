@@ -41,24 +41,28 @@ idealAccuracy(const CommTrace &trace, double threshold)
 } // namespace
 
 int
-main()
+main(int argc, char **argv)
 {
+    initBench(argc, argv);
     QuietScope quiet;
     banner("Figure 7: SP-prediction accuracy "
            "(% of communicating misses)");
     Table t({"benchmark", "d=0 warmup", "d=2 history", "lock",
              "recovery", "total", "ideal"});
 
+    const std::vector<std::string> names = allWorkloads();
+    ExperimentConfig tcfg = directoryConfig();
+    tcfg.collectTrace = true;
+    tcfg.recordMissTargets = true;
+    const auto results = sweepMatrix(
+        names, {predictedConfig(PredictorKind::sp), tcfg});
+
     double sum_total = 0;
     unsigned n = 0;
-    for (const std::string &name : allWorkloads()) {
-        ExperimentResult sp =
-            runExperiment(name, predictedConfig(PredictorKind::sp));
-
-        ExperimentConfig tcfg = directoryConfig();
-        tcfg.collectTrace = true;
-        tcfg.recordMissTargets = true;
-        ExperimentResult traced = runExperiment(name, tcfg);
+    for (std::size_t i = 0; i < names.size(); ++i) {
+        const std::string &name = names[i];
+        const ExperimentResult &sp = results[i * 2 + 0];
+        const ExperimentResult &traced = results[i * 2 + 1];
 
         const double comm = static_cast<double>(
             sp.run.mem.communicatingMisses.value());

@@ -12,8 +12,9 @@ using namespace spp;
 using namespace spp::bench;
 
 int
-main()
+main(int argc, char **argv)
 {
+    initBench(argc, argv);
     QuietScope quiet;
     banner("Figure 11: NoC + snoop-lookup energy "
            "(normalized to directory)");
@@ -22,11 +23,15 @@ main()
     double sum_sp = 0;
     double sum_bc = 0;
     unsigned n = 0;
-    for (const std::string &name : allWorkloads()) {
-        ExperimentResult dir = runExperiment(name, directoryConfig());
-        ExperimentResult bc = runExperiment(name, broadcastConfig());
-        ExperimentResult sp =
-            runExperiment(name, predictedConfig(PredictorKind::sp));
+    const std::vector<std::string> names = allWorkloads();
+    const auto results = sweepMatrix(
+        names, {directoryConfig(), broadcastConfig(),
+                predictedConfig(PredictorKind::sp)});
+    for (std::size_t i = 0; i < names.size(); ++i) {
+        const std::string &name = names[i];
+        const ExperimentResult &dir = results[i * 3 + 0];
+        const ExperimentResult &bc = results[i * 3 + 1];
+        const ExperimentResult &sp = results[i * 3 + 2];
 
         t.cell(name).cell(1.0, 3)
             .cell(bc.energy / dir.energy, 3)

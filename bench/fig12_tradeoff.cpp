@@ -46,30 +46,38 @@ pointOf(const ExperimentResult &r, const ExperimentResult &dir)
 } // namespace
 
 int
-main()
+main(int argc, char **argv)
 {
+    initBench(argc, argv);
     QuietScope quiet;
     banner("Figure 12: performance/bandwidth trade-off "
            "(unlimited tables)");
-    for (const char *name : {"fmm", "ocean", "fluidanimate", "dedup"}) {
-        ExperimentResult dir = runExperiment(name, directoryConfig());
+    const std::vector<std::string> names = {"fmm", "ocean",
+                                            "fluidanimate", "dedup"};
+    const std::vector<std::pair<const char *, PredictorKind>> kinds =
+        {{"SP-predictor", PredictorKind::sp},
+         {"ADDR-predictor", PredictorKind::addr},
+         {"INST-predictor", PredictorKind::inst},
+         {"UNI-predictor", PredictorKind::uni}};
+    std::vector<ExperimentConfig> configs = {directoryConfig()};
+    for (const auto &[label, kind] : kinds)
+        configs.push_back(predictedConfig(kind));
+    const auto results = sweepMatrix(names, configs);
+
+    for (std::size_t i = 0; i < names.size(); ++i) {
+        const std::size_t base = i * configs.size();
+        const ExperimentResult &dir = results[base];
 
         Table t({"predictor", "+bandwidth/miss %", "misses indirect %"});
         const Point d = pointOf(dir, dir);
         t.cell("Directory").cell(d.addedBandwidthPct, 1)
             .cell(d.indirectionPct, 1).endRow();
-        for (auto [label, kind] :
-             {std::pair{"SP-predictor", PredictorKind::sp},
-              std::pair{"ADDR-predictor", PredictorKind::addr},
-              std::pair{"INST-predictor", PredictorKind::inst},
-              std::pair{"UNI-predictor", PredictorKind::uni}}) {
-            ExperimentResult r =
-                runExperiment(name, predictedConfig(kind));
-            const Point p = pointOf(r, dir);
-            t.cell(label).cell(p.addedBandwidthPct, 1)
+        for (std::size_t k = 0; k < kinds.size(); ++k) {
+            const Point p = pointOf(results[base + 1 + k], dir);
+            t.cell(kinds[k].first).cell(p.addedBandwidthPct, 1)
                 .cell(p.indirectionPct, 1).endRow();
         }
-        banner(std::string("Figure 12: ") + name);
+        banner(std::string("Figure 12: ") + names[i]);
         t.print();
     }
     std::printf("\n(lower-left corner is the best point of the "

@@ -28,30 +28,49 @@ struct Avg
 } // namespace
 
 int
-main()
+main(int argc, char **argv)
 {
+    initBench(argc, argv);
     QuietScope quiet;
     banner("Figure 13: space limits (unlimited vs 32-entry/core "
            "tables), averages over all benchmarks");
     Table t({"predictor", "entries", "+bandwidth/miss %",
              "misses indirect %", "avg storage (KB)"});
 
-    for (auto [label, kind] :
-         {std::pair{"SP-predictor", PredictorKind::sp},
-          std::pair{"ADDR-predictor", PredictorKind::addr},
-          std::pair{"INST-predictor", PredictorKind::inst},
-          std::pair{"UNI-predictor", PredictorKind::uni}}) {
-        // 32 entries/core x 16 cores x 37 bits ~= 2.4 KB total,
-        // the regime where the paper's ~4 KB point binds for our
-        // (smaller-footprint) synthetic workloads.
-        for (unsigned entries : {0u, 32u}) {
+    // 32 entries/core x 16 cores x 37 bits ~= 2.4 KB total, the
+    // regime where the paper's ~4 KB point binds for our
+    // (smaller-footprint) synthetic workloads.
+    const std::vector<std::pair<const char *, PredictorKind>> kinds =
+        {{"SP-predictor", PredictorKind::sp},
+         {"ADDR-predictor", PredictorKind::addr},
+         {"INST-predictor", PredictorKind::inst},
+         {"UNI-predictor", PredictorKind::uni}};
+    const std::vector<unsigned> entry_limits = {0u, 32u};
+
+    // One sweep for the whole figure: the directory baseline plus
+    // every (kind, limit) pair, per workload.
+    std::vector<ExperimentConfig> configs = {directoryConfig()};
+    for (const auto &[label, kind] : kinds) {
+        for (unsigned entries : entry_limits) {
+            ExperimentConfig cfg = predictedConfig(kind);
+            cfg.predictorEntries = entries;
+            configs.push_back(cfg);
+        }
+    }
+    const std::vector<std::string> names = allWorkloads();
+    const auto results = sweepMatrix(names, configs);
+
+    for (std::size_t k = 0; k < kinds.size(); ++k) {
+        const char *label = kinds[k].first;
+        for (std::size_t e = 0; e < entry_limits.size(); ++e) {
+            const unsigned entries = entry_limits[e];
+            const std::size_t col = 1 + k * entry_limits.size() + e;
             Avg a;
-            for (const std::string &name : allWorkloads()) {
-                ExperimentResult dir =
-                    runExperiment(name, directoryConfig());
-                ExperimentConfig cfg = predictedConfig(kind);
-                cfg.predictorEntries = entries;
-                ExperimentResult r = runExperiment(name, cfg);
+            for (std::size_t i = 0; i < names.size(); ++i) {
+                const ExperimentResult &dir =
+                    results[i * configs.size()];
+                const ExperimentResult &r =
+                    results[i * configs.size() + col];
 
                 const double dir_bpm = dir.bytesPerMiss();
                 a.bandwidth +=

@@ -11,18 +11,21 @@ using namespace spp;
 using namespace spp::bench;
 
 int
-main()
+main(int argc, char **argv)
 {
+    initBench(argc, argv);
     QuietScope quiet;
     banner("Table 1: Sync-epoch statistics (per-core average)");
     Table t({"benchmark", "input", "static CS", "(paper)",
              "static epochs", "(paper)", "dyn epochs", "(paper)"});
 
+    ExperimentConfig cfg = directoryConfig();
+    cfg.collectTrace = true;
+    const auto results = sweepMatrix(allWorkloads(), {cfg});
+
+    std::size_t i = 0;
     for (const auto &spec : workloadRegistry()) {
-        ExperimentConfig cfg = directoryConfig();
-        cfg.collectTrace = true;
-        ExperimentResult r = runExperiment(spec.name, cfg);
-        const EpochStats s = computeEpochStats(*r.trace);
+        const EpochStats s = computeEpochStats(*results[i++].trace);
         t.cell(spec.name).cell(spec.input)
             .cell(s.staticCriticalSections).cell(spec.paperStaticCS)
             .cell(s.staticSyncEpochs).cell(spec.paperStaticEpochs)

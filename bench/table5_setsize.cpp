@@ -13,15 +13,19 @@ using namespace spp;
 using namespace spp::bench;
 
 int
-main()
+main(int argc, char **argv)
 {
+    initBench(argc, argv);
     QuietScope quiet;
     banner("Table 5: average actual and predicted target set size");
     Table t({"benchmark", "actual/req", "predicted/req", "ratio"});
 
-    for (const std::string &name : allWorkloads()) {
-        ExperimentResult sp =
-            runExperiment(name, predictedConfig(PredictorKind::sp));
+    const std::vector<std::string> names = allWorkloads();
+    const auto results =
+        sweepMatrix(names, {predictedConfig(PredictorKind::sp)});
+    for (std::size_t i = 0; i < names.size(); ++i) {
+        const std::string &name = names[i];
+        const ExperimentResult &sp = results[i];
         const double actual = sp.run.mem.actualTargets.mean();
         const double predicted = sp.run.mem.predictedTargets.mean();
         const double ratio = actual > 0 ? predicted / actual : 0.0;

@@ -19,6 +19,7 @@
 #include "analysis/locality.hh"
 #include "analysis/patterns.hh"
 #include "analysis/report.hh"
+#include "analysis/sweep.hh"
 
 using namespace spp;
 
@@ -31,7 +32,9 @@ main(int argc, char **argv)
     ExperimentConfig cfg;
     cfg.scale = scale;
     cfg.collectTrace = true;
-    ExperimentResult r = runExperiment(workload, cfg);
+    // A single job, but routed through the sweep engine so the
+    // example exercises the same code path as the bench drivers.
+    ExperimentResult r = std::move(runSweep({{workload, cfg, ""}})[0]);
     const CommTrace &trace = *r.trace;
 
     std::printf("Characterization of '%s' (16 cores, directory "

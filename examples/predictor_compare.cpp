@@ -5,15 +5,22 @@
  * ADDR, INST, UNI), reporting the latency/bandwidth/storage
  * trade-off each scheme lands on (the Section 5.4 comparison).
  *
- * Usage: predictor_compare [workload] [scale]
+ * The six runs are submitted as one sweep, so --jobs N (or SPP_JOBS)
+ * executes them concurrently; the table is byte-identical at any
+ * thread count.
+ *
+ * Usage: predictor_compare [workload] [scale] [--jobs N]
  */
 
 #include <cstdio>
 #include <cstdlib>
+#include <cstring>
 #include <string>
+#include <vector>
 
 #include "analysis/experiment.hh"
 #include "analysis/report.hh"
+#include "analysis/sweep.hh"
 
 using namespace spp;
 
@@ -42,37 +49,71 @@ row(Table &t, const char *name, const ExperimentResult &r,
 int
 main(int argc, char **argv)
 {
-    const std::string workload = argc > 1 ? argv[1] : "bodytrack";
-    const double scale = argc > 2 ? std::atof(argv[2]) : 1.0;
+    std::string workload = "bodytrack";
+    double scale = 1.0;
+    unsigned jobs = 0;
+    int positional = 0;
+    for (int i = 1; i < argc; ++i) {
+        const char *arg = argv[i];
+        if (std::strcmp(arg, "--jobs") == 0) {
+            if (i + 1 >= argc) {
+                std::fprintf(stderr, "usage: %s [workload] [scale] "
+                             "[--jobs N]\n", argv[0]);
+                return 2;
+            }
+            jobs = static_cast<unsigned>(std::atoi(argv[++i]));
+        } else if (std::strncmp(arg, "--jobs=", 7) == 0) {
+            jobs = static_cast<unsigned>(std::atoi(arg + 7));
+        } else if (positional == 0) {
+            workload = arg;
+            ++positional;
+        } else if (positional == 1) {
+            scale = std::atof(arg);
+            ++positional;
+        } else {
+            std::fprintf(stderr, "usage: %s [workload] [scale] "
+                         "[--jobs N]\n", argv[0]);
+            return 2;
+        }
+    }
 
-    auto run = [&](Protocol proto, PredictorKind kind) {
+    auto config = [&](Protocol proto, PredictorKind kind) {
         ExperimentConfig cfg;
         cfg.protocol = proto;
         cfg.predictor = kind;
         cfg.scale = scale;
-        return runExperiment(workload, cfg);
+        return cfg;
     };
 
+    const std::pair<const char *, PredictorKind> predictors[] = {
+        {"SP", PredictorKind::sp},
+        {"ADDR", PredictorKind::addr},
+        {"INST", PredictorKind::inst},
+        {"UNI", PredictorKind::uni}};
+
+    std::vector<SweepJob> sweep_jobs;
+    sweep_jobs.push_back(
+        {workload, config(Protocol::directory, PredictorKind::none),
+         "directory"});
+    sweep_jobs.push_back(
+        {workload, config(Protocol::broadcast, PredictorKind::none),
+         "broadcast"});
+    for (auto [name, kind] : predictors)
+        sweep_jobs.push_back(
+            {workload, config(Protocol::predicted, kind), name});
+
     std::printf("Predictor comparison on '%s'\n", workload.c_str());
-    ExperimentResult dir = run(Protocol::directory,
-                               PredictorKind::none);
-    ExperimentResult bc = run(Protocol::broadcast,
-                              PredictorKind::none);
+    const auto results = runSweep(sweep_jobs, jobs);
+    const ExperimentResult &dir = results[0];
 
     banner("Latency / bandwidth / storage trade-off "
            "(normalized to directory)");
     Table t({"scheme", "miss lat.", "exec time", "+bw/miss %",
              "accuracy %", "energy", "storage KB"});
     row(t, "directory", dir, dir);
-    row(t, "broadcast", bc, dir);
-    for (auto [name, kind] :
-         {std::pair{"SP", PredictorKind::sp},
-          std::pair{"ADDR", PredictorKind::addr},
-          std::pair{"INST", PredictorKind::inst},
-          std::pair{"UNI", PredictorKind::uni}}) {
-        ExperimentResult r = run(Protocol::predicted, kind);
-        row(t, name, r, dir);
-    }
+    row(t, "broadcast", results[1], dir);
+    for (std::size_t k = 0; k < 4; ++k)
+        row(t, predictors[k].first, results[2 + k], dir);
     t.print();
 
     std::printf("\n(SP should sit near ADDR/INST on latency and "

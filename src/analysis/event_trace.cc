@@ -31,23 +31,15 @@ struct SyncRecorder : SyncListener
     }
 };
 
-/** Recorders live as long as the process (tooling use). */
-std::vector<std::unique_ptr<SyncRecorder>> &
-recorderPool()
-{
-    static std::vector<std::unique_ptr<SyncRecorder>> pool;
-    return pool;
-}
-
 } // namespace
 
 void
 EventTrace::attach(CmpSystem &sys)
 {
-    auto rec = std::make_unique<SyncRecorder>();
+    auto rec = std::make_shared<SyncRecorder>();
     rec->out = events_;
     sys.syncManager().addListener(rec.get());
-    recorderPool().push_back(std::move(rec));
+    recorders_.push_back(std::move(rec));
     const unsigned line_shift = std::countr_zero(
         static_cast<unsigned long>(sys.config().lineBytes));
     auto storage = events_;

@@ -64,8 +64,9 @@ class EventTrace
     {}
 
     /** Record misses and sync-points from a live system. The trace
-     * must outlive the run (events land in shared storage, so the
-     * trace object itself may be moved). */
+     * must outlive the run: it owns the sync listener it registers
+     * with @p sys (events land in shared storage, so the trace
+     * object itself may be moved). */
     void attach(CmpSystem &sys);
 
     const std::vector<TraceEvent> &events() const { return *events_; }
@@ -84,6 +85,10 @@ class EventTrace
 
   private:
     std::shared_ptr<std::vector<TraceEvent>> events_;
+    /** Listeners registered by attach(); owned per trace instead of
+     * in a process-global pool so concurrent sweep jobs never share
+     * mutable state. */
+    std::vector<std::shared_ptr<SyncListener>> recorders_;
 };
 
 /** Results of an offline predictor replay. */

@@ -1,0 +1,132 @@
+#include "analysis/sweep.hh"
+
+#include <atomic>
+#include <chrono>
+#include <cstdio>
+#include <cstdlib>
+#include <mutex>
+#include <thread>
+
+#include "common/logging.hh"
+
+namespace spp {
+
+namespace {
+
+/** Progress lines go to stderr when SPP_PROGRESS is set (any value
+ * but "0"), or whenever logging is not quiet. The bench harnesses
+ * run quiet, so their stdout tables stay byte-identical across
+ * thread counts; export SPP_PROGRESS=1 to watch a long sweep. */
+bool
+progressEnabled()
+{
+    if (const char *env = std::getenv("SPP_PROGRESS"))
+        return env[0] != '\0' && !(env[0] == '0' && env[1] == '\0');
+    return !isQuiet();
+}
+
+std::string
+jobLabel(const SweepJob &job)
+{
+    if (!job.label.empty())
+        return job.label;
+    std::string label = job.workload;
+    label += '/';
+    label += toString(job.config.protocol);
+    if (job.config.predictor != PredictorKind::none) {
+        label += '/';
+        label += toString(job.config.predictor);
+    }
+    return label;
+}
+
+} // namespace
+
+SweepRunner::SweepRunner(unsigned n_threads)
+    : n_threads_(n_threads != 0 ? n_threads : defaultJobs())
+{}
+
+unsigned
+SweepRunner::defaultJobs()
+{
+    if (const char *env = std::getenv("SPP_JOBS")) {
+        const long n = std::atol(env);
+        if (n > 0)
+            return static_cast<unsigned>(n);
+        warn("ignoring invalid SPP_JOBS='{}'", env);
+    }
+    const unsigned hw = std::thread::hardware_concurrency();
+    return hw != 0 ? hw : 1;
+}
+
+std::vector<ExperimentResult>
+SweepRunner::run(const std::vector<SweepJob> &jobs) const
+{
+    using Clock = std::chrono::steady_clock;
+
+    std::vector<ExperimentResult> results(jobs.size());
+    if (jobs.empty())
+        return results;
+
+    const bool progress = progressEnabled();
+    const Clock::time_point sweep_start = Clock::now();
+    std::atomic<std::size_t> next{0};
+    std::atomic<std::size_t> done{0};
+    std::mutex io_mutex;
+
+    auto worker = [&] {
+        for (;;) {
+            const std::size_t i =
+                next.fetch_add(1, std::memory_order_relaxed);
+            if (i >= jobs.size())
+                return;
+            const Clock::time_point t0 = Clock::now();
+            results[i] = runExperiment(jobs[i].workload,
+                                       jobs[i].config);
+            const std::size_t finished =
+                done.fetch_add(1, std::memory_order_relaxed) + 1;
+            if (progress) {
+                const double secs =
+                    std::chrono::duration<double>(Clock::now() - t0)
+                        .count();
+                std::lock_guard<std::mutex> lock(io_mutex);
+                std::fprintf(stderr,
+                             "sweep [%zu/%zu] %s %.2fs\n", finished,
+                             jobs.size(), jobLabel(jobs[i]).c_str(),
+                             secs);
+            }
+        }
+    };
+
+    const unsigned n_workers = static_cast<unsigned>(
+        std::min<std::size_t>(n_threads_, jobs.size()));
+    if (n_workers <= 1) {
+        worker();
+    } else {
+        std::vector<std::thread> pool;
+        pool.reserve(n_workers);
+        for (unsigned t = 0; t < n_workers; ++t)
+            pool.emplace_back(worker);
+        for (std::thread &t : pool)
+            t.join();
+    }
+
+    if (progress && jobs.size() > 1) {
+        const double secs = std::chrono::duration<double>(
+                                Clock::now() - sweep_start)
+                                .count();
+        std::fprintf(stderr, "sweep done: %zu jobs on %u thread%s "
+                             "in %.2fs\n",
+                     jobs.size(), n_workers,
+                     n_workers == 1 ? "" : "s", secs);
+    }
+    return results;
+}
+
+std::vector<ExperimentResult>
+runSweep(const std::vector<SweepJob> &jobs, unsigned n_threads)
+{
+    return SweepRunner(n_threads).run(jobs);
+}
+
+} // namespace spp

@@ -1,0 +1,70 @@
+/**
+ * @file
+ * Parallel experiment sweep engine.
+ *
+ * Every figure/table harness runs a (workload, config) matrix whose
+ * cells are fully independent: each runExperiment() call builds its
+ * own CmpSystem, seeds its own RNGs and touches no shared mutable
+ * state. SweepRunner exploits that by executing a job vector on a
+ * pool of worker threads while returning results in *job order*, so
+ * callers see exactly the sequence a sequential loop would produce.
+ *
+ * Determinism guarantee: a given (workload, config, seed) job yields
+ * a bit-identical ExperimentResult whether the sweep runs on one
+ * thread or many; only wall-clock time and the interleaving of
+ * progress lines change. Jobs that share a Config::tweak / prepare
+ * callback may invoke it concurrently, so those callbacks must be
+ * re-entrant (capture by value, mutate only their arguments).
+ */
+
+#ifndef SPP_ANALYSIS_SWEEP_HH
+#define SPP_ANALYSIS_SWEEP_HH
+
+#include <string>
+#include <vector>
+
+#include "analysis/experiment.hh"
+
+namespace spp {
+
+/** One cell of a sweep matrix. */
+struct SweepJob
+{
+    std::string workload;
+    ExperimentConfig config;
+    /** Optional tag shown in progress lines; defaults to
+     * "workload/protocol[/predictor]". */
+    std::string label;
+};
+
+/**
+ * Thread-pool executor for experiment sweeps. Worker count comes
+ * from the constructor argument, else the SPP_JOBS environment
+ * variable, else std::thread::hardware_concurrency().
+ */
+class SweepRunner
+{
+  public:
+    /** @p n_threads 0 = defaultJobs(). */
+    explicit SweepRunner(unsigned n_threads = 0);
+
+    /** Run all jobs; results land at the index of their job. */
+    std::vector<ExperimentResult>
+    run(const std::vector<SweepJob> &jobs) const;
+
+    unsigned threads() const { return n_threads_; }
+
+    /** SPP_JOBS override, else hardware_concurrency(), min 1. */
+    static unsigned defaultJobs();
+
+  private:
+    unsigned n_threads_;
+};
+
+/** One-shot convenience wrapper around SweepRunner. */
+std::vector<ExperimentResult>
+runSweep(const std::vector<SweepJob> &jobs, unsigned n_threads = 0);
+
+} // namespace spp
+
+#endif // SPP_ANALYSIS_SWEEP_HH

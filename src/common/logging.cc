@@ -1,5 +1,6 @@
 #include "common/logging.hh"
 
+#include <atomic>
 #include <cstdio>
 #include <cstdlib>
 #include <stdexcept>
@@ -8,19 +9,22 @@
 namespace spp {
 
 namespace {
-bool quiet_flag = false;
+// Atomic so parallel sweep workers can consult the flag while the
+// main thread toggles it; stderr/stdout writes below are single
+// fprintf calls, which the C library serializes per stream.
+std::atomic<bool> quiet_flag{false};
 } // namespace
 
 void
 setQuiet(bool quiet)
 {
-    quiet_flag = quiet;
+    quiet_flag.store(quiet, std::memory_order_relaxed);
 }
 
 bool
 isQuiet()
 {
-    return quiet_flag;
+    return quiet_flag.load(std::memory_order_relaxed);
 }
 
 void
@@ -44,7 +48,7 @@ fatalImpl(const char *file, int line, std::string_view msg)
 void
 warnImpl(std::string_view msg)
 {
-    if (quiet_flag)
+    if (isQuiet())
         return;
     std::fprintf(stderr, "warn: %.*s\n", static_cast<int>(msg.size()),
                  msg.data());
@@ -53,7 +57,7 @@ warnImpl(std::string_view msg)
 void
 informImpl(std::string_view msg)
 {
-    if (quiet_flag)
+    if (isQuiet())
         return;
     std::fprintf(stdout, "info: %.*s\n", static_cast<int>(msg.size()),
                  msg.data());

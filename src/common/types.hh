@@ -34,6 +34,10 @@ inline constexpr Tick maxTick = ~Tick{0};
 /** Hard upper bound on system size; CoreSet is a 64-bit mask. */
 inline constexpr unsigned maxCores = 64;
 
+/** Modelled physical address width; storage cost models derive tag
+ * widths from this rather than hard-coding them. */
+inline constexpr unsigned physAddrBits = 48;
+
 } // namespace spp
 
 #endif // SPP_COMMON_TYPES_HH

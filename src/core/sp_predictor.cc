@@ -242,10 +242,11 @@ SpPredictor::feedback(CoreId core, const Prediction &pred,
 std::size_t
 SpPredictor::storageBits() const
 {
-    // SP-table entries plus the fixed per-core cost: 16 one-byte
-    // communication counters and the prediction register
-    // (Section 5.4: 17 bytes per core for a 16-core machine).
-    const std::size_t fixed_per_core = n_cores_ * 8 + n_cores_;
+    // SP-table entries plus the fixed per-core cost: one one-byte
+    // communication counter per target core plus the core's one-byte
+    // prediction-register slice. For 16 cores that is 16 + 1 = 17
+    // bytes (136 bits) per core, Section 5.4's figure.
+    const std::size_t fixed_per_core = n_cores_ * 8 + 8;
     return table_.storageBits(n_cores_) + n_cores_ * fixed_per_core;
 }
 

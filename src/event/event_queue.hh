@@ -10,9 +10,9 @@
 #ifndef SPP_EVENT_EVENT_QUEUE_HH
 #define SPP_EVENT_EVENT_QUEUE_HH
 
+#include <algorithm>
 #include <cstdint>
 #include <functional>
-#include <queue>
 #include <vector>
 
 #include "common/logging.hh"
@@ -23,6 +23,13 @@ namespace spp {
 /**
  * Priority queue of (tick, seq, action) triples. seq breaks ties so
  * that same-tick events run in insertion order.
+ *
+ * The heap is managed explicitly (std::pop_heap over a vector)
+ * rather than through std::priority_queue: extracting an event must
+ * fully remove it from the container *before* running it, because
+ * the action may schedule new events. Moving out of
+ * priority_queue::top() and then calling pop() would make pop()'s
+ * sift-down compare entries whose guts the move just stole.
  */
 class EventQueue
 {
@@ -38,7 +45,9 @@ class EventQueue
     {
         SPP_ASSERT(when >= cur_tick_,
                    "schedule in the past: {} < {}", when, cur_tick_);
-        queue_.push(Entry{when, next_seq_++, std::move(action)});
+        queue_.push_back(Entry{when, next_seq_++,
+                               std::move(action)});
+        std::push_heap(queue_.begin(), queue_.end(), EntryLater{});
     }
 
     /** Schedule @p action @p delay ticks from now. */
@@ -57,10 +66,12 @@ class EventQueue
     step()
     {
         SPP_ASSERT(!queue_.empty(), "step on empty event queue");
-        // Move the action out before popping: the action may schedule
-        // new events, and pop() would otherwise destroy it mid-flight.
-        Entry entry = std::move(const_cast<Entry &>(queue_.top()));
-        queue_.pop();
+        // pop_heap rotates the minimum entry to the back using only
+        // intact entries for its comparisons; once popped off the
+        // vector, the action can freely schedule() into the heap.
+        std::pop_heap(queue_.begin(), queue_.end(), EntryLater{});
+        Entry entry = std::move(queue_.back());
+        queue_.pop_back();
         cur_tick_ = entry.when;
         entry.action();
         ++executed_;
@@ -74,7 +85,7 @@ class EventQueue
     run(Tick limit = 0)
     {
         while (!queue_.empty()) {
-            if (limit != 0 && queue_.top().when > limit)
+            if (limit != 0 && queue_.front().when > limit)
                 return false;
             step();
         }
@@ -90,16 +101,23 @@ class EventQueue
         Tick when;
         std::uint64_t seq;
         Action action;
+    };
 
+    /** Heap comparator: true when @p a fires after @p b, so the
+     * earliest (when, seq) sits at queue_.front(). */
+    struct EntryLater
+    {
         bool
-        operator>(const Entry &o) const
+        operator()(const Entry &a, const Entry &b) const
         {
-            return when != o.when ? when > o.when : seq > o.seq;
+            return a.when != b.when ? a.when > b.when
+                                    : a.seq > b.seq;
         }
     };
 
-    std::priority_queue<Entry, std::vector<Entry>, std::greater<>>
-        queue_;
+    /** Min-heap on (when, seq), maintained via std::push_heap /
+     * std::pop_heap. */
+    std::vector<Entry> queue_;
     Tick cur_tick_ = 0;
     std::uint64_t next_seq_ = 0;
     std::uint64_t executed_ = 0;

@@ -19,6 +19,7 @@
 #include <unordered_set>
 #include <vector>
 
+#include "common/logging.hh"
 #include "common/stats.hh"
 #include "common/types.hh"
 
@@ -31,8 +32,18 @@ class SharingFilter
     SharingFilter(unsigned n_cores, unsigned region_bytes)
         : shift_(std::countr_zero(
               static_cast<unsigned long>(region_bytes))),
-          regions_(n_cores)
-    {}
+          tag_bits_(physAddrBits - shift_), regions_(n_cores)
+    {
+        // countr_zero on a non-power-of-two would silently mis-bucket
+        // every region (e.g. 3072 -> 1 KB buckets).
+        SPP_ASSERT(region_bytes != 0 &&
+                       std::has_single_bit(region_bytes),
+                   "sharing-filter region size must be a power of "
+                   "two, got {}", region_bytes);
+        SPP_ASSERT(shift_ < physAddrBits,
+                   "sharing-filter region too large: {} bytes",
+                   region_bytes);
+    }
 
     /** Should a prediction be attempted for this miss? */
     bool
@@ -55,18 +66,24 @@ class SharingFilter
         return regions_[core].size();
     }
 
-    /** Modelled storage: one tag per tracked region per core. */
+    /** Modelled storage: one region tag per tracked region per
+     * core, the tag being the region number (physAddrBits minus the
+     * region-offset bits). */
     std::size_t
     storageBits() const
     {
         std::size_t n = 0;
         for (const auto &r : regions_)
             n += r.size();
-        return n * 32;
+        return n * tag_bits_;
     }
+
+    /** Bits of one stored region tag. */
+    unsigned tagBits() const { return tag_bits_; }
 
   private:
     unsigned shift_;
+    unsigned tag_bits_;
     std::vector<std::unordered_set<Addr>> regions_;
 };
 

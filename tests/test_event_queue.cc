@@ -54,6 +54,55 @@ TEST(EventQueue, EventsScheduleEvents)
     EXPECT_EQ(eq.curTick(), 15u);
 }
 
+// Regression: extracting the top entry used to move out of
+// priority_queue::top() before pop(), so a pop triggered by the
+// running action (or pop's own sift-down) compared gutted entries.
+// Scheduling same-tick events from inside step() exercises exactly
+// that path: the heap is re-shaped while the extracted entry's
+// action is still live.
+TEST(EventQueue, ActionSchedulesSameTickEvents)
+{
+    EventQueue eq;
+    std::vector<int> order;
+    eq.schedule(10, [&] {
+        order.push_back(0);
+        // Same-tick events scheduled mid-step must run after the
+        // already-queued same-tick event (FIFO by sequence).
+        eq.schedule(10, [&] { order.push_back(2); });
+        eq.schedule(10, [&] {
+            order.push_back(3);
+            eq.schedule(10, [&] { order.push_back(4); });
+        });
+    });
+    eq.schedule(10, [&] { order.push_back(1); });
+    EXPECT_TRUE(eq.run());
+    EXPECT_EQ(order, (std::vector<int>{0, 1, 2, 3, 4}));
+    EXPECT_EQ(eq.curTick(), 10u);
+}
+
+// Heavier mid-step scheduling: a chain where every event inserts
+// several future and same-tick events keeps the heap honest under
+// repeated extraction + insertion.
+TEST(EventQueue, StressMidStepScheduling)
+{
+    EventQueue eq;
+    std::uint64_t fired = 0;
+    std::function<void(int)> fanout = [&](int depth) {
+        ++fired;
+        if (depth >= 6)
+            return;
+        for (int i = 0; i < 3; ++i) {
+            eq.scheduleAfter(static_cast<Tick>(i),
+                             [&, depth] { fanout(depth + 1); });
+        }
+    };
+    eq.schedule(1, [&] { fanout(0); });
+    EXPECT_TRUE(eq.run());
+    // Full ternary tree of depth 6: (3^7 - 1) / 2 events.
+    EXPECT_EQ(fired, 1093u);
+    EXPECT_EQ(eq.executed(), 1093u);
+}
+
 TEST(EventQueue, RunLimitStopsEarly)
 {
     EventQueue eq;

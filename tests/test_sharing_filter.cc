@@ -1,0 +1,63 @@
+/**
+ * @file
+ * Unit tests for the region sharing filter's construction contract
+ * and storage model (the behavioural filtering tests live in
+ * test_extensions.cc alongside the other Section 5.3 extension
+ * tests).
+ */
+
+#include <gtest/gtest.h>
+
+#include "common/types.hh"
+#include "predict/sharing_filter.hh"
+
+using namespace spp;
+
+TEST(SharingFilter, RejectsNonPowerOfTwoRegions)
+{
+    EXPECT_DEATH(SharingFilter(16, 3000), "power of");
+    EXPECT_DEATH(SharingFilter(16, 0), "power of");
+    EXPECT_DEATH(SharingFilter(16, 4096 + 64), "power of");
+}
+
+TEST(SharingFilter, AcceptsPowerOfTwoRegions)
+{
+    for (unsigned bytes : {64u, 256u, 4096u, 1u << 20}) {
+        SharingFilter f(4, bytes);
+        EXPECT_EQ(f.sharedRegions(0), 0u);
+    }
+}
+
+TEST(SharingFilter, TagWidthFollowsRegionGeometry)
+{
+    // 4 KB regions: 12 offset bits, so a tag is physAddrBits - 12.
+    SharingFilter f4k(16, 4096);
+    EXPECT_EQ(f4k.tagBits(), physAddrBits - 12);
+
+    // 64 B regions: 6 offset bits.
+    SharingFilter f64(16, 64);
+    EXPECT_EQ(f64.tagBits(), physAddrBits - 6);
+}
+
+TEST(SharingFilter, StorageCountsTagsAcrossCores)
+{
+    SharingFilter f(16, 4096);
+    EXPECT_EQ(f.storageBits(), 0u);
+    f.markShared(0, 0x1000);
+    f.markShared(0, 0x1040);   // Same region, no new tag.
+    f.markShared(0, 0x20000);  // Second region at core 0.
+    f.markShared(3, 0x1000);   // Same region number, other core.
+    EXPECT_EQ(f.sharedRegions(0), 2u);
+    EXPECT_EQ(f.sharedRegions(3), 1u);
+    EXPECT_EQ(f.storageBits(), 3u * (physAddrBits - 12));
+}
+
+TEST(SharingFilter, RegionBucketingAtBoundaries)
+{
+    SharingFilter f(16, 4096);
+    f.markShared(0, 0x1fff);
+    EXPECT_TRUE(f.allowPrediction(0, 0x1000));
+    EXPECT_TRUE(f.allowPrediction(0, 0x1fff));
+    EXPECT_FALSE(f.allowPrediction(0, 0x2000));
+    EXPECT_FALSE(f.allowPrediction(0, 0x0fff));
+}

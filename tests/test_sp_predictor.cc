@@ -256,6 +256,22 @@ TEST_F(SpFixture, StorageAndAccessesReported)
     EXPECT_GT(pred.tableAccesses(), 0u);
 }
 
+// Section 5.4: the fixed (table-independent) predictor state is 17
+// bytes per core on a 16-core machine — 16 one-byte communication
+// counters plus the core's one-byte prediction-register slice.
+TEST_F(SpFixture, FixedStorageMatchesPaper)
+{
+    // Fresh predictor, empty SP-table: only the fixed cost remains.
+    const std::size_t per_core_bits = 16 * 8 + 8;
+    EXPECT_EQ(per_core_bits, 136u); // = 17 bytes.
+    EXPECT_EQ(pred.storageBits(), 16 * per_core_bits);
+
+    // Table entries add on top of the fixed cost.
+    epochWith(0, 1, CoreSet{3});
+    syncPoint(0, 1);
+    EXPECT_GT(pred.storageBits(), 16 * per_core_bits);
+}
+
 TEST_F(SpFixture, MigrationRemapsPrediction)
 {
     epochWith(0, 1, CoreSet{3});

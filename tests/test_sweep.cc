@@ -1,0 +1,182 @@
+/**
+ * @file
+ * Determinism and parallel-equivalence tests for the sweep engine:
+ * the same (workload, config, seed) must produce bit-identical
+ * statistics run-to-run, and a sweep must return element-wise
+ * identical results whether executed on one thread or many.
+ */
+
+#include <gtest/gtest.h>
+
+#include "analysis/sweep.hh"
+#include "common/logging.hh"
+
+using namespace spp;
+
+namespace {
+
+struct QuietScope
+{
+    QuietScope() { setQuiet(true); }
+    ~QuietScope() { setQuiet(false); }
+};
+
+ExperimentConfig
+smallConfig(Protocol proto, PredictorKind kind,
+            std::uint64_t seed = 1)
+{
+    ExperimentConfig cfg;
+    cfg.protocol = proto;
+    cfg.predictor = kind;
+    cfg.scale = 0.3;
+    cfg.seed = seed;
+    return cfg;
+}
+
+/** The stats a figure/table could print, flattened for comparison. */
+struct KeyStats
+{
+    Tick ticks;
+    std::uint64_t misses;
+    std::uint64_t commMisses;
+    std::uint64_t sufficient;
+    std::uint64_t flitBytes;
+    std::uint64_t events;
+    double missLatencyMean;
+    double energy;
+    std::size_t storageBits;
+
+    bool
+    operator==(const KeyStats &o) const = default;
+};
+
+KeyStats
+keyStats(const ExperimentResult &r)
+{
+    KeyStats k;
+    k.ticks = r.run.ticks;
+    k.misses = r.run.mem.misses.value();
+    k.commMisses = r.run.mem.communicatingMisses.value();
+    k.sufficient = r.run.mem.predictionsSufficient.value();
+    k.flitBytes = r.run.noc.flitBytes.value();
+    k.events = r.run.eventsExecuted;
+    k.missLatencyMean = r.run.mem.missLatency.mean();
+    k.energy = r.energy;
+    k.storageBits = r.run.predictorStorageBits;
+    return k;
+}
+
+std::vector<SweepJob>
+sampleJobs()
+{
+    return {
+        {"fft", smallConfig(Protocol::directory,
+                            PredictorKind::none), ""},
+        {"x264", smallConfig(Protocol::predicted,
+                             PredictorKind::sp), ""},
+        {"fft", smallConfig(Protocol::broadcast,
+                            PredictorKind::none), ""},
+        {"dedup", smallConfig(Protocol::predicted,
+                              PredictorKind::addr), ""},
+    };
+}
+
+} // namespace
+
+TEST(Determinism, SameSeedSameStats)
+{
+    QuietScope quiet;
+    const ExperimentConfig cfg =
+        smallConfig(Protocol::predicted, PredictorKind::sp);
+    const ExperimentResult a = runExperiment("x264", cfg);
+    const ExperimentResult b = runExperiment("x264", cfg);
+    EXPECT_GT(a.run.mem.misses.value(), 0u);
+    EXPECT_EQ(keyStats(a), keyStats(b));
+}
+
+TEST(Determinism, DifferentSeedsDiffer)
+{
+    QuietScope quiet;
+    const ExperimentResult a = runExperiment(
+        "x264", smallConfig(Protocol::predicted,
+                            PredictorKind::sp, 1));
+    const ExperimentResult b = runExperiment(
+        "x264", smallConfig(Protocol::predicted,
+                            PredictorKind::sp, 99));
+    EXPECT_NE(keyStats(a), keyStats(b));
+}
+
+TEST(Sweep, ResultsInJobOrder)
+{
+    QuietScope quiet;
+    const std::vector<SweepJob> jobs = sampleJobs();
+    const auto swept = runSweep(jobs, 1);
+    ASSERT_EQ(swept.size(), jobs.size());
+    for (std::size_t i = 0; i < jobs.size(); ++i) {
+        const ExperimentResult direct =
+            runExperiment(jobs[i].workload, jobs[i].config);
+        EXPECT_EQ(keyStats(swept[i]), keyStats(direct))
+            << "job " << i << " (" << jobs[i].workload << ")";
+    }
+}
+
+TEST(Sweep, ParallelMatchesSequential)
+{
+    QuietScope quiet;
+    const std::vector<SweepJob> jobs = sampleJobs();
+    const auto seq = runSweep(jobs, 1);
+    const auto par = runSweep(jobs, 4);
+    ASSERT_EQ(seq.size(), par.size());
+    for (std::size_t i = 0; i < jobs.size(); ++i) {
+        EXPECT_EQ(keyStats(seq[i]), keyStats(par[i]))
+            << "job " << i << " (" << jobs[i].workload << ")";
+    }
+}
+
+TEST(Sweep, OversubscribedPoolMatchesSequential)
+{
+    QuietScope quiet;
+    // More threads than jobs: the runner must clamp and still land
+    // every result at its job's index.
+    const std::vector<SweepJob> jobs = sampleJobs();
+    const auto seq = runSweep(jobs, 1);
+    const auto par = runSweep(jobs, 16);
+    ASSERT_EQ(seq.size(), par.size());
+    for (std::size_t i = 0; i < jobs.size(); ++i)
+        EXPECT_EQ(keyStats(seq[i]), keyStats(par[i]));
+}
+
+TEST(Sweep, EmptyJobListIsFine)
+{
+    QuietScope quiet;
+    EXPECT_TRUE(runSweep({}, 4).empty());
+}
+
+TEST(Sweep, CollectsTracesPerJob)
+{
+    QuietScope quiet;
+    // Traced jobs run concurrently; each trace must see only its own
+    // run's events.
+    ExperimentConfig traced =
+        smallConfig(Protocol::directory, PredictorKind::none);
+    traced.collectTrace = true;
+    const std::vector<SweepJob> jobs = {
+        {"fft", traced, ""}, {"x264", traced, ""},
+        {"fft", traced, ""},
+    };
+    const auto par = runSweep(jobs, 3);
+    ASSERT_TRUE(par[0].trace && par[1].trace && par[2].trace);
+    EXPECT_EQ(par[0].trace->totalMisses(),
+              par[2].trace->totalMisses());
+    EXPECT_EQ(par[0].trace->totalMisses(),
+              par[0].run.mem.misses.value());
+    EXPECT_EQ(par[1].trace->totalMisses(),
+              par[1].run.mem.misses.value());
+}
+
+TEST(SweepRunner, DefaultJobsIsPositive)
+{
+    EXPECT_GE(SweepRunner::defaultJobs(), 1u);
+    EXPECT_GE(SweepRunner(0).threads(), 1u);
+    EXPECT_EQ(SweepRunner(7).threads(), 7u);
+}
