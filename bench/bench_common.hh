@@ -13,6 +13,11 @@
  * the worker count; results are returned in job order, so the
  * printed tables are byte-identical at any thread count. Set
  * SPP_PROGRESS=1 to watch per-job completion lines on stderr.
+ *
+ * Telemetry: pass --telemetry DIR (or set SPP_TELEMETRY=DIR) to
+ * write per-job time-series CSVs, Chrome-trace timelines and run
+ * manifests into DIR; SPP_TELEMETRY_PERIOD overrides the sampling
+ * cadence in ticks. Off by default at zero cost.
  */
 
 #ifndef SPP_BENCH_BENCH_COMMON_HH
@@ -31,6 +36,7 @@
 #include "analysis/report.hh"
 #include "analysis/sweep.hh"
 #include "common/logging.hh"
+#include "telemetry/options.hh"
 #include "workload/workload.hh"
 
 namespace spp {
@@ -39,21 +45,33 @@ namespace bench {
 /** Sweep worker count: 0 = SweepRunner::defaultJobs(). */
 inline unsigned g_jobs = 0;
 
-/** Parse the shared bench flags (--jobs N / --jobs=N); call first
- * thing in every driver's main(). */
+/** Telemetry knobs shared by every config factory below; disabled
+ * unless --telemetry or SPP_TELEMETRY names a directory. */
+inline TelemetryOptions g_telemetry;
+
+/** Parse the shared bench flags (--jobs N, --telemetry DIR); call
+ * first thing in every driver's main(). */
 inline void
 initBench(int argc, char **argv)
 {
+    g_telemetry = TelemetryOptions::fromEnv();
     for (int i = 1; i < argc; ++i) {
         const char *arg = argv[i];
         if (std::strcmp(arg, "--jobs") == 0 && i + 1 < argc) {
             g_jobs = static_cast<unsigned>(std::atoi(argv[++i]));
         } else if (std::strncmp(arg, "--jobs=", 7) == 0) {
             g_jobs = static_cast<unsigned>(std::atoi(arg + 7));
+        } else if (std::strcmp(arg, "--telemetry") == 0 &&
+                   i + 1 < argc) {
+            g_telemetry.dir = argv[++i];
+        } else if (std::strncmp(arg, "--telemetry=", 12) == 0) {
+            g_telemetry.dir = arg + 12;
         } else {
             std::fprintf(stderr,
-                         "usage: %s [--jobs N]   (also: SPP_JOBS, "
-                         "SPP_BENCH_SCALE, SPP_PROGRESS)\n", argv[0]);
+                         "usage: %s [--jobs N] [--telemetry DIR]   "
+                         "(also: SPP_JOBS, SPP_BENCH_SCALE, "
+                         "SPP_PROGRESS, SPP_TELEMETRY, "
+                         "SPP_TELEMETRY_PERIOD)\n", argv[0]);
             std::exit(2);
         }
     }
@@ -99,6 +117,7 @@ directoryConfig()
     ExperimentConfig c;
     c.protocol = Protocol::directory;
     c.scale = defaultBenchScale();
+    c.telemetry = g_telemetry;
     return c;
 }
 
@@ -109,6 +128,7 @@ broadcastConfig()
     ExperimentConfig c;
     c.protocol = Protocol::broadcast;
     c.scale = defaultBenchScale();
+    c.telemetry = g_telemetry;
     return c;
 }
 
@@ -120,6 +140,7 @@ predictedConfig(PredictorKind kind)
     c.protocol = Protocol::predicted;
     c.predictor = kind;
     c.scale = defaultBenchScale();
+    c.telemetry = g_telemetry;
     return c;
 }
 

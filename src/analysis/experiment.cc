@@ -1,8 +1,10 @@
 #include "analysis/experiment.hh"
 
 #include <cstdlib>
+#include <optional>
 
 #include "common/logging.hh"
+#include "telemetry/telemetry.hh"
 
 namespace spp {
 
@@ -71,6 +73,19 @@ runExperiment(const std::string &workload_name,
     if (xcfg.tweak)
         xcfg.tweak(cfg);
 
+    // Telemetry is fully inert unless a directory was configured:
+    // the optional stays empty and the run is bit-identical to an
+    // unobserved one.
+    std::optional<RunTelemetry> telemetry;
+    if (xcfg.telemetry.enabled()) {
+        telemetry.emplace(xcfg.telemetry,
+                          xcfg.telemetryLabel.empty()
+                              ? workload_name
+                              : xcfg.telemetryLabel);
+        telemetry->manifest().set("workload", Json(workload_name));
+        telemetry->manifest().beginPhase("build");
+    }
+
     CmpSystem sys(cfg);
     if (xcfg.prepare)
         xcfg.prepare(sys);
@@ -81,12 +96,19 @@ runExperiment(const std::string &workload_name,
             cfg.numCores, xcfg.recordMissTargets);
         res.trace->attach(sys);
     }
+    if (telemetry) {
+        telemetry->attach(sys);
+        telemetry->manifest().beginPhase("run");
+    }
 
     WorkloadParams params;
     params.scale = xcfg.scale;
     res.run = sys.run([spec, params](ThreadContext &ctx) {
         return spec->run(ctx, params);
     });
+
+    if (telemetry)
+        telemetry->manifest().beginPhase("finalize");
 
     if (res.trace)
         res.trace->finalize();
@@ -99,6 +121,8 @@ runExperiment(const std::string &workload_name,
 
     res.energy = EnergyModel{}.total(res.run.noc,
                                      res.run.mem.snoopLookups.value());
+    if (telemetry)
+        telemetry->finish(res.run);
     return res;
 }
 

@@ -16,6 +16,7 @@
 #include "analysis/trace.hh"
 #include "common/config.hh"
 #include "sim/cmp_system.hh"
+#include "telemetry/options.hh"
 #include "workload/workload.hh"
 
 namespace spp {
@@ -31,6 +32,13 @@ struct ExperimentConfig
     bool collectTrace = false;
     bool recordMissTargets = false; ///< Per-miss targets in the trace.
     bool checkCoherence = false;    ///< Run invariant checkers after.
+
+    /** Telemetry sidecars (time series, Chrome trace, manifest);
+     * disabled unless telemetry.dir is set. */
+    TelemetryOptions telemetry;
+    /** File stem of this run's sidecars; defaults to the workload
+     * name (the sweep engine assigns unique per-job labels). */
+    std::string telemetryLabel;
 
     /** Apply further Config edits before the run. */
     std::function<void(Config &)> tweak;

@@ -8,6 +8,8 @@
 #include <thread>
 
 #include "common/logging.hh"
+#include "telemetry/json.hh"
+#include "telemetry/manifest.hh"
 
 namespace spp {
 
@@ -38,6 +40,43 @@ jobLabel(const SweepJob &job)
         label += toString(job.config.predictor);
     }
     return label;
+}
+
+/** Aggregate sidecar of one sweep: per-job wall time next to the
+ * per-job run manifests. A process may run several sweeps into the
+ * same directory, so each gets a distinct sequence number. */
+void
+writeSweepManifest(const std::string &dir,
+                   const std::vector<SweepJob> &jobs,
+                   const std::vector<double> &wall_ms,
+                   unsigned n_workers, double total_ms)
+{
+    static std::atomic<unsigned> sweep_seq{0};
+    const unsigned seq =
+        sweep_seq.fetch_add(1, std::memory_order_relaxed) + 1;
+
+    RunManifest manifest;
+    manifest.set("kind", Json("sweep"));
+    manifest.set("threads", Json(n_workers));
+    manifest.set("wall_ms", Json(total_ms));
+    Json job_list = Json::array();
+    for (std::size_t i = 0; i < jobs.size(); ++i) {
+        Json row = Json::object();
+        row["label"] = Json(jobLabel(jobs[i]));
+        row["workload"] = Json(jobs[i].workload);
+        row["wall_ms"] = Json(wall_ms[i]);
+        job_list.push(std::move(row));
+    }
+    manifest.set("jobs", std::move(job_list));
+
+    std::string path = dir;
+    path += "/sweep";
+    if (seq > 1) {
+        path += '.';
+        path += std::to_string(seq);
+    }
+    path += ".manifest.json";
+    manifest.write(path);
 }
 
 } // namespace
@@ -73,6 +112,7 @@ SweepRunner::run(const std::vector<SweepJob> &jobs) const
     std::atomic<std::size_t> next{0};
     std::atomic<std::size_t> done{0};
     std::mutex io_mutex;
+    std::vector<double> wall_ms(jobs.size(), 0.0);
 
     auto worker = [&] {
         for (;;) {
@@ -81,19 +121,37 @@ SweepRunner::run(const std::vector<SweepJob> &jobs) const
             if (i >= jobs.size())
                 return;
             const Clock::time_point t0 = Clock::now();
-            results[i] = runExperiment(jobs[i].workload,
-                                       jobs[i].config);
+            if (jobs[i].config.telemetry.enabled() &&
+                jobs[i].config.telemetryLabel.empty()) {
+                // Give every job a unique file stem; two cells of a
+                // matrix often share the workload name.
+                ExperimentConfig cfg = jobs[i].config;
+                cfg.telemetryLabel =
+                    sanitizeFileLabel(jobLabel(jobs[i])) + "_j" +
+                    std::to_string(i);
+                results[i] = runExperiment(jobs[i].workload, cfg);
+            } else {
+                results[i] = runExperiment(jobs[i].workload,
+                                           jobs[i].config);
+            }
+            wall_ms[i] =
+                std::chrono::duration<double, std::milli>(
+                    Clock::now() - t0)
+                    .count();
             const std::size_t finished =
                 done.fetch_add(1, std::memory_order_relaxed) + 1;
             if (progress) {
-                const double secs =
-                    std::chrono::duration<double>(Clock::now() - t0)
+                const double elapsed_ms =
+                    std::chrono::duration<double, std::milli>(
+                        Clock::now() - sweep_start)
                         .count();
                 std::lock_guard<std::mutex> lock(io_mutex);
                 std::fprintf(stderr,
-                             "sweep [%zu/%zu] %s %.2fs\n", finished,
-                             jobs.size(), jobLabel(jobs[i]).c_str(),
-                             secs);
+                             "sweep [%zu/%zu] %s %.0fms "
+                             "(elapsed %.0fms)\n",
+                             finished, jobs.size(),
+                             jobLabel(jobs[i]).c_str(), wall_ms[i],
+                             elapsed_ms);
             }
         }
     };
@@ -111,14 +169,26 @@ SweepRunner::run(const std::vector<SweepJob> &jobs) const
             t.join();
     }
 
+    const double total_ms =
+        std::chrono::duration<double, std::milli>(Clock::now() -
+                                                  sweep_start)
+            .count();
     if (progress && jobs.size() > 1) {
-        const double secs = std::chrono::duration<double>(
-                                Clock::now() - sweep_start)
-                                .count();
         std::fprintf(stderr, "sweep done: %zu jobs on %u thread%s "
-                             "in %.2fs\n",
+                             "in %.0fms\n",
                      jobs.size(), n_workers,
-                     n_workers == 1 ? "" : "s", secs);
+                     n_workers == 1 ? "" : "s", total_ms);
+    }
+
+    // When the sweep's jobs write telemetry, leave one aggregate
+    // manifest beside the per-job sidecars.
+    for (const SweepJob &job : jobs) {
+        if (job.config.telemetry.enabled() &&
+            job.config.telemetry.emitManifest) {
+            writeSweepManifest(job.config.telemetry.dir, jobs,
+                               wall_ms, n_workers, total_ms);
+            break;
+        }
     }
     return results;
 }

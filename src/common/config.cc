@@ -1,6 +1,8 @@
 #include "common/config.hh"
 
 #include <bit>
+#include <sstream>
+#include <string>
 
 #include "common/logging.hh"
 
@@ -69,6 +71,76 @@ Config::validate() const
         SPP_FATAL("filterRegionBytes must be a power of two >= "
                   "lineBytes");
     }
+}
+
+std::string
+configDescribe(const Config &c)
+{
+    std::ostringstream os;
+    auto kv = [&os, first = true](const char *k, auto v) mutable {
+        if (!first)
+            os << ' ';
+        first = false;
+        os << k << '=' << v;
+    };
+    kv("numCores", c.numCores);
+    kv("meshX", c.meshX);
+    kv("meshY", c.meshY);
+    kv("lineBytes", c.lineBytes);
+    kv("l1Bytes", c.l1Bytes);
+    kv("l1Assoc", c.l1Assoc);
+    kv("l1Latency", c.l1Latency);
+    kv("l2Bytes", c.l2Bytes);
+    kv("l2Assoc", c.l2Assoc);
+    kv("l2TagLatency", c.l2TagLatency);
+    kv("l2DataLatency", c.l2DataLatency);
+    kv("memLatency", c.memLatency);
+    kv("dirLatency", c.dirLatency);
+    kv("enableDram", c.enableDram);
+    kv("dramBanks", c.dramBanks);
+    kv("dramRowLines", c.dramRowLines);
+    kv("dramRowHitLatency", c.dramRowHitLatency);
+    kv("dramRowConflictLatency", c.dramRowConflictLatency);
+    kv("routerLatency", c.routerLatency);
+    kv("linkLatency", c.linkLatency);
+    kv("linkBytesPerCycle", c.linkBytesPerCycle);
+    kv("ctrlPacketBytes", c.ctrlPacketBytes);
+    kv("dataPacketBytes", c.dataPacketBytes);
+    kv("modelContention", c.modelContention);
+    kv("protocol", toString(c.protocol));
+    kv("predictor", toString(c.predictor));
+    kv("enableFState", c.enableFState);
+    kv("hotThreshold", c.hotThreshold);
+    kv("historyDepth", c.historyDepth);
+    kv("warmupMisses", c.warmupMisses);
+    kv("noiseMisses", c.noiseMisses);
+    kv("confidenceBits", c.confidenceBits);
+    kv("enableRecovery", c.enableRecovery);
+    kv("enablePatterns", c.enablePatterns);
+    kv("unionEpochIntoLock", c.unionEpochIntoLock);
+    kv("maxHotSetSize", c.maxHotSetSize);
+    kv("spTableLatency", c.spTableLatency);
+    kv("enableSharingFilter", c.enableSharingFilter);
+    kv("filterRegionBytes", c.filterRegionBytes);
+    kv("macroBlockBytes", c.macroBlockBytes);
+    kv("groupThreshold", c.groupThreshold);
+    kv("trainDownPeriod", c.trainDownPeriod);
+    kv("predictorEntries", c.predictorEntries);
+    kv("seed", c.seed);
+    kv("maxTicks", c.maxTicks);
+    return os.str();
+}
+
+std::uint64_t
+configHash(const Config &cfg)
+{
+    // FNV-1a over the canonical description.
+    std::uint64_t h = 14695981039346656037ull;
+    for (unsigned char byte : configDescribe(cfg)) {
+        h ^= byte;
+        h *= 1099511628211ull;
+    }
+    return h;
 }
 
 } // namespace spp

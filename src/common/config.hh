@@ -8,6 +8,7 @@
 #define SPP_COMMON_CONFIG_HH
 
 #include <cstdint>
+#include <string>
 
 #include "common/types.hh"
 #include "mem/mesif.hh"
@@ -130,6 +131,17 @@ struct Config
     /** Sanity-check the parameters; calls fatal() on user error. */
     void validate() const;
 };
+
+/**
+ * Canonical one-line "key=value key=value ..." rendering of every
+ * Config field, in declaration order. Stable across runs and hosts,
+ * so it doubles as the input of configHash() and as the
+ * human-auditable config record in telemetry run manifests.
+ */
+std::string configDescribe(const Config &cfg);
+
+/** FNV-1a hash of configDescribe(@p cfg); stamps run manifests. */
+std::uint64_t configHash(const Config &cfg);
 
 } // namespace spp
 

@@ -14,14 +14,36 @@ StatGroup::regAverage(const std::string &name, const Average &a)
     averages_.emplace_back(name, &a);
 }
 
+namespace {
+
+template <typename Stat>
+std::vector<const std::pair<std::string, const Stat *> *>
+sortedByName(const std::vector<std::pair<std::string, const Stat *>> &v)
+{
+    std::vector<const std::pair<std::string, const Stat *> *> order;
+    order.reserve(v.size());
+    for (const auto &entry : v)
+        order.push_back(&entry);
+    std::sort(order.begin(), order.end(),
+              [](const auto *a, const auto *b) {
+                  return a->first < b->first;
+              });
+    return order;
+}
+
+} // namespace
+
 void
 StatGroup::dump(std::ostream &os) const
 {
-    for (const auto &[name, c] : counters_)
-        os << name_ << '.' << name << ' ' << c->value() << '\n';
-    for (const auto &[name, a] : averages_) {
-        os << name_ << '.' << name << ".mean " << a->mean() << '\n';
-        os << name_ << '.' << name << ".count " << a->count() << '\n';
+    for (const auto *entry : sortedByName(counters_))
+        os << name_ << '.' << entry->first << ' '
+           << entry->second->value() << '\n';
+    for (const auto *entry : sortedByName(averages_)) {
+        os << name_ << '.' << entry->first << ".mean "
+           << entry->second->mean() << '\n';
+        os << name_ << '.' << entry->first << ".count "
+           << entry->second->count() << '\n';
     }
 }
 

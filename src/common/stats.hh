@@ -43,6 +43,22 @@ class Counter
     std::uint64_t value() const { return value_; }
     void reset() { value_ = 0; }
 
+    /**
+     * Read the current value and replace it with @p new_value
+     * (default 0) in one step. Interval consumers that only need
+     * per-period deltas should instead keep their own last-seen
+     * snapshot (telemetry::Sampler does) so the cumulative total
+     * survives for end-of-run aggregation; exchange() is for owners
+     * that genuinely hand the whole count off.
+     */
+    std::uint64_t
+    exchange(std::uint64_t new_value = 0)
+    {
+        const std::uint64_t old = value_;
+        value_ = new_value;
+        return old;
+    }
+
   private:
     std::uint64_t value_ = 0;
 };
@@ -124,7 +140,13 @@ class StatGroup
     void regCounter(const std::string &name, const Counter &c);
     void regAverage(const std::string &name, const Average &a);
 
-    /** Write "group.name value" lines to @p os. */
+    /**
+     * Write "group.name value" lines to @p os, sorted by statistic
+     * name (counters first, then averages). The ordering is
+     * independent of registration order, so consumers that key on
+     * line position — telemetry CSV headers, diff-based regression
+     * scripts — stay stable across translation-unit reorderings.
+     */
     void dump(std::ostream &os) const;
 
     const std::string &name() const { return name_; }

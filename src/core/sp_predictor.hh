@@ -95,6 +95,15 @@ class SpPredictor : public DestinationPredictor, public SyncListener
         return epochs_[core].predictor;
     }
 
+    /** Cumulative communication volume recorded by @p core's
+     * counters across all epochs (telemetry gauge; survives the
+     * per-epoch counter reset). */
+    std::uint64_t
+    commVolume(CoreId core) const
+    {
+        return epochs_[core].counters.lifetimeTotal();
+    }
+
   private:
     /** Per-core running-epoch state. */
     struct EpochState

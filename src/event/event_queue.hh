@@ -36,8 +36,46 @@ class EventQueue
   public:
     using Action = std::function<void()>;
 
+    /**
+     * Observer of periodic tick-boundary crossings (telemetry
+     * sampling). onBoundary(b) fires the first time execution
+     * reaches a tick >= b, *before* the event at that tick runs, so
+     * the observer sees simulator state exactly as of the start of
+     * the boundary tick. When a single event advances time across
+     * several boundaries, one callback fires per boundary (in
+     * order), all observing the same quiescent state.
+     */
+    class TickObserver
+    {
+      public:
+        virtual ~TickObserver() = default;
+        virtual void onBoundary(Tick boundary) = 0;
+    };
+
     /** Current simulated time. */
     Tick curTick() const { return cur_tick_; }
+
+    /**
+     * Install @p obs, firing every @p period ticks starting at the
+     * next multiple of @p period after curTick(); nullptr removes
+     * the observer. The observer is polled on the event execution
+     * path rather than scheduled as events, so the queue still
+     * drains naturally and a disabled (null) observer costs one
+     * predictable branch per event.
+     */
+    void
+    setTickObserver(TickObserver *obs, Tick period = 0)
+    {
+        obs_ = obs;
+        if (obs != nullptr) {
+            SPP_ASSERT(period > 0,
+                       "tick-observer period must be non-zero");
+            obs_period_ = period;
+            obs_next_ = (cur_tick_ / period + 1) * period;
+        }
+    }
+
+    bool hasTickObserver() const { return obs_ != nullptr; }
 
     /** Schedule @p action at absolute time @p when (>= curTick()). */
     void
@@ -73,6 +111,12 @@ class EventQueue
         Entry entry = std::move(queue_.back());
         queue_.pop_back();
         cur_tick_ = entry.when;
+        if (obs_ != nullptr) [[unlikely]] {
+            while (cur_tick_ >= obs_next_) {
+                obs_->onBoundary(obs_next_);
+                obs_next_ += obs_period_;
+            }
+        }
         entry.action();
         ++executed_;
     }
@@ -121,6 +165,9 @@ class EventQueue
     Tick cur_tick_ = 0;
     std::uint64_t next_seq_ = 0;
     std::uint64_t executed_ = 0;
+    TickObserver *obs_ = nullptr;
+    Tick obs_period_ = 0;
+    Tick obs_next_ = maxTick;
 };
 
 } // namespace spp

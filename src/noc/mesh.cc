@@ -6,7 +6,8 @@ namespace spp {
 
 Mesh::Mesh(const Config &cfg, EventQueue &eq)
     : cfg_(cfg), eq_(eq), n_cores_(cfg.numCores),
-      link_free_(static_cast<std::size_t>(cfg.numCores) * 4, 0)
+      link_free_(static_cast<std::size_t>(cfg.numCores) * 4, 0),
+      link_busy_(static_cast<std::size_t>(cfg.numCores) * 4, 0)
 {
 }
 
@@ -98,11 +99,13 @@ Mesh::send(const Packet &pkt, DeliverFn on_delivery)
         // serialization time once the head passes.
         Tick head = now + cfg_.routerLatency;
         for (std::size_t i = 0; i + 1 < path_scratch_.size(); ++i) {
-            Tick &free_at = link_free_[
-                linkIndex(path_scratch_[i], path_scratch_[i + 1])];
+            const std::size_t idx =
+                linkIndex(path_scratch_[i], path_scratch_[i + 1]);
+            Tick &free_at = link_free_[idx];
             if (free_at > head)
                 head = free_at;              // Queueing delay.
             free_at = head + serialization;  // Occupy for the body.
+            link_busy_[idx] += serialization;
             head += cfg_.linkLatency + cfg_.routerLatency;
         }
         // Tail arrives a serialization time after the head.

@@ -79,6 +79,18 @@ class Mesh
 
     const NocStats &stats() const { return stats_; }
 
+    /**
+     * Cumulative ticks each directional link has been reserved for
+     * packet serialization; index = tile * 4 + direction (0 = +X,
+     * 1 = -X, 2 = +Y, 3 = -Y). Zeros when contention modeling is
+     * off. The vector is sized once at construction, so cell
+     * addresses stay stable (the telemetry sampler holds pointers).
+     */
+    const std::vector<std::uint64_t> &linkBusyTicks() const
+    {
+        return link_busy_;
+    }
+
     unsigned numCores() const { return n_cores_; }
 
   private:
@@ -94,6 +106,8 @@ class Mesh
     unsigned n_cores_;
     /** busy-until tick per directional link (n_cores * 4 entries). */
     std::vector<Tick> link_free_;
+    /** Cumulative serialization-busy ticks per directional link. */
+    std::vector<std::uint64_t> link_busy_;
     NocStats stats_;
     /** Scratch buffer reused by send() to avoid per-packet allocs. */
     std::vector<unsigned> path_scratch_;

@@ -1,0 +1,141 @@
+#include "telemetry/manifest.hh"
+
+#include <cstdio>
+#include <ctime>
+#include <fstream>
+#include <mutex>
+#include <sstream>
+#include <thread>
+
+#include "common/logging.hh"
+
+namespace spp {
+
+namespace {
+
+std::string
+isoTimestamp()
+{
+    const std::time_t now = std::time(nullptr);
+    std::tm tm{};
+    gmtime_r(&now, &tm);
+    char buf[32];
+    std::strftime(buf, sizeof(buf), "%Y-%m-%dT%H:%M:%SZ", &tm);
+    return buf;
+}
+
+std::string
+runGitDescribe()
+{
+    FILE *pipe = popen("git describe --always --dirty 2>/dev/null", "r");
+    if (pipe == nullptr)
+        return "unknown";
+    char buf[256];
+    std::string out;
+    while (std::fgets(buf, sizeof(buf), pipe) != nullptr)
+        out += buf;
+    const int status = pclose(pipe);
+    while (!out.empty() && (out.back() == '\n' || out.back() == '\r'))
+        out.pop_back();
+    if (status != 0 || out.empty())
+        return "unknown";
+    return out;
+}
+
+} // namespace
+
+const std::string &
+gitDescribe()
+{
+    // Computed once per process: sweeps write one manifest per job
+    // from many threads, and spawning git for each would dominate.
+    static std::once_flag once;
+    static std::string cached;
+    std::call_once(once, [] { cached = runGitDescribe(); });
+    return cached;
+}
+
+unsigned
+hostThreads()
+{
+    const unsigned hw = std::thread::hardware_concurrency();
+    return hw != 0 ? hw : 1;
+}
+
+RunManifest::RunManifest()
+{
+    doc_ = Json::object();
+    doc_["schema"] = Json("spp-run-manifest-v1");
+    doc_["created"] = Json(isoTimestamp());
+    doc_["git_describe"] = Json(gitDescribe());
+    doc_["host_threads"] = Json(hostThreads());
+}
+
+void
+RunManifest::set(const std::string &key, Json value)
+{
+    doc_[key] = std::move(value);
+}
+
+void
+RunManifest::beginPhase(const std::string &name)
+{
+    endPhase();
+    open_phase_ = name;
+    phase_start_ = Clock::now();
+}
+
+void
+RunManifest::endPhase()
+{
+    if (open_phase_.empty())
+        return;
+    const double ms = std::chrono::duration<double, std::milli>(
+                          Clock::now() - phase_start_)
+                          .count();
+    phase_ms_.emplace_back(open_phase_, ms);
+    open_phase_.clear();
+}
+
+Json
+RunManifest::toJson() const
+{
+    Json doc = doc_;
+    Json phases = Json::object();
+    for (const auto &[name, ms] : phase_ms_)
+        phases[name] = Json(ms);
+    if (!open_phase_.empty()) {
+        // A still-open phase reports its running elapsed time.
+        phases[open_phase_] = Json(
+            std::chrono::duration<double, std::milli>(Clock::now() -
+                                                      phase_start_)
+                .count());
+    }
+    doc["phases"] = std::move(phases);
+    return doc;
+}
+
+void
+RunManifest::write(const std::string &path) const
+{
+    std::ofstream os(path);
+    if (!os)
+        SPP_FATAL("cannot write manifest '{}'", path);
+    toJson().write(os, 0);
+    os << '\n';
+    if (!os)
+        SPP_FATAL("write to manifest '{}' failed", path);
+}
+
+std::optional<Json>
+RunManifest::read(const std::string &path)
+{
+    std::ifstream is(path);
+    if (!is)
+        return std::nullopt;
+    std::ostringstream buf;
+    buf << is.rdbuf();
+    return Json::parse(buf.str());
+}
+
+} // namespace spp

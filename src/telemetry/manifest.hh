@@ -1,0 +1,71 @@
+/**
+ * @file
+ * Structured run manifests.
+ *
+ * Every telemetry-enabled bench/sweep invocation leaves a JSON
+ * sidecar next to its results recording *how* the numbers were
+ * produced: config hash and canonical description, workload, git
+ * describe of the tree, host parallelism, wall-clock per phase, and
+ * a summary of the run's headline statistics. Manifests make any
+ * result file self-describing: given only the sidecar, the exact
+ * run can be reconstructed.
+ */
+
+#ifndef SPP_TELEMETRY_MANIFEST_HH
+#define SPP_TELEMETRY_MANIFEST_HH
+
+#include <chrono>
+#include <string>
+#include <vector>
+
+#include "telemetry/json.hh"
+
+namespace spp {
+
+class RunManifest
+{
+  public:
+    /** Stamps schema version, creation time, git describe and host
+     * info into the document. */
+    RunManifest();
+
+    /** Set (or overwrite) a top-level field. */
+    void set(const std::string &key, Json value);
+
+    /**
+     * Start a named wall-clock phase, ending the previous one. The
+     * manifest's "phases" object maps each phase name to elapsed
+     * milliseconds.
+     */
+    void beginPhase(const std::string &name);
+
+    /** End the running phase (if any). */
+    void endPhase();
+
+    Json toJson() const;
+
+    /** Serialize to @p path (pretty-printed); fatal on I/O failure. */
+    void write(const std::string &path) const;
+
+    /** Parse a manifest (or any JSON) file; nullopt on failure. */
+    static std::optional<Json> read(const std::string &path);
+
+  private:
+    using Clock = std::chrono::steady_clock;
+
+    Json doc_;
+    std::vector<std::pair<std::string, double>> phase_ms_;
+    std::string open_phase_;
+    Clock::time_point phase_start_{};
+};
+
+/** `git describe --always --dirty` of the working tree, computed
+ * once per process; "unknown" when git or the repo is unavailable. */
+const std::string &gitDescribe();
+
+/** Hardware concurrency of the host (min 1). */
+unsigned hostThreads();
+
+} // namespace spp
+
+#endif // SPP_TELEMETRY_MANIFEST_HH

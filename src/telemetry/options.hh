@@ -1,0 +1,47 @@
+/**
+ * @file
+ * Telemetry knobs. Deliberately a leaf header (types + strings only)
+ * so ExperimentConfig can embed the options without pulling the
+ * whole telemetry subsystem into every translation unit.
+ */
+
+#ifndef SPP_TELEMETRY_OPTIONS_HH
+#define SPP_TELEMETRY_OPTIONS_HH
+
+#include <cstddef>
+#include <string>
+
+#include "common/types.hh"
+
+namespace spp {
+
+struct TelemetryOptions
+{
+    /** Output directory for all sidecar files; empty = telemetry is
+     * disabled and the run pays zero observation cost. */
+    std::string dir;
+
+    /** Sampling cadence of the time-series, in ticks. */
+    Tick samplePeriod = 5000;
+
+    bool emitSeries = true;     ///< <label>.series.csv
+    bool emitSeriesJson = false;///< <label>.series.json (opt-in).
+    bool emitTrace = true;      ///< <label>.trace.json (Perfetto).
+    bool emitManifest = true;   ///< <label>.manifest.json
+
+    /** Chrome-trace event cap; drops are counted, not silent. */
+    std::size_t maxTraceEvents = 1u << 20;
+
+    bool enabled() const { return !dir.empty(); }
+
+    /** SPP_TELEMETRY (dir) and SPP_TELEMETRY_PERIOD (ticks). */
+    static TelemetryOptions fromEnv();
+};
+
+/** Replace everything but [A-Za-z0-9._-] with '_' so labels derived
+ * from workload/protocol names are safe file stems. */
+std::string sanitizeFileLabel(const std::string &label);
+
+} // namespace spp
+
+#endif // SPP_TELEMETRY_OPTIONS_HH

@@ -70,6 +70,22 @@ TEST(CommCounters, Reset)
     EXPECT_EQ(c.total(), 0u);
 }
 
+TEST(CommCounters, LifetimeTotalSurvivesReset)
+{
+    CommCounters c;
+    c.record(CoreSet{1, 2});
+    c.record(CoreSet{3});
+    EXPECT_EQ(c.lifetimeTotal(), 3u);
+    c.reset(); // Epoch boundary: per-epoch counts clear...
+    EXPECT_EQ(c.total(), 0u);
+    EXPECT_EQ(c.lifetimeTotal(), 3u); // ...the running total doesn't.
+    c.record(CoreSet{4});
+    EXPECT_EQ(c.lifetimeTotal(), 4u);
+    c.reset();
+    c.reset(); // A quiet epoch adds nothing.
+    EXPECT_EQ(c.lifetimeTotal(), 4u);
+}
+
 // --- SpTable ---
 
 TEST(SpTable, MissingEntry)

@@ -132,6 +132,17 @@ TEST(Stats, Counter)
     EXPECT_EQ(c.value(), 0u);
 }
 
+TEST(Stats, CounterExchange)
+{
+    Counter c;
+    c += 7;
+    EXPECT_EQ(c.exchange(), 7u); // Returns the old value...
+    EXPECT_EQ(c.value(), 0u);    // ...and clears by default.
+    c += 2;
+    EXPECT_EQ(c.exchange(10), 2u);
+    EXPECT_EQ(c.value(), 10u);
+}
+
 TEST(Stats, Average)
 {
     Average a;
@@ -171,6 +182,44 @@ TEST(Stats, GroupDump)
     const std::string s = os.str();
     EXPECT_NE(s.find("grp.hits 3"), std::string::npos);
     EXPECT_NE(s.find("grp.lat.mean 2"), std::string::npos);
+}
+
+TEST(Stats, GroupDumpIsSortedByName)
+{
+    StatGroup g("grp");
+    Counter c1, c2;
+    Average a1, a2;
+    // Register out of order: the dump must not depend on it.
+    g.regCounter("zeta", c1);
+    g.regCounter("alpha", c2);
+    g.regAverage("omega", a1);
+    g.regAverage("beta", a2);
+    std::ostringstream os;
+    g.dump(os);
+    const std::string s = os.str();
+    // Counters first (sorted), then averages (sorted).
+    const auto alpha = s.find("grp.alpha");
+    const auto zeta = s.find("grp.zeta");
+    const auto beta = s.find("grp.beta");
+    const auto omega = s.find("grp.omega");
+    ASSERT_NE(alpha, std::string::npos);
+    ASSERT_NE(zeta, std::string::npos);
+    ASSERT_NE(beta, std::string::npos);
+    ASSERT_NE(omega, std::string::npos);
+    EXPECT_LT(alpha, zeta);
+    EXPECT_LT(zeta, beta);
+    EXPECT_LT(beta, omega);
+
+    // Identical registration sets dump identically regardless of
+    // registration order.
+    StatGroup g2("grp");
+    g2.regAverage("beta", a2);
+    g2.regAverage("omega", a1);
+    g2.regCounter("alpha", c2);
+    g2.regCounter("zeta", c1);
+    std::ostringstream os2;
+    g2.dump(os2);
+    EXPECT_EQ(s, os2.str());
 }
 
 // --- Config ---
