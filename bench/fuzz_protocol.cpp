@@ -1,0 +1,331 @@
+/**
+ * @file
+ * Protocol stress-fuzz driver.
+ *
+ * Sweep mode (default): run N seeded random workloads against each
+ * protocol/predictor combination with the invariant checker attached
+ * and report any violation, timeout or deadlock. The first failure is
+ * shrunk to a minimal reproducer and printed as a replayable command
+ * line; with --report DIR an access-level trace (replayable via
+ * examples/trace_replay --load) and the failing message log are saved
+ * there.
+ *
+ * Single-case mode: pass --seed (plus the workload-shape flags a
+ * reproducer line carries) to re-run exactly one case.
+ *
+ * Self-test mode: --inject K plants a known protocol bug (see
+ * Config::injectBug) and --expect-catch inverts the exit code — the
+ * run *must* find a violation, proving the checker catches real bugs.
+ */
+
+#include <cstdio>
+#include <cstdlib>
+#include <cstring>
+#include <functional>
+#include <string>
+#include <utility>
+#include <vector>
+
+#include "analysis/sweep.hh"
+#include "check/fuzzer.hh"
+#include "common/logging.hh"
+
+using namespace spp;
+
+namespace {
+
+struct Options
+{
+    unsigned seeds = 150;          ///< Seeds per protocol config.
+    std::uint64_t seedBase = 1;
+    unsigned jobs = 0;             ///< 0 = SweepRunner::defaultJobs().
+    unsigned inject = 0;
+    bool expectCatch = false;
+    bool shrink = true;
+    std::string report;            ///< Failure artifact directory.
+    std::string protocols = "all"; ///< all | directory,broadcast,...
+
+    // Single-case mode (active when --seed is given).
+    bool single = false;
+    FuzzCase single_case;
+};
+
+void
+usage(const char *argv0)
+{
+    std::fprintf(
+        stderr,
+        "usage: %s [--seeds N] [--seed-base S] [--jobs N]\n"
+        "          [--protocols all|directory,predicted,broadcast,"
+        "multicast]\n"
+        "          [--inject K] [--expect-catch] [--no-shrink]\n"
+        "          [--report DIR]\n"
+        "   or: %s --protocol P --predictor K --seed S [--cores N]\n"
+        "          [--segments N] [--ops N] [--lines N] [--locks N]\n"
+        "          [--barriers N] [--inject K]   (single case)\n",
+        argv0, argv0);
+    std::exit(2);
+}
+
+Protocol
+parseProtocol(const std::string &s)
+{
+    if (s == "directory") return Protocol::directory;
+    if (s == "broadcast") return Protocol::broadcast;
+    if (s == "predicted") return Protocol::predicted;
+    if (s == "multicast") return Protocol::multicast;
+    std::fprintf(stderr, "unknown protocol '%s'\n", s.c_str());
+    std::exit(2);
+}
+
+PredictorKind
+parsePredictor(const std::string &s)
+{
+    if (s == "none") return PredictorKind::none;
+    if (s == "sp") return PredictorKind::sp;
+    if (s == "addr") return PredictorKind::addr;
+    if (s == "inst") return PredictorKind::inst;
+    if (s == "uni") return PredictorKind::uni;
+    std::fprintf(stderr, "unknown predictor '%s'\n", s.c_str());
+    std::exit(2);
+}
+
+Options
+parseArgs(int argc, char **argv)
+{
+    Options o;
+    auto num = [&](int &i) -> std::uint64_t {
+        if (i + 1 >= argc)
+            usage(argv[0]);
+        return std::strtoull(argv[++i], nullptr, 10);
+    };
+    auto str = [&](int &i) -> std::string {
+        if (i + 1 >= argc)
+            usage(argv[0]);
+        return argv[++i];
+    };
+    for (int i = 1; i < argc; ++i) {
+        const char *a = argv[i];
+        if (!std::strcmp(a, "--seeds")) {
+            o.seeds = static_cast<unsigned>(num(i));
+        } else if (!std::strcmp(a, "--seed-base")) {
+            o.seedBase = num(i);
+        } else if (!std::strcmp(a, "--jobs")) {
+            o.jobs = static_cast<unsigned>(num(i));
+        } else if (!std::strcmp(a, "--protocols")) {
+            o.protocols = str(i);
+        } else if (!std::strcmp(a, "--inject")) {
+            o.inject = static_cast<unsigned>(num(i));
+        } else if (!std::strcmp(a, "--expect-catch")) {
+            o.expectCatch = true;
+        } else if (!std::strcmp(a, "--no-shrink")) {
+            o.shrink = false;
+        } else if (!std::strcmp(a, "--report")) {
+            o.report = str(i);
+        } else if (!std::strcmp(a, "--protocol")) {
+            o.single = true;
+            o.single_case.protocol = parseProtocol(str(i));
+        } else if (!std::strcmp(a, "--predictor")) {
+            o.single_case.predictor = parsePredictor(str(i));
+        } else if (!std::strcmp(a, "--seed")) {
+            o.single = true;
+            o.single_case.workload.seed = num(i);
+        } else if (!std::strcmp(a, "--cores")) {
+            o.single_case.numCores = static_cast<unsigned>(num(i));
+        } else if (!std::strcmp(a, "--segments")) {
+            o.single_case.workload.segments =
+                static_cast<unsigned>(num(i));
+        } else if (!std::strcmp(a, "--ops")) {
+            o.single_case.workload.opsPerSegment =
+                static_cast<unsigned>(num(i));
+        } else if (!std::strcmp(a, "--lines")) {
+            o.single_case.workload.lines =
+                static_cast<unsigned>(num(i));
+        } else if (!std::strcmp(a, "--locks")) {
+            o.single_case.workload.locks =
+                static_cast<unsigned>(num(i));
+        } else if (!std::strcmp(a, "--barriers")) {
+            o.single_case.workload.barriers =
+                static_cast<unsigned>(num(i));
+        } else {
+            usage(argv[0]);
+        }
+    }
+    return o;
+}
+
+/** The protocol/predictor grid a sweep covers. */
+std::vector<std::pair<Protocol, PredictorKind>>
+configGrid(const Options &o)
+{
+    std::vector<std::pair<Protocol, PredictorKind>> grid;
+    auto want = [&](const char *name) {
+        return o.protocols == "all" ||
+            o.protocols.find(name) != std::string::npos;
+    };
+    // The injected bugs live in the directory engine, so self-test
+    // sweeps only cover the protocols that exercise that code.
+    if (want("directory"))
+        grid.emplace_back(Protocol::directory, PredictorKind::none);
+    if (want("predicted"))
+        grid.emplace_back(Protocol::predicted, PredictorKind::sp);
+    if (!o.inject) {
+        if (want("broadcast"))
+            grid.emplace_back(Protocol::broadcast,
+                              PredictorKind::none);
+        if (want("multicast"))
+            grid.emplace_back(Protocol::multicast,
+                              PredictorKind::sp);
+    }
+    if (grid.empty()) {
+        std::fprintf(stderr, "no protocols selected by '%s'\n",
+                     o.protocols.c_str());
+        std::exit(2);
+    }
+    return grid;
+}
+
+/** Save failure artifacts; returns the saved trace path (or ""). */
+std::string
+saveReport(const Options &o, const FuzzCase &c, const FuzzResult &r)
+{
+    if (o.report.empty())
+        return {};
+    const std::string stem = o.report + "/fuzz_" +
+        toString(c.protocol) + "_seed" +
+        std::to_string(c.workload.seed);
+
+    // Deterministic re-run with trace capture attached.
+    FuzzCase traced = c;
+    traced.tracePath = stem + ".trace";
+    runFuzzCase(traced);
+
+    std::FILE *log = std::fopen((stem + ".log").c_str(), "w");
+    if (log) {
+        std::fprintf(log, "reproducer: %s\nstatus: %s\n",
+                     describeFuzzCase(c).c_str(),
+                     toString(r.status));
+        for (const Violation &v : r.violations)
+            std::fprintf(log, "[tick %llu] %s: %s\n",
+                         static_cast<unsigned long long>(v.tick),
+                         v.rule.c_str(), v.detail.c_str());
+        if (!r.outstanding.empty())
+            std::fprintf(log, "outstanding:\n%s\n",
+                         r.outstanding.c_str());
+        std::fprintf(log, "recent messages:\n%s",
+                     r.trace.c_str());
+        std::fclose(log);
+    }
+    return traced.tracePath;
+}
+
+void
+printFailure(const Options &o, const FuzzCase &c, const FuzzResult &r)
+{
+    std::printf("FAIL %s: status=%s violations=%zu\n",
+                describeFuzzCase(c).c_str(), toString(r.status),
+                r.violations.size());
+    for (const Violation &v : r.violations)
+        std::printf("  [tick %llu] %s: %s\n",
+                    static_cast<unsigned long long>(v.tick),
+                    v.rule.c_str(), v.detail.c_str());
+    if (r.status != RunStatus::ok && !r.outstanding.empty())
+        std::printf("  outstanding:\n%s\n", r.outstanding.c_str());
+
+    FuzzCase minimal = c;
+    if (o.shrink) {
+        minimal = shrinkFuzzCase(c);
+        std::printf("minimal reproducer: %s\n",
+                    describeFuzzCase(minimal).c_str());
+    }
+    const std::string trace = saveReport(o, minimal, r);
+    if (!trace.empty())
+        std::printf("saved artifacts: %s (+ .log); replay with "
+                    "examples/trace_replay --load %s\n",
+                    trace.c_str(), trace.c_str());
+}
+
+} // namespace
+
+int
+main(int argc, char **argv)
+{
+    const Options o = parseArgs(argc, argv);
+    setQuiet(true);
+
+    if (o.single) {
+        FuzzCase c = o.single_case;
+        c.injectBug = o.inject;
+        const FuzzResult r = runFuzzCase(c);
+        std::printf("%s: status=%s violations=%zu messages=%llu "
+                    "ticks=%llu\n",
+                    describeFuzzCase(c).c_str(), toString(r.status),
+                    r.violations.size(),
+                    static_cast<unsigned long long>(
+                        r.messagesChecked),
+                    static_cast<unsigned long long>(r.ticks));
+        for (const Violation &v : r.violations)
+            std::printf("  [tick %llu] %s: %s\n",
+                        static_cast<unsigned long long>(v.tick),
+                        v.rule.c_str(), v.detail.c_str());
+        if (r.failed() && !r.trace.empty())
+            std::printf("recent messages:\n%s", r.trace.c_str());
+        return r.failed() == o.expectCatch ? 0 : 1;
+    }
+
+    const auto grid = configGrid(o);
+    std::vector<FuzzCase> cases;
+    for (const auto &[protocol, predictor] : grid) {
+        for (unsigned s = 0; s < o.seeds; ++s) {
+            FuzzCase c;
+            c.protocol = protocol;
+            c.predictor = predictor;
+            c.workload.seed = o.seedBase + s;
+            c.injectBug = o.inject;
+            cases.push_back(c);
+        }
+    }
+
+    std::vector<FuzzResult> results(cases.size());
+    std::vector<std::function<void()>> tasks;
+    tasks.reserve(cases.size());
+    for (std::size_t i = 0; i < cases.size(); ++i)
+        tasks.push_back(
+            [&cases, &results, i] { results[i] = runFuzzCase(cases[i]); });
+    SweepRunner(o.jobs).runTasks(tasks);
+
+    std::uint64_t messages = 0;
+    std::size_t failures = 0;
+    std::size_t first_fail = cases.size();
+    for (std::size_t i = 0; i < results.size(); ++i) {
+        messages += results[i].messagesChecked;
+        if (results[i].failed()) {
+            ++failures;
+            if (first_fail == cases.size())
+                first_fail = i;
+        }
+    }
+
+    std::printf("fuzz: %zu cases (%zu configs x %u seeds), %llu "
+                "messages checked, %zu failure%s\n",
+                cases.size(), grid.size(), o.seeds,
+                static_cast<unsigned long long>(messages), failures,
+                failures == 1 ? "" : "s");
+
+    if (failures && !o.expectCatch)
+        printFailure(o, cases[first_fail], results[first_fail]);
+
+    if (o.expectCatch) {
+        if (!failures) {
+            std::printf("expected the injected bug (%u) to be "
+                        "caught, but every case passed\n", o.inject);
+            return 1;
+        }
+        std::printf("injected bug %u caught as expected (first: "
+                    "%s)\n",
+                    o.inject,
+                    describeFuzzCase(cases[first_fail]).c_str());
+        return 0;
+    }
+    return failures ? 1 : 0;
+}

@@ -7,10 +7,16 @@
  * comparison.
  *
  * Usage: trace_replay [workload] [scale] [trace-file]
+ *    or: trace_replay --load FILE
+ *
+ * --load skips the recording step and replays an existing trace file
+ * — e.g. one saved by bench/fuzz_protocol --report for a failing fuzz
+ * case — through all four predictors.
  */
 
 #include <cstdio>
 #include <cstdlib>
+#include <cstring>
 #include <string>
 
 #include "analysis/event_trace.hh"
@@ -19,9 +25,45 @@
 
 using namespace spp;
 
+namespace {
+
+/** Replay @p trace offline through every predictor kind. */
+void
+replayAll(const EventTrace &trace, const Config &cfg)
+{
+    banner("Offline replay (no timing simulation)");
+    Table t({"predictor", "accuracy %", "attempts",
+             "avg set size", "storage KB"});
+    for (auto [name, kind] :
+         {std::pair{"SP", PredictorKind::sp},
+          std::pair{"ADDR", PredictorKind::addr},
+          std::pair{"INST", PredictorKind::inst},
+          std::pair{"UNI", PredictorKind::uni}}) {
+        OfflineResult r = evaluateOffline(trace, cfg, kind);
+        t.cell(name)
+            .cell(100.0 * r.accuracy(), 1)
+            .cell(r.attempted)
+            .cell(r.predictedTargets, 2)
+            .cell(static_cast<double>(r.storageBits) / 8.0 / 1024.0,
+                  2)
+            .endRow();
+    }
+    t.print();
+}
+
+} // namespace
+
 int
 main(int argc, char **argv)
 {
+    if (argc == 3 && std::strcmp(argv[1], "--load") == 0) {
+        const EventTrace loaded = EventTrace::load(argv[2]);
+        std::printf("loaded %zu events from %s\n", loaded.size(),
+                    argv[2]);
+        replayAll(loaded, Config{});
+        return 0;
+    }
+
     const std::string workload = argc > 1 ? argv[1] : "streamcluster";
     const double scale = argc > 2 ? std::atof(argv[2]) : 1.0;
     const std::string path =
@@ -54,23 +96,6 @@ main(int argc, char **argv)
                 loaded.size(), path.c_str());
 
     // 3. Replay offline through every predictor.
-    banner("Offline replay (no timing simulation)");
-    Table t({"predictor", "accuracy %", "attempts",
-             "avg set size", "storage KB"});
-    for (auto [name, kind] :
-         {std::pair{"SP", PredictorKind::sp},
-          std::pair{"ADDR", PredictorKind::addr},
-          std::pair{"INST", PredictorKind::inst},
-          std::pair{"UNI", PredictorKind::uni}}) {
-        OfflineResult r = evaluateOffline(loaded, cfg, kind);
-        t.cell(name)
-            .cell(100.0 * r.accuracy(), 1)
-            .cell(r.attempted)
-            .cell(r.predictedTargets, 2)
-            .cell(static_cast<double>(r.storageBits) / 8.0 / 1024.0,
-                  2)
-            .endRow();
-    }
-    t.print();
+    replayAll(loaded, cfg);
     return 0;
 }

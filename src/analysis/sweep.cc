@@ -193,6 +193,38 @@ SweepRunner::run(const std::vector<SweepJob> &jobs) const
     return results;
 }
 
+void
+SweepRunner::runTasks(
+    const std::vector<std::function<void()>> &tasks) const
+{
+    if (tasks.empty())
+        return;
+
+    std::atomic<std::size_t> next{0};
+    auto worker = [&] {
+        for (;;) {
+            const std::size_t i =
+                next.fetch_add(1, std::memory_order_relaxed);
+            if (i >= tasks.size())
+                return;
+            tasks[i]();
+        }
+    };
+
+    const unsigned n_workers = static_cast<unsigned>(
+        std::min<std::size_t>(n_threads_, tasks.size()));
+    if (n_workers <= 1) {
+        worker();
+        return;
+    }
+    std::vector<std::thread> pool;
+    pool.reserve(n_workers);
+    for (unsigned t = 0; t < n_workers; ++t)
+        pool.emplace_back(worker);
+    for (std::thread &t : pool)
+        t.join();
+}
+
 std::vector<ExperimentResult>
 runSweep(const std::vector<SweepJob> &jobs, unsigned n_threads)
 {

@@ -20,6 +20,7 @@
 #ifndef SPP_ANALYSIS_SWEEP_HH
 #define SPP_ANALYSIS_SWEEP_HH
 
+#include <functional>
 #include <string>
 #include <vector>
 
@@ -51,6 +52,14 @@ class SweepRunner
     /** Run all jobs; results land at the index of their job. */
     std::vector<ExperimentResult>
     run(const std::vector<SweepJob> &jobs) const;
+
+    /**
+     * Run arbitrary independent closures on the same worker pool
+     * (the fuzz harness: each task is one seeded case that writes
+     * only its own result slot). Tasks must be mutually thread-safe.
+     */
+    void runTasks(const std::vector<std::function<void()>> &tasks)
+        const;
 
     unsigned threads() const { return n_threads_; }
 

@@ -1,0 +1,125 @@
+#include "check/fuzzer.hh"
+
+#include <algorithm>
+#include <array>
+
+#include "analysis/event_trace.hh"
+#include "common/format.hh"
+#include "common/logging.hh"
+
+namespace spp {
+
+Config
+fuzzConfig(const FuzzCase &c)
+{
+    Config cfg;
+    cfg.numCores = c.numCores;
+    // Most-square factorization keeping meshX * meshY == numCores.
+    unsigned y = 1;
+    for (unsigned d = 2; d * d <= c.numCores; ++d)
+        if (c.numCores % d == 0)
+            y = d;
+    cfg.meshY = y;
+    cfg.meshX = c.numCores / y;
+    cfg.protocol = c.protocol;
+    cfg.predictor = c.predictor;
+    cfg.seed = c.workload.seed;
+    cfg.maxTicks = c.maxTicks;
+    cfg.injectBug = c.injectBug;
+    // Tiny caches: evictions, writebacks and capacity misses race
+    // with the coherence traffic instead of everything fitting.
+    cfg.l1Bytes = 1024;
+    cfg.l2Bytes = 4096;
+    return cfg;
+}
+
+FuzzResult
+runFuzzCase(const FuzzCase &c)
+{
+    const Config cfg = fuzzConfig(c);
+    CmpSystem sys(cfg);
+
+    CheckerOptions copts;
+    copts.abortOnViolation = false;
+    copts.watchdogTicks = c.maxTicks / 4;
+    copts.dataBase = layout::sharedBase;
+    ProtocolChecker checker(sys.memSys(), copts);
+    sys.syncManager().addListener(&checker);
+
+    EventTrace trace;
+    if (!c.tracePath.empty())
+        trace.attach(sys);
+
+    const wl::FuzzWorkloadParams wl = c.workload;
+    RunResult rr;
+    FuzzResult res;
+    res.status = sys.tryRun(
+        [wl](ThreadContext &ctx) { return wl::fuzzProgram(ctx, wl); },
+        rr);
+    if (res.status == RunStatus::ok)
+        checker.checkQuiescent();
+    else
+        res.outstanding = sys.memSys().dumpOutstanding();
+
+    res.violations = checker.violations();
+    res.messagesChecked = checker.messagesChecked();
+    res.ticks = rr.ticks;
+    if (res.failed()) {
+        res.trace = checker.dumpTrace();
+        if (!c.tracePath.empty())
+            trace.save(c.tracePath);
+    }
+    return res;
+}
+
+FuzzCase
+shrinkFuzzCase(const FuzzCase &failing, unsigned budget)
+{
+    FuzzCase best = failing;
+    best.tracePath.clear(); // No trace I/O during shrinking.
+
+    // Greedy halving: the candidate order puts the knobs with the
+    // biggest run-time payoff first so a small budget still helps.
+    auto knobs = [](FuzzCase &c) {
+        return std::array<unsigned *, 5>{
+            &c.workload.segments, &c.workload.opsPerSegment,
+            &c.workload.lines, &c.workload.locks,
+            &c.workload.barriers};
+    };
+
+    bool progress = true;
+    while (progress && budget > 0) {
+        progress = false;
+        for (std::size_t i = 0; i < knobs(best).size() && budget > 0;
+             ++i) {
+            FuzzCase cand = best;
+            unsigned *knob = knobs(cand)[i];
+            if (*knob <= 1)
+                continue;
+            *knob = std::max(1u, *knob / 2);
+            --budget;
+            if (runFuzzCase(cand).failed()) {
+                best = cand;
+                progress = true;
+            }
+        }
+    }
+    best.tracePath = failing.tracePath;
+    return best;
+}
+
+std::string
+describeFuzzCase(const FuzzCase &c)
+{
+    std::string s = strfmt(
+        "--protocol {} --predictor {} --seed {} --cores {} "
+        "--segments {} --ops {} --lines {} --locks {} --barriers {}",
+        toString(c.protocol), toString(c.predictor), c.workload.seed,
+        c.numCores, c.workload.segments, c.workload.opsPerSegment,
+        c.workload.lines, c.workload.locks, c.workload.barriers);
+    if (c.injectBug)
+        s += strfmt(" --inject {}", c.injectBug);
+    return s;
+}
+
+} // namespace spp

@@ -1,0 +1,149 @@
+/**
+ * @file
+ * Always-on coherence protocol invariant checker.
+ *
+ * Attaches to a MemSys (MemSys::setChecker) and observes every
+ * protocol message at send and delivery time, validating the global
+ * cache state against the MESIF invariants the model is built on:
+ *
+ *  - SWMR: a writable (M/E) copy never coexists with any other valid
+ *    copy of the same line; at most one Forwarding copy exists.
+ *  - Version freshness: every valid copy is at least as new as the
+ *    memory image, clean copies mutually agree, and data served from
+ *    memory carries exactly the memory version.
+ *  - Lost updates: once a line has no cached copy and no deposit
+ *    (wbNotice/dirUpdate) in flight, memory holds the newest version
+ *    ever observed for it.
+ *  - Quiescence: at barrier-release instants no data-region demand
+ *    miss is outstanding; at end of run no MSHR, writeback, line lock
+ *    or lingering transaction survives (MSHR-leak detection).
+ *  - Progress: a watchdog flags any MSHR older than a tick budget
+ *    (stuck transaction / dropped message).
+ *
+ * Per-message state scans are restricted to lines whose home lock is
+ * free: all protocol transients happen under the per-line lock, so an
+ * unlocked line must look fully consistent. Deposit-bearing messages
+ * in flight (wbNotice, dirUpdate) are tracked so that a cached copy
+ * legally newer than the memory image is not misreported.
+ *
+ * Violations are either fatal (abortOnViolation, the default: panic
+ * with a dump of the recent message trace) or recorded for the fuzz
+ * harness, which shrinks failing seeds and wants the run to finish.
+ */
+
+#ifndef SPP_CHECK_PROTOCOL_CHECKER_HH
+#define SPP_CHECK_PROTOCOL_CHECKER_HH
+
+#include <cstdint>
+#include <deque>
+#include <string>
+#include <unordered_map>
+#include <vector>
+
+#include "coherence/messages.hh"
+#include "common/types.hh"
+#include "sync/sync_types.hh"
+
+namespace spp {
+
+class MemSys;
+
+/** Tunables of one checker attachment. */
+struct CheckerOptions
+{
+    /** Panic (with trace dump) on the first violation. The fuzzer
+     * turns this off and harvests violations() instead. */
+    bool abortOnViolation = true;
+
+    /** An MSHR outstanding longer than this many ticks is reported
+     * as a stuck transaction. 0 disables the watchdog. */
+    Tick watchdogTicks = 500'000;
+
+    /** Number of recent messages kept for the failure trace. */
+    std::size_t traceDepth = 512;
+
+    /** Lines below this address are synchronization variables and
+     * exempt from the barrier-quiescence rule. */
+    Addr dataBase = 0x1000'0000;
+
+    /** Stop recording after this many violations (record mode). */
+    std::size_t maxViolations = 64;
+};
+
+/** One detected invariant violation. */
+struct Violation
+{
+    Tick tick = 0;
+    std::string rule;   ///< Short rule name ("swmr", "freshness", ...).
+    std::string detail; ///< Human-readable description.
+};
+
+/**
+ * The checker. Construction attaches it to the MemSys; destruction
+ * detaches. Also a SyncListener so barrier releases trigger the
+ * quiescence rule — register it via SyncManager::addListener.
+ */
+class ProtocolChecker : public SyncListener
+{
+  public:
+    explicit ProtocolChecker(MemSys &mem, CheckerOptions opts = {});
+    ~ProtocolChecker() override;
+
+    ProtocolChecker(const ProtocolChecker &) = delete;
+    ProtocolChecker &operator=(const ProtocolChecker &) = delete;
+
+    /** MemSys hooks (called from MemSys::sendMsg / delivery). */
+    void onSend(const Msg &m);
+    void onDeliver(const Msg &m);
+
+    /** SyncListener: barrier releases check data-region quiescence. */
+    void onSyncPoint(CoreId core, const SyncPointInfo &info) override;
+
+    /**
+     * End-of-run check: no MSHR, lock, writeback or lingering
+     * transaction outstanding, and every line ever touched passes the
+     * full state scan. Call after the event queue drained.
+     */
+    void checkQuiescent();
+
+    const std::vector<Violation> &violations() const
+    {
+        return violations_;
+    }
+    std::uint64_t messagesChecked() const { return delivered_; }
+
+    /** Render the retained message ring (oldest first). */
+    std::string dumpTrace() const;
+
+  private:
+    struct TracedMsg
+    {
+        Tick tick = 0;
+        bool deliver = false;
+        Msg msg;
+    };
+
+    void fail(std::string_view rule, std::string detail);
+    void record(bool deliver, const Msg &m);
+    void sanity(const Msg &m);
+
+    /** Full consistency scan of one line; skips locked lines. */
+    void scanLine(Addr line);
+    void watchdog();
+
+    MemSys &mem_;
+    CheckerOptions opts_;
+    std::vector<Violation> violations_;
+    std::deque<TracedMsg> trace_;
+    std::uint64_t sent_ = 0;
+    std::uint64_t delivered_ = 0;
+
+    /** Max data version ever observed per line (messages + scans). */
+    std::unordered_map<Addr, std::uint64_t> max_seen_;
+    /** In-flight memory-deposit messages (wbNotice/dirUpdate). */
+    std::unordered_map<Addr, unsigned> deposits_in_flight_;
+};
+
+} // namespace spp
+
+#endif // SPP_CHECK_PROTOCOL_CHECKER_HH

@@ -96,27 +96,25 @@ void
 BroadcastMemSys::onData(const Msg &msg)
 {
     Mshr *m = txnFor(msg.dst, msg.line, msg.txn);
-    if (!m)
-        return; // Stray speculative memory data; absorb.
-    if (msg.fromMemory) {
-        // Speculative fill: usable only if no owner shows up in the
-        // snoop responses (checked at resume time). An owner's data
-        // that already arrived wins.
-        if (m->dataReceived)
-            return;
-        m->dataReceived = true;
-        m->version = msg.version;
-    } else {
-        // Owner data is authoritative (the memory copy may be stale)
-        // and doubles as this peer's snoop response.
-        m->dataReceived = true;
-        m->dataFromPeer = true;
-        m->dataSource = msg.src;
-        m->version = msg.version;
-        m->out.servicedBy.set(msg.src);
+    if (!m) {
+        // Speculative memory data can outlive its transaction (the
+        // owner's data plus all snoop responses retire it first);
+        // drop it. Late *peer* data would mean lost coherence state.
+        SPP_ASSERT(msg.fromMemory,
+                   "broadcast peer data for missing txn at core {}",
+                   msg.dst);
+        return;
+    }
+    // absorbData resolves the speculative-fill race: owner data is
+    // authoritative (it is at least as fresh as the memory copy and
+    // wins version ties), while late speculative memory data never
+    // overrides an owner's response. Memory data is usable only if
+    // no owner shows up in the snoop responses (resume-time check).
+    absorbData(*m, msg);
+    if (!msg.fromMemory) {
+        // Owner data doubles as this peer's snoop response.
         m->peerHadCopy = true;
         ++m->peerResponses;
-        m->fillState = cfg_.cleanSharedFill();
     }
     checkCompletion(*m);
 }
@@ -134,10 +132,7 @@ BroadcastMemSys::onAckInv(const Msg &msg)
     }
     if (msg.ownerAck) {
         // Authoritative owner data; overrides a speculative fill.
-        m->dataReceived = true;
-        m->dataFromPeer = true;
-        m->dataSource = msg.src;
-        m->version = msg.version;
+        absorbData(*m, msg);
     }
     checkCompletion(*m);
 }

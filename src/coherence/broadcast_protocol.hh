@@ -34,6 +34,11 @@ class BroadcastMemSys : public MemSys
 
     std::string dumpOutstanding() const override;
 
+    std::size_t outstandingTxns() const override
+    {
+        return lingering_.size();
+    }
+
   protected:
     void startMiss(Mshr &m) override;
     void handleMsg(const Msg &m) override;

@@ -53,16 +53,7 @@ DirectoryMemSys::onData(const Msg &msg)
 {
     Mshr *m = mshrFor(msg.dst, msg.line);
     SPP_ASSERT(m, "data for missing MSHR at core {}", msg.dst);
-    SPP_ASSERT(!m->dataReceived, "duplicate data at core {}", msg.dst);
-    m->dataReceived = true;
-    m->version = msg.version;
-    if (msg.fillState != Mesif::invalid)
-        m->fillState = msg.fillState;
-    if (!msg.fromMemory) {
-        m->dataFromPeer = true;
-        m->dataSource = msg.src;
-        m->out.servicedBy.set(msg.src);
-    }
+    absorbData(*m, msg);
     if (msg.predicted) {
         SPP_ASSERT(m->predRespPending > 0, "unexpected pred response");
         --m->predRespPending;
@@ -79,12 +70,12 @@ DirectoryMemSys::onAckInv(const Msg &msg)
     if (msg.hadCopy)
         m->out.servicedBy.set(msg.src);
     if (msg.ownerAck) {
-        // The previous owner handed us (possibly dirty) data.
-        m->dataReceived = true;
-        m->dataFromPeer = true;
-        m->dataSource = msg.src;
-        m->version = msg.version;
-        m->out.servicedBy.set(msg.src);
+        // The previous owner handed us (possibly dirty) data. This
+        // can race a memory data message for the same miss (e.g. the
+        // directory serviced the write from memory while the owner's
+        // copy sat un-noticed in its writeback buffer): absorb keeps
+        // whichever version is freshest instead of asserting.
+        absorbData(*m, msg);
     }
     if (msg.predicted) {
         SPP_ASSERT(m->predRespPending > 0, "unexpected pred response");
@@ -99,8 +90,14 @@ DirectoryMemSys::onNack(const Msg &msg)
     Mshr *m = mshrFor(msg.dst, msg.line);
     SPP_ASSERT(m, "nack for missing MSHR at core {}", msg.dst);
     m->nackedBy.set(msg.src);
-    SPP_ASSERT(m->predRespPending > 0, "unexpected nack");
-    --m->predRespPending;
+    // Nacks only answer predicted requests today, but guard on the
+    // flag like onData/onAckInv do instead of asserting blindly: a
+    // future non-predicted nack path must not corrupt the predicted
+    // response count.
+    if (msg.predicted) {
+        SPP_ASSERT(m->predRespPending > 0, "unexpected nack");
+        --m->predRespPending;
+    }
 
     if (m->isWrite) {
         maybeRetryNacked(*m);
@@ -179,6 +176,8 @@ DirectoryMemSys::checkCompletion(Mshr &m)
 void
 DirectoryMemSys::onCompleteMiss(Mshr &m)
 {
+    if (cfg_.injectBug == 3 && m.txn % 61 == 0)
+        return; // Checker self-test fault: lost unblock leaks the lock.
     Msg u;
     u.type = MsgType::unblock;
     u.line = m.line;
@@ -232,6 +231,8 @@ DirectoryMemSys::sendMemoryData(Addr line, CoreId requester,
         d.fromMemory = true;
         d.fillState = fill_state;
         d.version = memVersion(line);
+        if (cfg_.injectBug == 2 && d.version > 0)
+            --d.version; // Checker self-test fault: stale memory data.
         sendMsg(d);
     });
 }
@@ -323,7 +324,16 @@ void
 DirectoryMemSys::processWrite(const Msg &m)
 {
     DirEntry &e = dir_[m.line];
-    const CoreSet must_ack = e.sharers - CoreSet::single(m.requester);
+    CoreSet must_ack = e.sharers - CoreSet::single(m.requester);
+    if (cfg_.injectBug == 1) {
+        // Checker self-test fault: silently forget one sharer, as a
+        // real lost-invalidation bug would. Its stale copy survives
+        // the write and trips the SWMR/freshness scan.
+        for (CoreId t : must_ack) {
+            must_ack.reset(t);
+            break;
+        }
+    }
     const bool upgrade = m.hadCopy && e.sharers.test(m.requester);
     const bool need_data = !upgrade;
     const CoreSet predicted = m.predicted ? m.set : CoreSet{};
@@ -526,6 +536,10 @@ DirectoryMemSys::onPredRequest(const Msg &m)
         n.dst = m.requester;
         n.requester = m.requester;
         n.txn = m.txn;
+        // A nack always answers a predicted request; carry the flag
+        // so the requester decrements predRespPending (onNack guards
+        // on it, like the other prediction responses).
+        n.predicted = true;
         sendMsgAfter(cfg_.l2TagLatency, n);
     };
 

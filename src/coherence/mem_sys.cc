@@ -1,5 +1,7 @@
 #include "coherence/mem_sys.hh"
 
+#include "check/protocol_checker.hh"
+
 namespace spp {
 
 MemSys::MemSys(const Config &cfg, EventQueue &eq, Mesh &mesh,
@@ -402,6 +404,29 @@ MemSys::mshrFor(CoreId core, Addr line)
     return &*mshr_[core];
 }
 
+bool
+MemSys::absorbData(Mshr &m, const Msg &msg)
+{
+    const bool keep = !m.dataReceived || msg.version > m.version ||
+        (msg.version == m.version && !msg.fromMemory &&
+         !m.dataFromPeer);
+    m.dataReceived = true;
+    if (!keep)
+        return false;
+    m.version = msg.version;
+    if (msg.fillState != Mesif::invalid)
+        m.fillState = msg.fillState;
+    if (msg.fromMemory) {
+        m.dataFromPeer = false;
+        m.dataSource = invalidCore;
+    } else {
+        m.dataFromPeer = true;
+        m.dataSource = msg.src;
+        m.out.servicedBy.set(msg.src);
+    }
+    return true;
+}
+
 void
 MemSys::completeMiss(Mshr &m)
 {
@@ -581,12 +606,20 @@ MemSys::msgClass(const Msg &m) const
 void
 MemSys::sendMsg(Msg m)
 {
+    if (checker_) [[unlikely]]
+        checker_->onSend(m);
     Packet pkt;
     pkt.src = m.src;
     pkt.dst = m.dst;
     pkt.bytes = msgBytes(m);
     pkt.cls = msgClass(m);
-    mesh_.send(pkt, [this, m]() { handleMsg(m); });
+    // checker_ is re-read at delivery time so detaching mid-flight
+    // is safe; the checker sees the pre-handler state of the system.
+    mesh_.send(pkt, [this, m]() {
+        if (checker_) [[unlikely]]
+            checker_->onDeliver(m);
+        handleMsg(m);
+    });
 }
 
 void

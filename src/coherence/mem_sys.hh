@@ -43,6 +43,8 @@
 
 namespace spp {
 
+class ProtocolChecker;
+
 /** Everything a caller learns about one finished memory access. */
 struct AccessOutcome
 {
@@ -161,6 +163,21 @@ class MemSys
 
     /** No MSHRs, writebacks or locked lines outstanding. */
     bool drained() const;
+
+    /**
+     * Transactions that resumed their core but have not fully
+     * drained yet (broadcast/multicast lingering entries). drained()
+     * covers them indirectly via the line locks they hold; the
+     * protocol checker asserts both independently.
+     */
+    virtual std::size_t outstandingTxns() const { return 0; }
+
+    /**
+     * Attach (or detach, with nullptr) an invariant checker that
+     * observes every sendMsg() and delivery. At most one; the caller
+     * keeps ownership and must outlive the attachment.
+     */
+    void setChecker(ProtocolChecker *checker) { checker_ = checker; }
 
     /** Describe outstanding MSHRs/writebacks/locks (deadlock digs). */
     virtual std::string dumpOutstanding() const;
@@ -284,6 +301,18 @@ class MemSys
     /** The per-core MSHR, if any. */
     Mshr *mshrFor(CoreId core, Addr line);
 
+    /**
+     * Fold a data-bearing response into @p m, tolerating duplicates.
+     * Data can legally arrive twice for one transaction — e.g. an
+     * owner handoff (ackInv with ownerAck) racing a memory/directory
+     * data message for the same miss — so rather than asserting
+     * single delivery, keep the freshest version; on a version tie,
+     * prefer peer provenance (a peer copy is at least as fresh as
+     * memory and keeps the 2-hop attribution). @return true when
+     * @p msg 's payload was kept.
+     */
+    bool absorbData(Mshr &m, const Msg &msg);
+
     /** Allocate the next global data version (writers). */
     std::uint64_t nextVersion() { return ++version_counter_; }
 
@@ -324,6 +353,9 @@ class MemSys
     std::uint64_t txn_counter_ = 0;
     std::unordered_map<Addr, std::uint64_t> mem_version_;
     std::uint64_t outstanding_wb_ = 0;
+    ProtocolChecker *checker_ = nullptr;
+
+    friend class ProtocolChecker;
 
   private:
     /** Second phase of access(): L2 lookup after L1 miss. */

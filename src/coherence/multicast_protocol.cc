@@ -88,19 +88,25 @@ void
 MulticastMemSys::onData(const Msg &msg)
 {
     Mshr *m = txnFor(msg.dst, msg.line, msg.txn);
-    SPP_ASSERT(m, "multicast data for missing txn at core {}",
-               msg.dst);
-    SPP_ASSERT(!m->dataReceived, "duplicate multicast data");
-    m->dataReceived = true;
-    m->version = msg.version;
-    if (msg.fillState != Mesif::invalid)
-        m->fillState = msg.fillState;
-    if (!msg.fromMemory) {
-        m->dataFromPeer = true;
-        m->dataSource = msg.src;
-        m->out.servicedBy.set(msg.src);
-        ++m->peerResponses;
+    if (!m) {
+        // The home serves memory data when its directory lists no
+        // owner, but an evicted owner's writeback buffer answers
+        // snoops until its wbAck arrives; the transaction can then
+        // complete on the (fresher) buffer copy plus all snoop
+        // responses before the slower memory data lands. Late memory
+        // data for a retired transaction is dropped; late *peer*
+        // data would mean lost coherence state.
+        SPP_ASSERT(msg.fromMemory,
+                   "multicast peer data for missing txn at core {}",
+                   msg.dst);
+        return;
     }
+    // Duplicates are reachable here for the same reason: the buffer
+    // copy and home memory data race when the transaction is still
+    // live. Absorb keeps the freshest version.
+    absorbData(*m, msg);
+    if (!msg.fromMemory)
+        ++m->peerResponses;
     checkCompletion(*m);
 }
 
@@ -112,12 +118,8 @@ MulticastMemSys::onAckInv(const Msg &msg)
     ++m->peerResponses;
     if (msg.hadCopy)
         m->out.servicedBy.set(msg.src);
-    if (msg.ownerAck) {
-        m->dataReceived = true;
-        m->dataFromPeer = true;
-        m->dataSource = msg.src;
-        m->version = msg.version;
-    }
+    if (msg.ownerAck)
+        absorbData(*m, msg);
     checkCompletion(*m);
 }
 

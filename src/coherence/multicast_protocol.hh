@@ -39,6 +39,11 @@ class MulticastMemSys : public MemSys
 
     std::string dumpOutstanding() const override;
 
+    std::size_t outstandingTxns() const override
+    {
+        return lingering_.size();
+    }
+
     /** Multicasts whose mask missed a required node (fallback). */
     std::uint64_t insufficientMasks() const
     {

@@ -128,6 +128,7 @@ configDescribe(const Config &c)
     kv("predictorEntries", c.predictorEntries);
     kv("seed", c.seed);
     kv("maxTicks", c.maxTicks);
+    kv("injectBug", c.injectBug);
     return os.str();
 }
 

@@ -128,6 +128,17 @@ struct Config
     std::uint64_t seed = 1;         ///< Root RNG seed.
     Tick maxTicks = 0;              ///< 0 = run until completion.
 
+    /**
+     * Fault injection for validating the protocol checker itself
+     * (bench/fuzz_protocol --inject N). 0 = off (always, outside the
+     * checker's self-test). 1 = the directory skips one invalidation
+     * on writes (stale-sharer / SWMR violation). 2 = memory data is
+     * served one version stale (freshness violation). 3 = an unblock
+     * is occasionally dropped (line-lock leak; caught by the
+     * watchdog / quiescence checks).
+     */
+    unsigned injectBug = 0;
+
     /** Sanity-check the parameters; calls fatal() on user error. */
     void validate() const;
 };

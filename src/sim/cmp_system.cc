@@ -6,6 +6,17 @@
 
 namespace spp {
 
+const char *
+toString(RunStatus s)
+{
+    switch (s) {
+      case RunStatus::ok: return "ok";
+      case RunStatus::timeout: return "timeout";
+      case RunStatus::deadlock: return "deadlock";
+    }
+    return "?";
+}
+
 CmpSystem::CmpSystem(const Config &cfg) : cfg_(cfg)
 {
     cfg_.validate();
@@ -71,6 +82,24 @@ CmpSystem::directory()
 RunResult
 CmpSystem::run(const ThreadFn &thread_fn)
 {
+    RunResult r;
+    switch (tryRun(thread_fn, r)) {
+      case RunStatus::ok:
+        return r;
+      case RunStatus::timeout:
+        SPP_FATAL("run exceeded maxTicks = {} ({} threads finished)",
+                  cfg_.maxTicks, finished_);
+      case RunStatus::deadlock:
+        SPP_PANIC("event queue drained with only {}/{} threads "
+                  "finished (workload deadlock?)\n{}",
+                  finished_, cfg_.numCores, mem_->dumpOutstanding());
+    }
+    SPP_PANIC("unreachable run status");
+}
+
+RunStatus
+CmpSystem::tryRun(const ThreadFn &thread_fn, RunResult &result)
+{
     SPP_ASSERT(tasks_.empty(), "CmpSystem::run may only be called once");
 
     tasks_.reserve(cfg_.numCores);
@@ -90,18 +119,8 @@ CmpSystem::run(const ThreadFn &thread_fn)
     }
 
     const bool drained_queue = eq_.run(cfg_.maxTicks);
-    if (!drained_queue) {
-        SPP_FATAL("run exceeded maxTicks = {} ({} threads finished)",
-                  cfg_.maxTicks, finished_);
-    }
-    if (finished_ != cfg_.numCores) {
-        SPP_PANIC("event queue drained with only {}/{} threads "
-                  "finished (workload deadlock?)\n{}",
-                  finished_, cfg_.numCores, mem_->dumpOutstanding());
-    }
-    SPP_ASSERT(mem_->drained(), "memory system not drained at exit");
 
-    RunResult r;
+    RunResult &r = result;
     r.ticks = eq_.curTick();
     r.mem = mem_->stats();
     r.noc = mesh_->stats();
@@ -115,7 +134,13 @@ CmpSystem::run(const ThreadFn &thread_fn)
     if (auto *dir = directory())
         r.indirectionsAvoided = dir->indirectionsAvoided();
     r.eventsExecuted = eq_.executed();
-    return r;
+
+    if (!drained_queue)
+        return RunStatus::timeout;
+    if (finished_ != cfg_.numCores)
+        return RunStatus::deadlock;
+    SPP_ASSERT(mem_->drained(), "memory system not drained at exit");
+    return RunStatus::ok;
 }
 
 } // namespace spp

@@ -28,6 +28,16 @@
 
 namespace spp {
 
+/** How a tryRun() attempt ended. */
+enum class RunStatus
+{
+    ok,       ///< All threads finished and the system drained.
+    timeout,  ///< maxTicks elapsed with events still pending.
+    deadlock, ///< Event queue drained with unfinished threads.
+};
+
+const char *toString(RunStatus s);
+
 /** Everything measured over one run. */
 struct RunResult
 {
@@ -61,6 +71,15 @@ class CmpSystem
 
     /** Run @p thread_fn on every core to completion. */
     RunResult run(const ThreadFn &thread_fn);
+
+    /**
+     * Like run(), but reports timeouts and deadlocks through the
+     * return status instead of terminating the process; used by the
+     * fuzz harness, for which a hang is a finding, not a fatal error.
+     * @p result is filled with whatever statistics accumulated, even
+     * on failure.
+     */
+    RunStatus tryRun(const ThreadFn &thread_fn, RunResult &result);
 
     // Component access (observers, tests, analysis).
     EventQueue &eventQueue() { return eq_; }

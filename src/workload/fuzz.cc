@@ -1,0 +1,155 @@
+#include "workload/fuzz.hh"
+
+#include "common/rng.hh"
+
+namespace spp {
+namespace wl {
+
+namespace {
+
+/** Kinds of program segments; drawn from the skeleton RNG. */
+enum Kind : unsigned
+{
+    kScattered,     ///< Random reads/writes over the hot set.
+    kCritical,      ///< Contended lock + migratory region under it.
+    kFalseShare,    ///< All threads hammer one line.
+    kRingHandoff,   ///< Semaphore ring: produce own, consume pred's.
+    kProduceConsume,///< One writer, barrier, everyone reads.
+    kPrivate,       ///< Thread-local streaming (non-communicating).
+    kReadMostly,    ///< One occasional writer among readers.
+    kNumKinds,
+};
+
+} // namespace
+
+Task
+fuzzProgram(ThreadContext &ctx, FuzzWorkloadParams p)
+{
+    const unsigned n = ctx.numThreads();
+    const CoreId self = ctx.self();
+    // Skeleton draws are identical on every thread (same seed, same
+    // order); collective decisions (segment kind, barrier placement)
+    // may only come from here. Per-access choices come from tl.
+    Rng skel(p.seed ^ 0x5eed'f02d'0bad'cafeULL);
+    Rng tl(p.seed * 0x0100'0193ULL + 0x9e37'79b9ULL * (self + 1));
+    std::uint64_t priv_cursor = 0;
+    constexpr Pc pc0 = 0x00fa'0000;
+
+    for (unsigned seg = 0; seg < p.segments; ++seg) {
+        const unsigned kind = skel.below(kNumKinds);
+        const unsigned hot_count =
+            1 + static_cast<unsigned>(skel.below(6));
+        std::uint64_t hot[6];
+        for (unsigned i = 0; i < hot_count; ++i)
+            hot[i] = skel.below(p.lines);
+        const CoreId owner = static_cast<CoreId>(skel.below(n));
+        const unsigned lock_id =
+            static_cast<unsigned>(skel.below(p.locks));
+        const unsigned barrier_id =
+            static_cast<unsigned>(skel.below(p.barriers));
+        const bool seg_barrier = skel.chance(0.35);
+        const Pc pc = pc0 + seg * 0x40;
+        const unsigned ops = p.opsPerSegment;
+
+        switch (kind) {
+          case kScattered:
+            for (unsigned i = 0; i < ops; ++i) {
+                const Addr a = ctx.shared(hot[tl.below(hot_count)]);
+                if (tl.chance(p.writeFrac))
+                    co_await ctx.write(a, pc + 1);
+                else
+                    co_await ctx.read(a, pc + 2);
+                if (tl.chance(0.2))
+                    co_await ctx.compute(tl.below(40));
+            }
+            break;
+
+          case kCritical:
+            for (unsigned i = 0; i < 1 + ops / 8; ++i) {
+                co_await ctx.lock(lock_id);
+                // Migratory region: consecutive holders touch the
+                // same lines, communicating with the previous holder.
+                for (unsigned j = 0; j < 4; ++j) {
+                    const Addr a =
+                        ctx.shared((lock_id * 8 + j) % p.lines);
+                    if (tl.chance(0.6))
+                        co_await ctx.write(a, pc + 3);
+                    else
+                        co_await ctx.read(a, pc + 4);
+                }
+                co_await ctx.unlock(lock_id);
+                co_await ctx.compute(tl.below(200));
+            }
+            break;
+
+          case kFalseShare:
+            for (unsigned i = 0; i < ops; ++i) {
+                const Addr a = ctx.shared(hot[0]);
+                if (tl.chance(0.5))
+                    co_await ctx.write(a, pc + 5);
+                else
+                    co_await ctx.read(a, pc + 6);
+            }
+            break;
+
+          case kRingHandoff: {
+            // Every thread posts its own semaphore before waiting on
+            // its predecessor's, so the ring cannot deadlock.
+            constexpr unsigned blk = 4;
+            for (unsigned j = 0; j < blk; ++j)
+                co_await ctx.write(
+                    ctx.shared(p.lines + self * blk + j), pc + 7);
+            co_await ctx.semPost(self, pc + 8);
+            const CoreId pred = (self + n - 1) % n;
+            co_await ctx.semWait(pred, pc + 9);
+            for (unsigned j = 0; j < blk; ++j)
+                co_await ctx.read(
+                    ctx.shared(p.lines + pred * blk + j), pc + 10);
+            break;
+          }
+
+          case kProduceConsume:
+            if (self == owner) {
+                for (unsigned j = 0; j < 8; ++j)
+                    co_await ctx.write(
+                        ctx.shared(hot[j % hot_count]), pc + 11);
+            }
+            co_await ctx.barrier(barrier_id, pc + 12);
+            if (self != owner) {
+                for (unsigned j = 0; j < 8; ++j)
+                    co_await ctx.read(
+                        ctx.shared(hot[tl.below(hot_count)]),
+                        pc + 13);
+            }
+            break;
+
+          case kPrivate:
+            for (unsigned i = 0; i < ops; ++i) {
+                const Addr a = ctx.priv(priv_cursor++ % 128);
+                if (tl.chance(p.writeFrac))
+                    co_await ctx.write(a, pc + 14);
+                else
+                    co_await ctx.read(a, pc + 15);
+            }
+            break;
+
+          case kReadMostly:
+            for (unsigned i = 0; i < ops; ++i) {
+                const Addr a = ctx.shared(hot[tl.below(hot_count)]);
+                if (self == owner && tl.chance(0.3))
+                    co_await ctx.write(a, pc + 16);
+                else
+                    co_await ctx.read(a, pc + 17);
+            }
+            break;
+        }
+
+        if (seg_barrier)
+            co_await ctx.barrier(barrier_id, pc + 18);
+    }
+
+    co_await ctx.barrier(0, pc0 + 0x3fff);
+}
+
+} // namespace wl
+} // namespace spp

@@ -1,0 +1,48 @@
+/**
+ * @file
+ * Seeded random workload generator for the protocol fuzz harness.
+ *
+ * One seed fully determines the program every thread runs: a shared
+ * "skeleton" RNG (seeded identically on all threads) draws the global
+ * structure — segment kinds, hot-line sets, lock/barrier choices — so
+ * collective operations line up across threads, while a per-thread
+ * RNG varies the individual accesses. The segment kinds deliberately
+ * cover the protocol's hard cases: contended critical sections,
+ * false sharing, migratory data, producer-consumer handoffs, pure
+ * private streaming and read-mostly sharing, all against deliberately
+ * tiny caches so evictions and writebacks race with misses.
+ */
+
+#ifndef SPP_WORKLOAD_FUZZ_HH
+#define SPP_WORKLOAD_FUZZ_HH
+
+#include <cstdint>
+
+#include "sim/task.hh"
+#include "sim/thread_context.hh"
+
+namespace spp {
+namespace wl {
+
+/** Shape of one fuzzed program; every field is shrinkable. */
+struct FuzzWorkloadParams
+{
+    std::uint64_t seed = 1;
+    unsigned segments = 12;      ///< Program phases per thread.
+    unsigned opsPerSegment = 24; ///< Memory ops per thread per phase.
+    unsigned lines = 36;         ///< Hot shared lines in play.
+    unsigned locks = 4;          ///< Distinct lock ids used.
+    unsigned barriers = 3;       ///< Distinct barrier ids used.
+    double writeFrac = 0.4;      ///< Store fraction of random traffic.
+};
+
+/**
+ * The per-thread fuzz program. @p p is taken by value: the coroutine
+ * frame must not reference caller storage that may die first.
+ */
+Task fuzzProgram(ThreadContext &ctx, FuzzWorkloadParams p);
+
+} // namespace wl
+} // namespace spp
+
+#endif // SPP_WORKLOAD_FUZZ_HH

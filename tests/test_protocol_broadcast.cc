@@ -179,3 +179,104 @@ TEST(Broadcast, DirtyEvictionWritesBack)
     EXPECT_EQ(out.dataVersion, w.dataVersion);
     h.sys->checkCoherence();
 }
+
+// ---------------------------------------------------------------------
+// Completion-predicate coverage (maybeResumeCore): the requester must
+// resume exactly when its data source and response set allow it, for
+// each of the three places dataReceived can be set — peer data
+// (onData), memory data (onData, fromMemory), and owner data riding on
+// an invalidation ack (onAckInv with ownerAck).
+// ---------------------------------------------------------------------
+
+TEST(BroadcastCompletion, PeerDataResumesBeforeMemoryResponse)
+{
+    // Every broadcast miss also launches a speculative memory fetch
+    // (memLatency ticks away). When a peer supplies the data the
+    // requester must resume on it immediately — not wait for the full
+    // response set that includes the speculative memory reply.
+    Config cfg = bcConfig();
+    ProtoHarness h(cfg);
+    h.access(0, 0x10000, true); // Core 0 owns the line dirty.
+    AccessOutcome out = h.access(1, 0x10000, false);
+    EXPECT_FALSE(out.offChip);
+    EXPECT_EQ(out.servicedBy, CoreSet{0});
+    EXPECT_LT(out.latency(), cfg.memLatency)
+        << "peer-supplied read stalled on the speculative memory "
+           "fetch";
+    h.sys->checkCoherence();
+    EXPECT_TRUE(h.sys->drained());
+}
+
+TEST(BroadcastCompletion, MemoryOnlyFillWaitsForEverySnoopResponse)
+{
+    // With no cached copy anywhere, only the full snoop-response set
+    // proves exclusivity: the cold read must both pay the memory
+    // latency and land in E (peerHadCopy never set by any response).
+    Config cfg = bcConfig();
+    ProtoHarness h(cfg);
+    AccessOutcome out = h.access(3, 0x20000, false);
+    EXPECT_TRUE(out.offChip);
+    EXPECT_GE(out.latency(), cfg.memLatency);
+    EXPECT_EQ(h.l2State(3, 0x20000), Mesif::exclusive);
+    h.sys->checkCoherence();
+    EXPECT_TRUE(h.sys->drained());
+}
+
+TEST(BroadcastCompletion, WriteMissTakesDataFromOwnerAck)
+{
+    // A write miss against a dirty owner gets its data on the owner's
+    // invalidation ack (the ownerAck path), not from memory.
+    ProtoHarness h(bcConfig());
+    AccessOutcome w0 = h.access(0, 0x30000, true);
+    AccessOutcome out = h.access(2, 0x30000, true);
+    EXPECT_FALSE(out.offChip);
+    EXPECT_TRUE(out.servicedBy.contains(CoreSet{0}));
+    EXPECT_GT(out.dataVersion, w0.dataVersion);
+    EXPECT_EQ(h.l2State(2, 0x30000), Mesif::modified);
+    EXPECT_EQ(h.l2State(0, 0x30000), Mesif::invalid);
+    h.sys->checkCoherence();
+    EXPECT_TRUE(h.sys->drained());
+}
+
+TEST(BroadcastCompletion, LateMemoryDataAfterWritebackRace)
+{
+    // Regression for the retired-transaction race: core 0 evicts a
+    // dirty line (writeback in flight) while core 1 misses on it. The
+    // writeback buffer answers the snoop with data, the transaction
+    // can retire on that copy plus the snoop responses, and the slower
+    // speculative memory reply then arrives for a transaction that no
+    // longer exists. It must be dropped, with the freshest version
+    // winning the fill.
+    Config cfg = bcConfig();
+    cfg.l2Bytes = 8 * 1024;
+    cfg.l2Assoc = 1;
+    cfg.l1Bytes = 1024;
+    ProtoHarness h(cfg);
+    const unsigned sets = cfg.l2Bytes / cfg.lineBytes;
+    const Addr a = 0x10000;
+    const Addr b = a + static_cast<Addr>(sets) * cfg.lineBytes;
+    AccessOutcome w = h.access(0, a, true); // Dirty owner.
+    auto outs = h.accessAll({{0, b, false},  // Evicts dirty a.
+                             {1, a, false}}); // Races the writeback.
+    EXPECT_EQ(outs[1].dataVersion, w.dataVersion)
+        << "reader lost the written value across the writeback race";
+    h.sys->checkCoherence();
+    EXPECT_TRUE(h.sys->drained());
+}
+
+TEST(BroadcastCompletion, ReadDuringInvalidationKeepsOrdering)
+{
+    // Late-ack ordering: a reader and a writer race on a line held
+    // shared by many cores. Whatever interleaving the fabric picks,
+    // both must complete, versions must be monotone, and the final
+    // state must satisfy SWMR.
+    ProtoHarness h(bcConfig());
+    for (CoreId c = 0; c < 4; ++c)
+        h.access(c, 0x40000, false);
+    auto outs = h.accessAll({{5, 0x40000, true},
+                             {6, 0x40000, false}});
+    EXPECT_TRUE(outs[0].isWrite);
+    EXPECT_GT(outs[0].dataVersion, 0u);
+    h.sys->checkCoherence();
+    EXPECT_TRUE(h.sys->drained());
+}
