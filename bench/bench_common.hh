@@ -115,7 +115,7 @@ inline ExperimentConfig
 directoryConfig()
 {
     ExperimentConfig c;
-    c.protocol = Protocol::directory;
+    c.config.protocol = Protocol::directory;
     c.scale = defaultBenchScale();
     c.telemetry = g_telemetry;
     return c;
@@ -126,7 +126,7 @@ inline ExperimentConfig
 broadcastConfig()
 {
     ExperimentConfig c;
-    c.protocol = Protocol::broadcast;
+    c.config.protocol = Protocol::broadcast;
     c.scale = defaultBenchScale();
     c.telemetry = g_telemetry;
     return c;
@@ -137,8 +137,8 @@ inline ExperimentConfig
 predictedConfig(PredictorKind kind)
 {
     ExperimentConfig c;
-    c.protocol = Protocol::predicted;
-    c.predictor = kind;
+    c.config.protocol = Protocol::predicted;
+    c.config.predictor = kind;
     c.scale = defaultBenchScale();
     c.telemetry = g_telemetry;
     return c;

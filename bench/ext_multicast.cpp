@@ -23,7 +23,7 @@ main(int argc, char **argv)
              "bcast +bw%", "mcast +bw%", "sp-dir +bw%"});
 
     ExperimentConfig mc_cfg = predictedConfig(PredictorKind::sp);
-    mc_cfg.protocol = Protocol::multicast;
+    mc_cfg.config.protocol = Protocol::multicast;
     const std::vector<std::string> names = allWorkloads();
     const auto results = sweepMatrix(
         names, {directoryConfig(), broadcastConfig(), mc_cfg,

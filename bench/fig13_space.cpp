@@ -53,7 +53,7 @@ main(int argc, char **argv)
     for (const auto &[label, kind] : kinds) {
         for (unsigned entries : entry_limits) {
             ExperimentConfig cfg = predictedConfig(kind);
-            cfg.predictorEntries = entries;
+            cfg.config.predictorEntries = entries;
             configs.push_back(cfg);
         }
     }

@@ -286,13 +286,8 @@ main(int argc, char **argv)
         }
     }
 
-    std::vector<FuzzResult> results(cases.size());
-    std::vector<std::function<void()>> tasks;
-    tasks.reserve(cases.size());
-    for (std::size_t i = 0; i < cases.size(); ++i)
-        tasks.push_back(
-            [&cases, &results, i] { results[i] = runFuzzCase(cases[i]); });
-    SweepRunner(o.jobs).runTasks(tasks);
+    const std::vector<FuzzResult> results = SweepRunner(o.jobs).map(
+        cases, [](const FuzzCase &c) { return runFuzzCase(c); });
 
     std::uint64_t messages = 0;
     std::size_t failures = 0;

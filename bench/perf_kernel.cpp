@@ -1,0 +1,283 @@
+/**
+ * @file
+ * Event-kernel perf microbench: the first entry in the repo's perf
+ * trajectory (BENCH_kernel.json).
+ *
+ * Times the simulation kernel itself — events/sec and misses/sec —
+ * on three representative workloads, one per protocol engine:
+ *
+ *   ocean/directory          barrier-phase wavefront sharing
+ *   streamcluster/broadcast  high-epoch-count hot-set churn
+ *   radiosity/predicted+sp   lock-heavy migratory sharing through
+ *                            the prediction path
+ *
+ * Each cell runs `--reps` times and reports the best wall clock (the
+ * least-noise estimate of kernel cost; event/miss counts are
+ * deterministic across reps and are asserted to be so). The summary
+ * and JSON include aggregate events/sec across all cells, which is
+ * the number CI guards.
+ *
+ * With `--baseline FILE` the run compares its aggregate events/sec
+ * against the committed baseline and exits non-zero on a regression
+ * beyond `--tolerance` percent (default 20) — wide enough for
+ * machine-to-machine variance, tight enough to catch an accidental
+ * return to per-event heap allocation.
+ *
+ * Deliberately built on the low-level API (Config + CmpSystem +
+ * workload registry, no experiment harness) so the harness itself is
+ * insensitive to analysis-layer refactors and measures only the
+ * kernel.
+ */
+
+#include <chrono>
+#include <cstdio>
+#include <cstdlib>
+#include <cstring>
+#include <fstream>
+#include <sstream>
+#include <string>
+#include <vector>
+
+#include "common/config.hh"
+#include "common/logging.hh"
+#include "sim/cmp_system.hh"
+#include "telemetry/json.hh"
+#include "workload/workload.hh"
+
+using namespace spp;
+
+namespace {
+
+struct Cell
+{
+    const char *workload;
+    Protocol protocol;
+    PredictorKind predictor;
+};
+
+constexpr Cell kCells[] = {
+    {"ocean", Protocol::directory, PredictorKind::none},
+    {"streamcluster", Protocol::broadcast, PredictorKind::none},
+    {"radiosity", Protocol::predicted, PredictorKind::sp},
+};
+
+struct CellResult
+{
+    const Cell *cell = nullptr;
+    std::uint64_t events = 0;
+    std::uint64_t misses = 0;
+    Tick ticks = 0;
+    double wallMs = 0.0;   ///< Best-of-reps.
+
+    double eventsPerSec() const { return events / (wallMs / 1e3); }
+    double missesPerSec() const { return misses / (wallMs / 1e3); }
+};
+
+struct Options
+{
+    std::string out = "BENCH_kernel.json";
+    std::string baseline;
+    double tolerancePct = 20.0;
+    unsigned reps = 3;
+    double scale = 1.0;
+};
+
+void
+usage(const char *argv0)
+{
+    std::fprintf(stderr,
+                 "usage: %s [--out FILE] [--baseline FILE]\n"
+                 "          [--tolerance PCT] [--reps N] "
+                 "[--scale X]\n",
+                 argv0);
+    std::exit(2);
+}
+
+Options
+parseArgs(int argc, char **argv)
+{
+    Options o;
+    if (const char *env = std::getenv("SPP_BENCH_SCALE"))
+        o.scale = std::atof(env);
+    auto next = [&](int &i) -> const char * {
+        if (i + 1 >= argc)
+            usage(argv[0]);
+        return argv[++i];
+    };
+    for (int i = 1; i < argc; ++i) {
+        const char *a = argv[i];
+        if (!std::strcmp(a, "--out"))
+            o.out = next(i);
+        else if (!std::strcmp(a, "--baseline"))
+            o.baseline = next(i);
+        else if (!std::strcmp(a, "--tolerance"))
+            o.tolerancePct = std::atof(next(i));
+        else if (!std::strcmp(a, "--reps"))
+            o.reps = static_cast<unsigned>(std::atoi(next(i)));
+        else if (!std::strcmp(a, "--scale"))
+            o.scale = std::atof(next(i));
+        else
+            usage(argv[0]);
+    }
+    if (o.reps == 0)
+        o.reps = 1;
+    return o;
+}
+
+CellResult
+runCell(const Cell &cell, const Options &o)
+{
+    const WorkloadSpec *spec = findWorkload(cell.workload);
+    if (!spec)
+        SPP_FATAL("unknown workload '{}'", cell.workload);
+
+    Config cfg;
+    cfg.protocol = cell.protocol;
+    cfg.predictor = cell.predictor;
+
+    WorkloadParams params;
+    params.scale = o.scale;
+
+    CellResult r;
+    r.cell = &cell;
+    for (unsigned rep = 0; rep < o.reps; ++rep) {
+        CmpSystem sys(cfg);
+        const auto t0 = std::chrono::steady_clock::now();
+        const RunResult run =
+            sys.run([spec, params](ThreadContext &ctx) {
+                return spec->run(ctx, params);
+            });
+        const auto t1 = std::chrono::steady_clock::now();
+        const double ms =
+            std::chrono::duration<double, std::milli>(t1 - t0)
+                .count();
+
+        if (rep == 0) {
+            r.events = run.eventsExecuted;
+            r.misses = run.mem.misses.value();
+            r.ticks = run.ticks;
+            r.wallMs = ms;
+        } else {
+            // The kernel is deterministic; only the wall clock may
+            // differ between reps.
+            SPP_ASSERT(run.eventsExecuted == r.events &&
+                           run.mem.misses.value() == r.misses &&
+                           run.ticks == r.ticks,
+                       "nondeterministic rep for {}", cell.workload);
+            r.wallMs = std::min(r.wallMs, ms);
+        }
+    }
+    return r;
+}
+
+/** Aggregate events/sec recorded in @p path; < 0 on parse failure. */
+double
+baselineEventsPerSec(const std::string &path)
+{
+    std::ifstream in(path);
+    if (!in)
+        return -1.0;
+    std::ostringstream ss;
+    ss << in.rdbuf();
+    const auto doc = Json::parse(ss.str());
+    if (!doc)
+        return -1.0;
+    const Json *totals = doc->find("totals");
+    if (!totals)
+        return -1.0;
+    const Json *eps = totals->find("events_per_sec");
+    return eps && eps->isNumber() ? eps->asNumber() : -1.0;
+}
+
+} // namespace
+
+int
+main(int argc, char **argv)
+{
+    const Options o = parseArgs(argc, argv);
+    setQuiet(true);
+
+    std::vector<CellResult> cells;
+    std::uint64_t total_events = 0, total_misses = 0;
+    double total_ms = 0.0;
+    for (const Cell &cell : kCells) {
+        CellResult r = runCell(cell, o);
+        std::printf("%-13s %-9s %-4s  events %10llu  misses %8llu  "
+                    "ticks %9llu  wall %8.2f ms  %7.2f Mev/s\n",
+                    cell.workload, toString(cell.protocol),
+                    toString(cell.predictor),
+                    static_cast<unsigned long long>(r.events),
+                    static_cast<unsigned long long>(r.misses),
+                    static_cast<unsigned long long>(r.ticks),
+                    r.wallMs, r.eventsPerSec() / 1e6);
+        total_events += r.events;
+        total_misses += r.misses;
+        total_ms += r.wallMs;
+        cells.push_back(r);
+    }
+
+    const double total_eps = total_events / (total_ms / 1e3);
+    const double total_mps = total_misses / (total_ms / 1e3);
+    std::printf("total: %llu events, %llu misses in %.2f ms — "
+                "%.2f Mev/s, %.2f Mmiss/s\n",
+                static_cast<unsigned long long>(total_events),
+                static_cast<unsigned long long>(total_misses),
+                total_ms, total_eps / 1e6, total_mps / 1e6);
+
+    Json doc = Json::object();
+    doc["schema"] = "spp.perf_kernel.v1";
+    doc["scale"] = o.scale;
+    doc["reps"] = o.reps;
+    Json arr = Json::array();
+    for (const CellResult &r : cells) {
+        Json c = Json::object();
+        c["workload"] = r.cell->workload;
+        c["protocol"] = toString(r.cell->protocol);
+        c["predictor"] = toString(r.cell->predictor);
+        c["events"] = r.events;
+        c["misses"] = r.misses;
+        c["ticks"] = static_cast<std::uint64_t>(r.ticks);
+        c["wall_ms"] = r.wallMs;
+        c["events_per_sec"] = r.eventsPerSec();
+        c["misses_per_sec"] = r.missesPerSec();
+        arr.push(std::move(c));
+    }
+    doc["cells"] = std::move(arr);
+    Json totals = Json::object();
+    totals["events"] = total_events;
+    totals["misses"] = total_misses;
+    totals["wall_ms"] = total_ms;
+    totals["events_per_sec"] = total_eps;
+    totals["misses_per_sec"] = total_mps;
+    doc["totals"] = std::move(totals);
+
+    std::ofstream out(o.out);
+    if (!out) {
+        std::fprintf(stderr, "cannot write %s\n", o.out.c_str());
+        return 1;
+    }
+    doc.write(out, 0);
+    out << "\n";
+    out.close();
+    std::printf("wrote %s\n", o.out.c_str());
+
+    if (!o.baseline.empty()) {
+        const double base = baselineEventsPerSec(o.baseline);
+        if (base <= 0.0) {
+            std::fprintf(stderr, "cannot read baseline %s\n",
+                         o.baseline.c_str());
+            return 1;
+        }
+        const double ratio = total_eps / base;
+        std::printf("baseline %.2f Mev/s, now %.2f Mev/s "
+                    "(%+.1f%%, tolerance -%.0f%%)\n",
+                    base / 1e6, total_eps / 1e6,
+                    (ratio - 1.0) * 100.0, o.tolerancePct);
+        if (ratio < 1.0 - o.tolerancePct / 100.0) {
+            std::printf("FAIL: events/sec regressed beyond "
+                        "tolerance\n");
+            return 1;
+        }
+    }
+    return 0;
+}

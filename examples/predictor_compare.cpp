@@ -79,8 +79,8 @@ main(int argc, char **argv)
 
     auto config = [&](Protocol proto, PredictorKind kind) {
         ExperimentConfig cfg;
-        cfg.protocol = proto;
-        cfg.predictor = kind;
+        cfg.config.protocol = proto;
+        cfg.config.predictor = kind;
         cfg.scale = scale;
         return cfg;
     };

@@ -27,12 +27,12 @@ main(int argc, char **argv)
                 workload.c_str(), scale);
 
     ExperimentConfig base;
-    base.protocol = Protocol::directory;
+    base.config.protocol = Protocol::directory;
     base.scale = scale;
 
     ExperimentConfig sp = base;
-    sp.protocol = Protocol::predicted;
-    sp.predictor = PredictorKind::sp;
+    sp.config.protocol = Protocol::predicted;
+    sp.config.predictor = PredictorKind::sp;
 
     ExperimentResult dir_res = runExperiment(workload, base);
     ExperimentResult sp_res = runExperiment(workload, sp);

@@ -71,33 +71,33 @@ main(int argc, char **argv)
         } else if (arg == "--protocol") {
             const std::string p = next();
             if (p == "dir" || p == "directory")
-                cfg.protocol = Protocol::directory;
+                cfg.config.protocol = Protocol::directory;
             else if (p == "broadcast")
-                cfg.protocol = Protocol::broadcast;
+                cfg.config.protocol = Protocol::broadcast;
             else if (p == "predicted")
-                cfg.protocol = Protocol::predicted;
+                cfg.config.protocol = Protocol::predicted;
             else if (p == "multicast")
-                cfg.protocol = Protocol::multicast;
+                cfg.config.protocol = Protocol::multicast;
             else
                 usage(argv[0]);
         } else if (arg == "--predictor") {
             const std::string p = next();
             if (p == "sp")
-                cfg.predictor = PredictorKind::sp;
+                cfg.config.predictor = PredictorKind::sp;
             else if (p == "addr")
-                cfg.predictor = PredictorKind::addr;
+                cfg.config.predictor = PredictorKind::addr;
             else if (p == "inst")
-                cfg.predictor = PredictorKind::inst;
+                cfg.config.predictor = PredictorKind::inst;
             else if (p == "uni")
-                cfg.predictor = PredictorKind::uni;
+                cfg.config.predictor = PredictorKind::uni;
             else
                 usage(argv[0]);
         } else if (arg == "--scale") {
             cfg.scale = std::atof(next());
         } else if (arg == "--seed") {
-            cfg.seed = std::strtoull(next(), nullptr, 10);
+            cfg.config.seed = std::strtoull(next(), nullptr, 10);
         } else if (arg == "--entries") {
-            cfg.predictorEntries =
+            cfg.config.predictorEntries =
                 static_cast<unsigned>(std::atoi(next()));
         } else if (arg == "--filter") {
             filter = true;
@@ -112,10 +112,10 @@ main(int argc, char **argv)
         }
     }
 
-    if ((cfg.protocol == Protocol::predicted ||
-         cfg.protocol == Protocol::multicast) &&
-        cfg.predictor == PredictorKind::none) {
-        cfg.predictor = PredictorKind::sp;
+    if ((cfg.config.protocol == Protocol::predicted ||
+         cfg.config.protocol == Protocol::multicast) &&
+        cfg.config.predictor == PredictorKind::none) {
+        cfg.config.predictor = PredictorKind::sp;
     }
     cfg.tweak = [=](Config &c) {
         c.historyDepth = depth;
@@ -134,9 +134,9 @@ main(int argc, char **argv)
 
     std::printf("workload %s, protocol %s, predictor %s, scale %g, "
                 "seed %lu\n",
-                workload.c_str(), toString(cfg.protocol),
-                toString(cfg.predictor), cfg.scale,
-                static_cast<unsigned long>(cfg.seed));
+                workload.c_str(), toString(cfg.config.protocol),
+                toString(cfg.config.predictor), cfg.scale,
+                static_cast<unsigned long>(cfg.config.seed));
 
     banner("Execution");
     std::printf("cycles                 %lu\n",
@@ -173,7 +173,7 @@ main(int argc, char **argv)
     std::printf("  non-communicating    %.1f cycles\n",
                 run.mem.nonCommMissLatency.mean());
 
-    if (cfg.predictor != PredictorKind::none) {
+    if (cfg.config.predictor != PredictorKind::none) {
         banner("Prediction");
         std::printf("attempted              %lu\n",
                     static_cast<unsigned long>(

@@ -65,11 +65,7 @@ runExperiment(const std::string &workload_name,
     if (!spec)
         SPP_FATAL("unknown workload '{}'", workload_name);
 
-    Config cfg;
-    cfg.protocol = xcfg.protocol;
-    cfg.predictor = xcfg.predictor;
-    cfg.seed = xcfg.seed;
-    cfg.predictorEntries = xcfg.predictorEntries;
+    Config cfg = xcfg.config;
     if (xcfg.tweak)
         xcfg.tweak(cfg);
 

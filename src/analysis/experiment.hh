@@ -24,11 +24,12 @@ namespace spp {
 /** Knobs of one experiment run. */
 struct ExperimentConfig
 {
-    Protocol protocol = Protocol::directory;
-    PredictorKind predictor = PredictorKind::none;
-    double scale = 1.0;
-    std::uint64_t seed = 1;
-    unsigned predictorEntries = 0;  ///< 0 = unlimited tables.
+    /** The full simulator configuration (protocol, predictor, seed,
+     * topology, latencies, ...). Set fields directly — the harness
+     * no longer mirrors any of them. */
+    Config config;
+
+    double scale = 1.0;             ///< Workload iteration scale.
     bool collectTrace = false;
     bool recordMissTargets = false; ///< Per-miss targets in the trace.
     bool checkCoherence = false;    ///< Run invariant checkers after.
@@ -40,7 +41,9 @@ struct ExperimentConfig
      * name (the sweep engine assigns unique per-job labels). */
     std::string telemetryLabel;
 
-    /** Apply further Config edits before the run. */
+    /** Per-cell Config edits applied to a copy of `config` just
+     * before the run; for sweep grids that specialize a shared
+     * base cell-by-cell. Prefer editing `config` directly. */
     std::function<void(Config &)> tweak;
 
     /** Touch the built system before the run (e.g. profile seeding,

@@ -34,10 +34,10 @@ jobLabel(const SweepJob &job)
         return job.label;
     std::string label = job.workload;
     label += '/';
-    label += toString(job.config.protocol);
-    if (job.config.predictor != PredictorKind::none) {
+    label += toString(job.config.config.protocol);
+    if (job.config.config.predictor != PredictorKind::none) {
         label += '/';
-        label += toString(job.config.predictor);
+        label += toString(job.config.config.predictor);
     }
     return label;
 }
@@ -109,65 +109,48 @@ SweepRunner::run(const std::vector<SweepJob> &jobs) const
 
     const bool progress = progressEnabled();
     const Clock::time_point sweep_start = Clock::now();
-    std::atomic<std::size_t> next{0};
     std::atomic<std::size_t> done{0};
     std::mutex io_mutex;
     std::vector<double> wall_ms(jobs.size(), 0.0);
 
-    auto worker = [&] {
-        for (;;) {
-            const std::size_t i =
-                next.fetch_add(1, std::memory_order_relaxed);
-            if (i >= jobs.size())
-                return;
-            const Clock::time_point t0 = Clock::now();
-            if (jobs[i].config.telemetry.enabled() &&
-                jobs[i].config.telemetryLabel.empty()) {
-                // Give every job a unique file stem; two cells of a
-                // matrix often share the workload name.
-                ExperimentConfig cfg = jobs[i].config;
-                cfg.telemetryLabel =
-                    sanitizeFileLabel(jobLabel(jobs[i])) + "_j" +
-                    std::to_string(i);
-                results[i] = runExperiment(jobs[i].workload, cfg);
-            } else {
-                results[i] = runExperiment(jobs[i].workload,
-                                           jobs[i].config);
-            }
-            wall_ms[i] =
-                std::chrono::duration<double, std::milli>(
-                    Clock::now() - t0)
-                    .count();
-            const std::size_t finished =
-                done.fetch_add(1, std::memory_order_relaxed) + 1;
-            if (progress) {
-                const double elapsed_ms =
-                    std::chrono::duration<double, std::milli>(
-                        Clock::now() - sweep_start)
-                        .count();
-                std::lock_guard<std::mutex> lock(io_mutex);
-                std::fprintf(stderr,
-                             "sweep [%zu/%zu] %s %.0fms "
-                             "(elapsed %.0fms)\n",
-                             finished, jobs.size(),
-                             jobLabel(jobs[i]).c_str(), wall_ms[i],
-                             elapsed_ms);
-            }
+    forIndices(jobs.size(), [&](std::size_t i) {
+        const Clock::time_point t0 = Clock::now();
+        if (jobs[i].config.telemetry.enabled() &&
+            jobs[i].config.telemetryLabel.empty()) {
+            // Give every job a unique file stem; two cells of a
+            // matrix often share the workload name.
+            ExperimentConfig cfg = jobs[i].config;
+            cfg.telemetryLabel =
+                sanitizeFileLabel(jobLabel(jobs[i])) + "_j" +
+                std::to_string(i);
+            results[i] = runExperiment(jobs[i].workload, cfg);
+        } else {
+            results[i] = runExperiment(jobs[i].workload,
+                                       jobs[i].config);
         }
-    };
+        wall_ms[i] =
+            std::chrono::duration<double, std::milli>(Clock::now() -
+                                                      t0)
+                .count();
+        const std::size_t finished =
+            done.fetch_add(1, std::memory_order_relaxed) + 1;
+        if (progress) {
+            const double elapsed_ms =
+                std::chrono::duration<double, std::milli>(
+                    Clock::now() - sweep_start)
+                    .count();
+            std::lock_guard<std::mutex> lock(io_mutex);
+            std::fprintf(stderr,
+                         "sweep [%zu/%zu] %s %.0fms "
+                         "(elapsed %.0fms)\n",
+                         finished, jobs.size(),
+                         jobLabel(jobs[i]).c_str(), wall_ms[i],
+                         elapsed_ms);
+        }
+    });
 
     const unsigned n_workers = static_cast<unsigned>(
         std::min<std::size_t>(n_threads_, jobs.size()));
-    if (n_workers <= 1) {
-        worker();
-    } else {
-        std::vector<std::thread> pool;
-        pool.reserve(n_workers);
-        for (unsigned t = 0; t < n_workers; ++t)
-            pool.emplace_back(worker);
-        for (std::thread &t : pool)
-            t.join();
-    }
 
     const double total_ms =
         std::chrono::duration<double, std::milli>(Clock::now() -
@@ -194,10 +177,10 @@ SweepRunner::run(const std::vector<SweepJob> &jobs) const
 }
 
 void
-SweepRunner::runTasks(
-    const std::vector<std::function<void()>> &tasks) const
+SweepRunner::forIndices(
+    std::size_t n, const std::function<void(std::size_t)> &fn) const
 {
-    if (tasks.empty())
+    if (n == 0)
         return;
 
     std::atomic<std::size_t> next{0};
@@ -205,14 +188,14 @@ SweepRunner::runTasks(
         for (;;) {
             const std::size_t i =
                 next.fetch_add(1, std::memory_order_relaxed);
-            if (i >= tasks.size())
+            if (i >= n)
                 return;
-            tasks[i]();
+            fn(i);
         }
     };
 
-    const unsigned n_workers = static_cast<unsigned>(
-        std::min<std::size_t>(n_threads_, tasks.size()));
+    const unsigned n_workers =
+        static_cast<unsigned>(std::min<std::size_t>(n_threads_, n));
     if (n_workers <= 1) {
         worker();
         return;

@@ -20,8 +20,10 @@
 #ifndef SPP_ANALYSIS_SWEEP_HH
 #define SPP_ANALYSIS_SWEEP_HH
 
+#include <cstddef>
 #include <functional>
 #include <string>
+#include <type_traits>
 #include <vector>
 
 #include "analysis/experiment.hh"
@@ -54,12 +56,23 @@ class SweepRunner
     run(const std::vector<SweepJob> &jobs) const;
 
     /**
-     * Run arbitrary independent closures on the same worker pool
-     * (the fuzz harness: each task is one seeded case that writes
-     * only its own result slot). Tasks must be mutually thread-safe.
+     * Apply @p fn to each element of @p items on the worker pool;
+     * results land at the index of their item, exactly as a
+     * sequential loop would produce them. @p fn may run from several
+     * threads at once, so it must be re-entrant and touch only its
+     * own item (the fuzz harness: each item is one seeded case).
      */
-    void runTasks(const std::vector<std::function<void()>> &tasks)
-        const;
+    template <typename Item, typename Fn>
+    auto
+    map(const std::vector<Item> &items, Fn &&fn) const
+        -> std::vector<std::invoke_result_t<Fn &, const Item &>>
+    {
+        std::vector<std::invoke_result_t<Fn &, const Item &>> out(
+            items.size());
+        forIndices(items.size(),
+                   [&](std::size_t i) { out[i] = fn(items[i]); });
+        return out;
+    }
 
     unsigned threads() const { return n_threads_; }
 
@@ -67,6 +80,10 @@ class SweepRunner
     static unsigned defaultJobs();
 
   private:
+    /** Run fn(0), ..., fn(n-1) on the pool, each index once. */
+    void forIndices(std::size_t n,
+                    const std::function<void(std::size_t)> &fn) const;
+
     unsigned n_threads_;
 };
 

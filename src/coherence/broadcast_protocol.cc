@@ -67,17 +67,17 @@ BroadcastMemSys::broadcast(Mshr &m)
     // Speculative memory fetch at the home tile, cancellable by an
     // owner hit. When the requester is the home, start it locally;
     // otherwise the snoopReq arriving at the home starts it.
-    spec_fetch_[m.line] = SpecFetch{TxnKey{m.core, m.txn}, false};
+    SpecFetch &sf = spec_fetch_.findOrInsert(m.line);
+    sf.key = TxnKey{m.core, m.txn};
+    sf.cancelled = false;
     if (home == m.core) {
         const Addr line = m.line;
         const TxnKey key{m.core, m.txn};
         eq_.scheduleAfter(memAccessLatency(line), [this, line, key]() {
-            auto it = spec_fetch_.find(line);
-            if (it == spec_fetch_.end() || !(it->second.key == key) ||
-                it->second.cancelled) {
+            const SpecFetch *f = spec_fetch_.find(line);
+            if (f == nullptr || !(f->key == key) || f->cancelled)
                 return;
-            }
-            spec_fetch_.erase(it);
+            spec_fetch_.erase(line);
             Msg d;
             d.type = MsgType::data;
             d.line = line;
@@ -155,8 +155,7 @@ BroadcastMemSys::txnFor(CoreId core, Addr line, std::uint64_t txn)
         if (m->txn == txn)
             return m;
     }
-    auto it = lingering_.find(txn);
-    return it == lingering_.end() ? nullptr : &it->second;
+    return lingering_.find(txn);
 }
 
 bool
@@ -190,8 +189,8 @@ BroadcastMemSys::maybeResumeCore(Mshr &m)
     // access; responses keep finding it via txnFor().
     const CoreId core = m.core;
     const std::uint64_t txn = m.txn;
-    Mshr &moved =
-        lingering_.emplace(txn, std::move(m)).first->second;
+    Mshr &moved = lingering_.insert(txn);
+    moved = std::move(m);
     mshr_[core].reset();
     DoneFn done = std::move(moved.done);
     moved.done = nullptr;
@@ -250,12 +249,10 @@ BroadcastMemSys::onSnoopReq(const Msg &m)
         const Addr line = m.line;
         const TxnKey key{m.requester, m.txn};
         eq_.scheduleAfter(memAccessLatency(line), [this, line, key]() {
-            auto it = spec_fetch_.find(line);
-            if (it == spec_fetch_.end() || !(it->second.key == key) ||
-                it->second.cancelled) {
+            const SpecFetch *f = spec_fetch_.find(line);
+            if (f == nullptr || !(f->key == key) || f->cancelled)
                 return;
-            }
-            spec_fetch_.erase(it);
+            spec_fetch_.erase(line);
             Msg d;
             d.type = MsgType::data;
             d.line = line;
@@ -372,9 +369,9 @@ void
 BroadcastMemSys::onUnblock(const Msg &m)
 {
     const TxnKey key{m.requester, m.txn};
-    auto it = spec_fetch_.find(m.line);
-    if (it != spec_fetch_.end() && it->second.key == key)
-        spec_fetch_.erase(it);
+    const SpecFetch *f = spec_fetch_.find(m.line);
+    if (f != nullptr && f->key == key)
+        spec_fetch_.erase(m.line);
     locks_.release(m.line, key);
 }
 
@@ -398,12 +395,12 @@ std::string
 BroadcastMemSys::dumpOutstanding() const
 {
     std::string out = MemSys::dumpOutstanding();
-    for (const auto &[txn, m] : lingering_) {
+    lingering_.forEach([&](std::uint64_t txn, const Mshr &m) {
         out += strfmt("lingering txn {} core {} line {} write={} "
                       "resumed={} responses={}/{} data={}\n",
                       txn, m.core, m.line, m.isWrite, m.coreResumed,
                       m.peerResponses, n_cores_ - 1, m.dataReceived);
-    }
+    });
     return out;
 }
 
@@ -450,20 +447,16 @@ BroadcastMemSys::handleMsg(const Msg &m)
         finishWriteback(m.dst, m.line);
         break;
       case MsgType::cancel: {
-        auto it = spec_fetch_.find(m.line);
-        if (it != spec_fetch_.end() &&
-            it->second.key == TxnKey{m.requester, m.txn}) {
-            it->second.cancelled = true;
-        }
+        SpecFetch *f = spec_fetch_.find(m.line);
+        if (f != nullptr && f->key == TxnKey{m.requester, m.txn})
+            f->cancelled = true;
         break;
       }
       case MsgType::dirUpdate: {
         depositMemVersion(m.line, m.version);
-        auto it = spec_fetch_.find(m.line);
-        if (it != spec_fetch_.end() &&
-            it->second.key == TxnKey{m.requester, m.txn}) {
-            it->second.cancelled = true;
-        }
+        SpecFetch *f = spec_fetch_.find(m.line);
+        if (f != nullptr && f->key == TxnKey{m.requester, m.txn})
+            f->cancelled = true;
         break;
       }
       default:

@@ -20,8 +20,6 @@
 #ifndef SPP_COHERENCE_BROADCAST_PROTOCOL_HH
 #define SPP_COHERENCE_BROADCAST_PROTOCOL_HH
 
-#include <unordered_map>
-
 #include "coherence/mem_sys.hh"
 
 namespace spp {
@@ -37,6 +35,19 @@ class BroadcastMemSys : public MemSys
     std::size_t outstandingTxns() const override
     {
         return lingering_.size();
+    }
+
+    PoolStats
+    txnPoolStats() const override
+    {
+        PoolStats sum = lingering_.stats();
+        const PoolStats &s = spec_fetch_.stats();
+        sum.acquires += s.acquires;
+        sum.reuses += s.reuses;
+        sum.allocated += s.allocated;
+        sum.live += s.live;
+        sum.peak += s.peak;
+        return sum;
     }
 
   protected:
@@ -77,9 +88,10 @@ class BroadcastMemSys : public MemSys
      */
     bool maybeResumeCore(Mshr &m);
 
-    std::unordered_map<Addr, SpecFetch> spec_fetch_;
+    /** Per-miss insert/erase churn: pool-backed (see pool.hh). */
+    PooledMap<SpecFetch> spec_fetch_;
     /** Resumed-but-not-drained transactions, keyed by txn id. */
-    std::unordered_map<std::uint64_t, Mshr> lingering_;
+    PooledMap<Mshr> lingering_;
 };
 
 } // namespace spp

@@ -209,7 +209,9 @@ DirectoryMemSys::onRequest(const Msg &m)
 void
 DirectoryMemSys::processRequest(const Msg &m)
 {
-    txns_[m.line] = DirTxn{TxnKey{m.requester, m.txn}, false};
+    DirTxn &t = txns_.findOrInsert(m.line);
+    t.key = TxnKey{m.requester, m.txn};
+    t.waitingPeer = false;
     if (m.isWrite)
         processWrite(m);
     else
@@ -288,7 +290,7 @@ DirectoryMemSys::processRead(const Msg &m)
             locks_.release(m.line, key);
             return;
         }
-        txns_[m.line].waitingPeer = true;
+        txns_.findOrInsert(m.line).waitingPeer = true;
         return;
     }
     serviceReadFromDir(m, e);
@@ -382,16 +384,16 @@ void
 DirectoryMemSys::onPredFailed(const Msg &m)
 {
     const TxnKey key{m.requester, m.txn};
-    auto it = txns_.find(m.line);
-    if (it == txns_.end() || !(it->second.key == key)) {
+    DirTxn *t = txns_.find(m.line);
+    if (t == nullptr || !(t->key == key)) {
         // The request itself is still queued behind another
         // transaction; remember the failure for processRead.
         early_pred_failed_[m.line].push_back(key);
         return;
     }
-    if (!it->second.waitingPeer)
+    if (!t->waitingPeer)
         return; // The directory path is already servicing the read.
-    it->second.waitingPeer = false;
+    t->waitingPeer = false;
     serviceReadFromDir(m, dir_[m.line]);
 }
 
@@ -399,8 +401,8 @@ void
 DirectoryMemSys::onUnblock(const Msg &m)
 {
     const TxnKey key{m.requester, m.txn};
-    auto it = txns_.find(m.line);
-    if (it == txns_.end()) {
+    DirTxn *t = txns_.find(m.line);
+    if (t == nullptr) {
         // The requester finished (via the predicted peer path)
         // before the directory's lookup of its request completed;
         // processRead picks the record up and releases.
@@ -409,9 +411,9 @@ DirectoryMemSys::onUnblock(const Msg &m)
         early_unblock_[m.line].push_back(key);
         return;
     }
-    SPP_ASSERT(it->second.key == key,
+    SPP_ASSERT(t->key == key,
                "unblock for a foreign transaction");
-    if (it->second.waitingPeer && m.becameOwner) {
+    if (t->waitingPeer && m.becameOwner) {
         // Predicted read serviced entirely by the peer path: record
         // the requester as the new F holder now (plain MESI keeps no
         // clean owner).
@@ -419,7 +421,7 @@ DirectoryMemSys::onUnblock(const Msg &m)
         e.sharers.set(m.requester);
         e.owner = cfg_.enableFState ? m.requester : invalidCore;
     }
-    txns_.erase(it);
+    txns_.erase(m.line);
     // Drop a stale early predFailed record, if any (the read was
     // serviced by the directory path despite the escalation).
     takeEarly(early_pred_failed_, m.line, key);

@@ -62,6 +62,8 @@ class DirectoryMemSys : public MemSys
         return indirections_avoided_;
     }
 
+    PoolStats txnPoolStats() const override { return txns_.stats(); }
+
   protected:
     void startMiss(Mshr &m) override;
     void handleMsg(const Msg &m) override;
@@ -102,8 +104,12 @@ class DirectoryMemSys : public MemSys
     void maybeRetryNacked(Mshr &m);
     void checkCompletion(Mshr &m);
 
+    /** Warm-up-only growth: lines are never removed, so the node
+     * churn PooledMap avoids does not occur here. */
     std::unordered_map<Addr, DirEntry> dir_;
-    std::unordered_map<Addr, DirTxn> txns_;
+    /** One entry per in-flight home transaction: per-miss insert and
+     * erase, so entries come from a pool. */
+    PooledMap<DirTxn> txns_;
     /** predFailed notices that arrived before their request was
      * processed (their request may be queued behind other
      * transactions, so several can be pending per line). */

@@ -26,12 +26,12 @@
 #define SPP_COHERENCE_LINE_LOCK_HH
 
 #include <cstdint>
-#include <deque>
-#include <functional>
 #include <unordered_map>
+#include <vector>
 
 #include "common/logging.hh"
 #include "common/types.hh"
+#include "event/event_queue.hh"
 
 namespace spp {
 
@@ -50,7 +50,9 @@ struct TxnKey
 class LineLockTable
 {
   public:
-    using Continuation = std::function<void()>;
+    /** Queued-waiter resume closure; inline storage, no per-waiter
+     * allocation (cf. EventQueue::Action). */
+    using Continuation = EventQueue::Action;
 
     /** Is @p line currently locked (by anyone)? */
     bool
@@ -110,13 +112,19 @@ class LineLockTable
         SPP_ASSERT(it != locks_.end() && it->second.holder == key,
                    "release of line {} not held by core {} txn {}",
                    line, key.requester, key.txn);
-        if (it->second.waiters.empty()) {
+        Entry &e = it->second;
+        if (!e.hasWaiters()) {
             locks_.erase(it);
             return;
         }
-        Waiter next = std::move(it->second.waiters.front());
-        it->second.waiters.pop_front();
-        it->second.holder = next.key;
+        Waiter next = std::move(e.waiters[e.head]);
+        if (++e.head == e.waiters.size()) {
+            // Drained: keep the vector's capacity for the next
+            // contention burst on this line.
+            e.waiters.clear();
+            e.head = 0;
+        }
+        e.holder = next.key;
         next.resume();
     }
 
@@ -129,7 +137,7 @@ class LineLockTable
     dump(Out &&emit) const
     {
         for (const auto &[line, entry] : locks_)
-            emit(line, entry.holder, entry.waiters.size());
+            emit(line, entry.holder, entry.waiterCount());
     }
 
   private:
@@ -139,10 +147,19 @@ class LineLockTable
         Continuation resume;
     };
 
+    /** FIFO wait queue drained via a head cursor (vector instead of
+     * deque: no allocation on construction, capacity reuse). */
     struct Entry
     {
         TxnKey holder;
-        std::deque<Waiter> waiters;
+        std::vector<Waiter> waiters;
+        std::size_t head = 0;
+
+        bool hasWaiters() const { return head < waiters.size(); }
+        std::size_t waiterCount() const
+        {
+            return waiters.size() - head;
+        }
     };
 
     std::unordered_map<Addr, Entry> locks_;

@@ -45,10 +45,9 @@ MemSys::access(CoreId core, Addr addr, bool is_write, Pc pc, DoneFn done)
 
     // A re-reference to a line sitting in the writeback buffer stalls
     // until the writeback drains, then restarts as a normal access.
-    auto wb_it = wb_buffer_[core].find(line);
-    if (wb_it != wb_buffer_[core].end()) {
+    if (WbEntry *wb = wb_buffer_[core].find(line)) {
         DoneFn cb = std::move(done);
-        wb_it->second.stalled.push_back(
+        wb->stalled.push_back(
             [this, core, addr, is_write, pc, cb = std::move(cb)]() {
                 access(core, addr, is_write, pc, cb);
             });
@@ -208,7 +207,8 @@ MemSys::fillLine(CoreId core, Addr line, Mesif state, Pc pc,
             // Inclusion: drop the victim from L1 as well.
             l1_[core]->invalidate(victim.tag);
             if (canForward(victim.state)) {
-                WbEntry &wb = wb_buffer_[core][victim.tag];
+                WbEntry &wb =
+                    wb_buffer_[core].findOrInsert(victim.tag);
                 wb.state = victim.state;
                 wb.version = victim.version;
                 wb.lastPc = victim.lastPc;
@@ -238,33 +238,31 @@ MemSys::startWriteback(CoreId core, Addr line)
 {
     ++outstanding_wb_;
     ++stats_.writebacks;
-    WbEntry &wb = wb_buffer_[core][line];
+    WbEntry &wb = wb_buffer_[core].findOrInsert(line);
     wb.txn = ++txn_counter_;
     const TxnKey key{core, wb.txn};
 
     auto do_notice = [this, core, line, key]() {
-        auto it = wb_buffer_[core].find(line);
-        if (it == wb_buffer_[core].end() ||
-            it->second.txn != key.txn) {
+        WbEntry *entry = wb_buffer_[core].find(line);
+        if (entry == nullptr || entry->txn != key.txn) {
             // The entry was invalidated (or replaced) while the
             // writeback waited for the line lock: nothing to do.
             locks_.release(line, key);
             --outstanding_wb_;
             return;
         }
-        WbEntry &entry = it->second;
-        if (!canForward(entry.state)) {
+        if (!canForward(entry->state)) {
             // Downgraded to Shared while waiting; drop silently.
             std::vector<EventQueue::Action> stalled =
-                std::move(entry.stalled);
-            wb_buffer_[core].erase(it);
+                std::move(entry->stalled);
+            wb_buffer_[core].erase(line);
             locks_.release(line, key);
             --outstanding_wb_;
             for (auto &resume : stalled)
                 eq_.scheduleAfter(0, std::move(resume));
             return;
         }
-        entry.noticed = true;
+        entry->noticed = true;
         Msg m;
         m.type = MsgType::wbNotice;
         m.line = line;
@@ -272,8 +270,8 @@ MemSys::startWriteback(CoreId core, Addr line)
         m.dst = map_.homeNode(line);
         m.requester = core;
         m.txn = key.txn;
-        m.ownerAck = entry.state == Mesif::modified; // Carries data.
-        m.version = entry.version;
+        m.ownerAck = entry->state == Mesif::modified; // Carries data.
+        m.version = entry->version;
         sendMsg(m);
     };
 
@@ -300,12 +298,12 @@ MemSys::finishWriteback(CoreId core, Addr line)
 {
     // The home released the line lock when it applied the wbNotice;
     // here the buffer entry just drains.
-    auto it = wb_buffer_[core].find(line);
-    SPP_ASSERT(it != wb_buffer_[core].end(),
+    WbEntry *entry = wb_buffer_[core].find(line);
+    SPP_ASSERT(entry != nullptr,
                "wbAck for missing buffer entry at core {}", core);
     std::vector<EventQueue::Action> stalled =
-        std::move(it->second.stalled);
-    wb_buffer_[core].erase(it);
+        std::move(entry->stalled);
+    wb_buffer_[core].erase(line);
     --outstanding_wb_;
     for (auto &resume : stalled)
         eq_.scheduleAfter(0, std::move(resume));
@@ -326,15 +324,14 @@ MemSys::peerView(CoreId core, Addr line) const
         v.lastPc = l->lastPc;
         return v;
     }
-    auto it = wb_buffer_[core].find(line);
-    if (it != wb_buffer_[core].end() &&
-        isValid(it->second.state)) {
+    const WbEntry *wb = wb_buffer_[core].find(line);
+    if (wb != nullptr && isValid(wb->state)) {
         v.valid = true;
         v.inBuffer = true;
-        v.noticed = it->second.noticed;
-        v.state = it->second.state;
-        v.version = it->second.version;
-        v.lastPc = it->second.lastPc;
+        v.noticed = wb->noticed;
+        v.state = wb->state;
+        v.version = wb->version;
+        v.lastPc = wb->lastPc;
     }
     return v;
 }
@@ -348,9 +345,8 @@ MemSys::downgradeToShared(CoreId core, Addr line)
             l1l->state = Mesif::shared;
         return;
     }
-    auto it = wb_buffer_[core].find(line);
-    if (it != wb_buffer_[core].end())
-        it->second.state = Mesif::shared;
+    if (WbEntry *wb = wb_buffer_[core].find(line))
+        wb->state = Mesif::shared;
 }
 
 void
@@ -358,20 +354,19 @@ MemSys::invalidateAt(CoreId core, Addr line)
 {
     l2_[core]->invalidate(line);
     l1_[core]->invalidate(line);
-    auto it = wb_buffer_[core].find(line);
-    if (it != wb_buffer_[core].end()) {
+    if (WbEntry *wb = wb_buffer_[core].find(line)) {
         // A noticed entry's writeback has already been applied at the
         // home (the invalidating transaction could only start after
         // the wb released the line lock); draining it as invalid is
         // safe. An un-noticed entry's queued writeback transaction
         // observes the cancellation when it runs.
-        it->second.state = Mesif::invalid;
+        wb->state = Mesif::invalid;
         // Keep the entry so the queued writeback transaction can
         // observe the cancellation; stalled accesses resume when the
         // wb transaction cleans up or, earlier, right now (the line
         // is simply gone, so the access can restart).
         std::vector<EventQueue::Action> stalled =
-            std::move(it->second.stalled);
+            std::move(wb->stalled);
         for (auto &resume : stalled)
             eq_.scheduleAfter(0, std::move(resume));
     }
@@ -604,29 +599,47 @@ MemSys::msgClass(const Msg &m) const
 }
 
 void
-MemSys::sendMsg(Msg m)
+MemSys::sendMsg(const Msg &m)
+{
+    Msg *slot = msg_pool_.acquire();
+    *slot = m;
+    sendPooled(slot);
+}
+
+void
+MemSys::sendPooled(Msg *slot)
 {
     if (checker_) [[unlikely]]
-        checker_->onSend(m);
+        checker_->onSend(*slot);
     Packet pkt;
-    pkt.src = m.src;
-    pkt.dst = m.dst;
-    pkt.bytes = msgBytes(m);
-    pkt.cls = msgClass(m);
+    pkt.src = slot->src;
+    pkt.dst = slot->dst;
+    pkt.bytes = msgBytes(*slot);
+    pkt.cls = msgClass(*slot);
+    // The delivery closure carries only the slot pointer, so it fits
+    // any action inline. The slot is released after the handler
+    // returns: handlers receive a const reference into the slot and
+    // must copy anything they keep (they do — queued continuations
+    // capture the Msg by value); sends they issue take other slots.
     // checker_ is re-read at delivery time so detaching mid-flight
     // is safe; the checker sees the pre-handler state of the system.
-    mesh_.send(pkt, [this, m]() {
+    mesh_.send(pkt, [this, slot]() {
         if (checker_) [[unlikely]]
-            checker_->onDeliver(m);
-        handleMsg(m);
+            checker_->onDeliver(*slot);
+        handleMsg(*slot);
+        msg_pool_.release(slot);
     });
 }
 
 void
-MemSys::sendMsgAfter(Tick extra_delay, Msg m)
+MemSys::sendMsgAfter(Tick extra_delay, const Msg &m)
 {
+    // Acquire the slot up front so the deferred send is a pointer
+    // capture, not a second Msg copy through the closure.
+    Msg *slot = msg_pool_.acquire();
+    *slot = m;
     eq_.scheduleAfter(extra_delay,
-                      [this, m = std::move(m)]() { sendMsg(m); });
+                      [this, slot]() { sendPooled(slot); });
 }
 
 Tick
@@ -684,12 +697,12 @@ MemSys::dumpOutstanding() const
                 m.nackedBy.toString(), m.predFailedSent,
                 m.out.pred.targets.toString());
         }
-        for (const auto &[line, wb] : wb_buffer_[c]) {
+        wb_buffer_[c].forEach([&](Addr line, const WbEntry &wb) {
             out += strfmt("core {} wb line {} state {} noticed={} "
                           "stalled={}\n",
                           c, line, toString(wb.state), wb.noticed,
                           wb.stalled.size());
-        }
+        });
     }
     locks_.dump([&](Addr line, const TxnKey &holder,
                     std::size_t waiters) {

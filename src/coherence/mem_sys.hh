@@ -31,6 +31,7 @@
 #include "coherence/messages.hh"
 #include "common/config.hh"
 #include "common/core_set.hh"
+#include "common/pool.hh"
 #include "common/stats.hh"
 #include "common/types.hh"
 #include "event/event_queue.hh"
@@ -148,6 +149,29 @@ class MemSys
     EventQueue &eventQueue() { return eq_; }
     Mesh &mesh() { return mesh_; }
 
+    /** Coherence-message pool counters (telemetry / leak tests). */
+    const PoolStats &msgPoolStats() const { return msg_pool_.stats(); }
+
+    /** Writeback-buffer pool counters, summed across cores. */
+    PoolStats
+    wbPoolStats() const
+    {
+        PoolStats sum;
+        for (const auto &buf : wb_buffer_) {
+            const PoolStats &s = buf.stats();
+            sum.acquires += s.acquires;
+            sum.reuses += s.reuses;
+            sum.allocated += s.allocated;
+            sum.live += s.live;
+            sum.peak += s.peak;
+        }
+        return sum;
+    }
+
+    /** In-flight transaction-table pool counters (protocol engines
+     * with pooled transaction state override this). */
+    virtual PoolStats txnPoolStats() const { return {}; }
+
     /** The sharing filter, when enabled (tests/benches). */
     const SharingFilter *sharingFilter() const
     {
@@ -234,6 +258,18 @@ class MemSys
         bool noticed = false;       ///< wbNotice sent (lock held).
         /** Accesses stalled until this writeback drains. */
         std::vector<EventQueue::Action> stalled;
+
+        /** Pool recycling: reset fields, keep stalled's capacity. */
+        void
+        poolReset()
+        {
+            state = Mesif::invalid;
+            version = 0;
+            lastPc = 0;
+            txn = 0;
+            noticed = false;
+            stalled.clear();
+        }
     };
 
     /** What a peer knows about a line (cache or writeback buffer). */
@@ -254,10 +290,10 @@ class MemSys
     virtual void handleMsg(const Msg &m) = 0;
 
     /** Send @p m over the mesh; delivery invokes handleMsg(). */
-    void sendMsg(Msg m);
+    void sendMsg(const Msg &m);
 
     /** Send @p m after @p extra_delay local processing cycles. */
-    void sendMsgAfter(Tick extra_delay, Msg m);
+    void sendMsgAfter(Tick extra_delay, const Msg &m);
 
     /** Packet size of a message, by data/control class. */
     unsigned msgBytes(const Msg &m) const;
@@ -343,7 +379,7 @@ class MemSys
     std::optional<DramModel> dram_;
     std::vector<std::unique_ptr<CacheArray>> l1_;
     std::vector<std::unique_ptr<CacheArray>> l2_;
-    std::vector<std::unordered_map<Addr, WbEntry>> wb_buffer_;
+    std::vector<PooledMap<WbEntry>> wb_buffer_;
     std::vector<std::optional<Mshr>> mshr_;
     LineLockTable locks_;
     MemSysStats stats_;
@@ -354,6 +390,18 @@ class MemSys
     std::unordered_map<Addr, std::uint64_t> mem_version_;
     std::uint64_t outstanding_wb_ = 0;
     ProtocolChecker *checker_ = nullptr;
+
+    /**
+     * Freelist of in-flight coherence messages. A message occupies a
+     * slot from send until its delivery handler returns, so the
+     * steady-state send path performs no allocation; nested sends
+     * from inside a handler simply take other slots.
+     */
+    Pool<Msg> msg_pool_;
+
+    /** Send an already-pooled message; releases @p slot on delivery
+     * after handleMsg() returns. */
+    void sendPooled(Msg *slot);
 
     friend class ProtocolChecker;
 

@@ -80,8 +80,7 @@ MulticastMemSys::txnFor(CoreId core, Addr line, std::uint64_t txn)
         if (m->txn == txn)
             return m;
     }
-    auto it = lingering_.find(txn);
-    return it == lingering_.end() ? nullptr : &it->second;
+    return lingering_.find(txn);
 }
 
 void
@@ -165,7 +164,8 @@ MulticastMemSys::maybeResumeCore(Mshr &m)
     finishOutcome(m);
     const CoreId core = m.core;
     const std::uint64_t txn = m.txn;
-    Mshr &moved = lingering_.emplace(txn, std::move(m)).first->second;
+    Mshr &moved = lingering_.insert(txn);
+    moved = std::move(m);
     mshr_[core].reset();
     DoneFn done = std::move(moved.done);
     moved.done = nullptr;
@@ -457,13 +457,13 @@ std::string
 MulticastMemSys::dumpOutstanding() const
 {
     std::string out = MemSys::dumpOutstanding();
-    for (const auto &[txn, m] : lingering_) {
+    lingering_.forEach([&](std::uint64_t txn, const Mshr &m) {
         out += strfmt("lingering txn {} core {} line {} write={} "
                       "responses={}/{} grant={} data={}\n",
                       txn, m.core, m.line, m.isWrite,
                       m.peerResponses, m.mustAck.count(),
                       m.grantReceived, m.dataReceived);
-    }
+    });
     out += strfmt("insufficient multicast masks: {}\n",
                   insufficient_masks_);
     return out;

@@ -44,6 +44,11 @@ class MulticastMemSys : public MemSys
         return lingering_.size();
     }
 
+    PoolStats txnPoolStats() const override
+    {
+        return lingering_.stats();
+    }
+
     /** Multicasts whose mask missed a required node (fallback). */
     std::uint64_t insufficientMasks() const
     {
@@ -84,8 +89,9 @@ class MulticastMemSys : public MemSys
 
     /** Memory-side verification directory. */
     std::unordered_map<Addr, DirEntry> dir_;
-    /** Resumed-but-not-drained transactions, keyed by txn id. */
-    std::unordered_map<std::uint64_t, Mshr> lingering_;
+    /** Resumed-but-not-drained transactions, keyed by txn id;
+     * per-miss churn, so entries come from a pool. */
+    PooledMap<Mshr> lingering_;
     std::uint64_t insufficient_masks_ = 0;
 };
 

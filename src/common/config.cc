@@ -1,12 +1,83 @@
 #include "common/config.hh"
 
 #include <bit>
+#include <cstddef>
 #include <sstream>
 #include <string>
+#include <utility>
 
 #include "common/logging.hh"
 
 namespace spp {
+
+namespace {
+
+// --- SPP_CONFIG_FIELDS completeness guards -------------------------
+
+/** Number of entries in SPP_CONFIG_FIELDS. */
+constexpr std::size_t configFieldCount = 0
+#define SPP_COUNT_FIELD(f) +1
+    SPP_CONFIG_FIELDS(SPP_COUNT_FIELD)
+#undef SPP_COUNT_FIELD
+    ;
+
+/** Converts to any field type exactly (no narrowing involved). */
+struct Probe
+{
+    template <typename T> constexpr operator T() const;
+};
+
+/** True iff aggregate T is brace-initializable with N values. */
+template <typename T, std::size_t N>
+constexpr bool bracesWithN =
+    []<std::size_t... Is>(std::index_sequence<Is...>) {
+        return requires { T{((void)Is, Probe{})...}; };
+    }(std::make_index_sequence<N>{});
+
+// An aggregate accepts up to (and including) its field count of
+// initializers, so together these pin Config's field count to the
+// macro's entry count: a field added to the struct but not the list
+// (or vice versa) fails here.
+static_assert(bracesWithN<Config, configFieldCount>,
+              "SPP_CONFIG_FIELDS lists more entries than Config has "
+              "fields");
+static_assert(!bracesWithN<Config, configFieldCount + 1>,
+              "Config gained a field: add it to SPP_CONFIG_FIELDS "
+              "(and thus to configDescribe/configHash)");
+
+/** Field order/type mirror; catches list reorderings the count
+ * guard cannot. */
+struct ConfigMirror
+{
+#define SPP_MIRROR_FIELD(f) decltype(Config::f) f;
+    SPP_CONFIG_FIELDS(SPP_MIRROR_FIELD)
+#undef SPP_MIRROR_FIELD
+};
+static_assert(sizeof(ConfigMirror) == sizeof(Config),
+              "SPP_CONFIG_FIELDS disagrees with Config's layout");
+
+// Enum fields render through toString; all others print natively,
+// exactly as the hand-written describe always did.
+std::ostream &
+printValue(std::ostream &os, Protocol v)
+{
+    return os << toString(v);
+}
+
+std::ostream &
+printValue(std::ostream &os, PredictorKind v)
+{
+    return os << toString(v);
+}
+
+template <typename T>
+std::ostream &
+printValue(std::ostream &os, const T &v)
+{
+    return os << v;
+}
+
+} // namespace
 
 const char *
 toString(Protocol p)
@@ -77,58 +148,15 @@ std::string
 configDescribe(const Config &c)
 {
     std::ostringstream os;
-    auto kv = [&os, first = true](const char *k, auto v) mutable {
-        if (!first)
-            os << ' ';
-        first = false;
-        os << k << '=' << v;
-    };
-    kv("numCores", c.numCores);
-    kv("meshX", c.meshX);
-    kv("meshY", c.meshY);
-    kv("lineBytes", c.lineBytes);
-    kv("l1Bytes", c.l1Bytes);
-    kv("l1Assoc", c.l1Assoc);
-    kv("l1Latency", c.l1Latency);
-    kv("l2Bytes", c.l2Bytes);
-    kv("l2Assoc", c.l2Assoc);
-    kv("l2TagLatency", c.l2TagLatency);
-    kv("l2DataLatency", c.l2DataLatency);
-    kv("memLatency", c.memLatency);
-    kv("dirLatency", c.dirLatency);
-    kv("enableDram", c.enableDram);
-    kv("dramBanks", c.dramBanks);
-    kv("dramRowLines", c.dramRowLines);
-    kv("dramRowHitLatency", c.dramRowHitLatency);
-    kv("dramRowConflictLatency", c.dramRowConflictLatency);
-    kv("routerLatency", c.routerLatency);
-    kv("linkLatency", c.linkLatency);
-    kv("linkBytesPerCycle", c.linkBytesPerCycle);
-    kv("ctrlPacketBytes", c.ctrlPacketBytes);
-    kv("dataPacketBytes", c.dataPacketBytes);
-    kv("modelContention", c.modelContention);
-    kv("protocol", toString(c.protocol));
-    kv("predictor", toString(c.predictor));
-    kv("enableFState", c.enableFState);
-    kv("hotThreshold", c.hotThreshold);
-    kv("historyDepth", c.historyDepth);
-    kv("warmupMisses", c.warmupMisses);
-    kv("noiseMisses", c.noiseMisses);
-    kv("confidenceBits", c.confidenceBits);
-    kv("enableRecovery", c.enableRecovery);
-    kv("enablePatterns", c.enablePatterns);
-    kv("unionEpochIntoLock", c.unionEpochIntoLock);
-    kv("maxHotSetSize", c.maxHotSetSize);
-    kv("spTableLatency", c.spTableLatency);
-    kv("enableSharingFilter", c.enableSharingFilter);
-    kv("filterRegionBytes", c.filterRegionBytes);
-    kv("macroBlockBytes", c.macroBlockBytes);
-    kv("groupThreshold", c.groupThreshold);
-    kv("trainDownPeriod", c.trainDownPeriod);
-    kv("predictorEntries", c.predictorEntries);
-    kv("seed", c.seed);
-    kv("maxTicks", c.maxTicks);
-    kv("injectBug", c.injectBug);
+    bool first = true;
+#define SPP_DESCRIBE_FIELD(f)                                         \
+    if (!first)                                                       \
+        os << ' ';                                                    \
+    first = false;                                                    \
+    os << #f << '=';                                                  \
+    printValue(os, c.f);
+    SPP_CONFIG_FIELDS(SPP_DESCRIBE_FIELD)
+#undef SPP_DESCRIBE_FIELD
     return os.str();
 }
 

@@ -144,6 +144,31 @@ struct Config
 };
 
 /**
+ * Every Config field, in declaration order. configDescribe() renders
+ * from this list, and config.cc statically asserts the list matches
+ * the struct (field count and layout), so adding a Config field
+ * without extending this macro fails the build instead of silently
+ * vanishing from run manifests and config hashes.
+ */
+#define SPP_CONFIG_FIELDS(X)                                          \
+    X(numCores) X(meshX) X(meshY) X(lineBytes)                        \
+    X(l1Bytes) X(l1Assoc) X(l1Latency)                                \
+    X(l2Bytes) X(l2Assoc) X(l2TagLatency) X(l2DataLatency)            \
+    X(memLatency) X(dirLatency)                                       \
+    X(enableDram) X(dramBanks) X(dramRowLines)                        \
+    X(dramRowHitLatency) X(dramRowConflictLatency)                    \
+    X(routerLatency) X(linkLatency) X(linkBytesPerCycle)              \
+    X(ctrlPacketBytes) X(dataPacketBytes) X(modelContention)          \
+    X(protocol) X(predictor) X(enableFState)                          \
+    X(hotThreshold) X(historyDepth) X(warmupMisses) X(noiseMisses)    \
+    X(confidenceBits) X(enableRecovery) X(enablePatterns)             \
+    X(unionEpochIntoLock) X(maxHotSetSize) X(spTableLatency)          \
+    X(enableSharingFilter) X(filterRegionBytes)                       \
+    X(macroBlockBytes) X(groupThreshold) X(trainDownPeriod)           \
+    X(predictorEntries)                                               \
+    X(seed) X(maxTicks) X(injectBug)
+
+/**
  * Canonical one-line "key=value key=value ..." rendering of every
  * Config field, in declaration order. Stable across runs and hosts,
  * so it doubles as the input of configHash() and as the

@@ -11,30 +11,56 @@
 #define SPP_EVENT_EVENT_QUEUE_HH
 
 #include <algorithm>
+#include <array>
+#include <bit>
 #include <cstdint>
-#include <functional>
 #include <vector>
 
+#include "common/inline_fn.hh"
 #include "common/logging.hh"
 #include "common/types.hh"
 
 namespace spp {
 
 /**
- * Priority queue of (tick, seq, action) triples. seq breaks ties so
- * that same-tick events run in insertion order.
+ * Calendar queue over (tick, seq, action) triples: a ring of
+ * per-tick FIFO slots covering the near-time window
+ * [curTick(), curTick() + windowSlots), with a binary-heap overflow
+ * for far-future events. Nearly every event in a coherence run is a
+ * short latency hop (cache/dir/link delays of a few dozen ticks), so
+ * the common schedule() is a bump into a slot vector and the common
+ * step() is a pop from the current slot — both O(1) and, in steady
+ * state, allocation-free. Actions are InlineFn, so the closure lives
+ * inside the slot entry instead of behind a per-event heap pointer.
  *
- * The heap is managed explicitly (std::pop_heap over a vector)
- * rather than through std::priority_queue: extracting an event must
- * fully remove it from the container *before* running it, because
- * the action may schedule new events. Moving out of
- * priority_queue::top() and then calling pop() would make pop()'s
- * sift-down compare entries whose guts the move just stole.
+ * Determinism contract (same as the old pure heap): events fire in
+ * ascending (when, seq) order, seq being global insertion order, so
+ * same-tick events run FIFO. The two structures never hold entries
+ * that interleave incorrectly: a far entry for tick T can only be
+ * inserted while T lies beyond the window, and a slot entry for T
+ * only while T lies inside it; the window base (curTick()) never
+ * moves backwards, so every heap entry for T predates — and has a
+ * smaller seq than — every slot entry for T. Draining heap entries
+ * due at T before the slot FIFO at T therefore reproduces the exact
+ * global order without ever migrating entries between structures.
+ *
+ * The heap is managed explicitly (std::pop_heap over a vector):
+ * extracting an event must fully remove it from the container
+ * *before* running it, because the action may schedule new events.
  */
 class EventQueue
 {
   public:
-    using Action = std::function<void()>;
+    /**
+     * Inline capacity for event closures. Sized for the fattest
+     * kernel closure (the L2-miss continuation: a DoneFn plus line,
+     * pc and issue-time context); anything bigger fails to compile
+     * in schedule() rather than silently regressing to heap
+     * allocation.
+     */
+    static constexpr std::size_t actionCapacity = 88;
+
+    using Action = InlineFn<actionCapacity>;
 
     /**
      * Observer of periodic tick-boundary crossings (telemetry
@@ -83,9 +109,17 @@ class EventQueue
     {
         SPP_ASSERT(when >= cur_tick_,
                    "schedule in the past: {} < {}", when, cur_tick_);
-        queue_.push_back(Entry{when, next_seq_++,
-                               std::move(action)});
-        std::push_heap(queue_.begin(), queue_.end(), EntryLater{});
+        if (when - cur_tick_ < windowSlots) {
+            const std::size_t idx = when & windowMask;
+            slots_[idx].push_back(std::move(action));
+            occupancy_[idx >> 6] |= std::uint64_t{1} << (idx & 63);
+        } else {
+            far_.push_back(
+                FarEntry{when, next_seq_, std::move(action)});
+            std::push_heap(far_.begin(), far_.end(), FarLater{});
+        }
+        ++next_seq_;
+        ++pending_;
     }
 
     /** Schedule @p action @p delay ticks from now. */
@@ -95,29 +129,76 @@ class EventQueue
         schedule(cur_tick_ + delay, std::move(action));
     }
 
-    bool empty() const { return queue_.empty(); }
+    bool empty() const { return pending_ == 0; }
 
-    std::size_t pending() const { return queue_.size(); }
+    std::size_t pending() const { return pending_; }
+
+    /** Events waiting in the near-time window's slots. */
+    std::size_t nearPending() const { return pending_ - far_.size(); }
+
+    /** Events parked in the far-future overflow heap. */
+    std::size_t farPending() const { return far_.size(); }
+
+    /** Near-window slots currently holding at least one event. */
+    std::size_t
+    occupiedSlots() const
+    {
+        std::size_t n = 0;
+        for (const std::uint64_t w : occupancy_)
+            n += static_cast<std::size_t>(std::popcount(w));
+        return n;
+    }
+
+    /** Tick of the next pending event; queue must be non-empty. */
+    Tick
+    nextEventTick() const
+    {
+        SPP_ASSERT(pending_ != 0, "peek on empty event queue");
+        const Tick near = nearNextTick();
+        if (!far_.empty() && far_.front().when < near)
+            return far_.front().when;
+        return near;
+    }
 
     /** Execute the single next event; queue must be non-empty. */
     void
     step()
     {
-        SPP_ASSERT(!queue_.empty(), "step on empty event queue");
-        // pop_heap rotates the minimum entry to the back using only
-        // intact entries for its comparisons; once popped off the
-        // vector, the action can freely schedule() into the heap.
-        std::pop_heap(queue_.begin(), queue_.end(), EntryLater{});
-        Entry entry = std::move(queue_.back());
-        queue_.pop_back();
-        cur_tick_ = entry.when;
+        SPP_ASSERT(pending_ != 0, "step on empty event queue");
+        const Tick now = nextEventTick();
+        cur_tick_ = now;
         if (obs_ != nullptr) [[unlikely]] {
             while (cur_tick_ >= obs_next_) {
                 obs_->onBoundary(obs_next_);
                 obs_next_ += obs_period_;
             }
         }
-        entry.action();
+
+        // Far entries due now were all scheduled before any slot
+        // entry for this tick existed (see class comment), so they
+        // run first; among themselves the heap yields (when, seq)
+        // order.
+        Action action;
+        if (!far_.empty() && far_.front().when == now) {
+            std::pop_heap(far_.begin(), far_.end(), FarLater{});
+            action = std::move(far_.back().action);
+            far_.pop_back();
+        } else {
+            Slot &slot = slots_[now & windowMask];
+            action = std::move(slot.fifo[slot.head]);
+            if (++slot.head == slot.fifo.size()) {
+                // Drained: recycle the vector's capacity and clear
+                // the occupancy bit. The action below may schedule
+                // back into this same slot; that re-sets the bit.
+                slot.fifo.clear();
+                slot.head = 0;
+                const std::size_t idx = now & windowMask;
+                occupancy_[idx >> 6] &=
+                    ~(std::uint64_t{1} << (idx & 63));
+            }
+        }
+        --pending_;
+        action();
         ++executed_;
     }
 
@@ -128,8 +209,8 @@ class EventQueue
     bool
     run(Tick limit = 0)
     {
-        while (!queue_.empty()) {
-            if (limit != 0 && queue_.front().when > limit)
+        while (pending_ != 0) {
+            if (limit != 0 && nextEventTick() > limit)
                 return false;
             step();
         }
@@ -139,8 +220,28 @@ class EventQueue
     /** Total number of events executed so far. */
     std::uint64_t executed() const { return executed_; }
 
+    /** Near-time window width in ticks (and slots). */
+    static constexpr std::size_t windowSlots = 1024;
+
   private:
-    struct Entry
+    static constexpr std::uint64_t windowMask = windowSlots - 1;
+    static constexpr std::size_t occupancyWords = windowSlots / 64;
+
+    /** One tick's FIFO: drained front-to-back via a head cursor so
+     * the vector (and its capacity) is reused tick after tick. */
+    struct Slot
+    {
+        std::vector<Action> fifo;
+        std::size_t head = 0;
+
+        void
+        push_back(Action a)
+        {
+            fifo.push_back(std::move(a));
+        }
+    };
+
+    struct FarEntry
     {
         Tick when;
         std::uint64_t seq;
@@ -148,20 +249,63 @@ class EventQueue
     };
 
     /** Heap comparator: true when @p a fires after @p b, so the
-     * earliest (when, seq) sits at queue_.front(). */
-    struct EntryLater
+     * earliest (when, seq) sits at far_.front(). */
+    struct FarLater
     {
         bool
-        operator()(const Entry &a, const Entry &b) const
+        operator()(const FarEntry &a, const FarEntry &b) const
         {
             return a.when != b.when ? a.when > b.when
                                     : a.seq > b.seq;
         }
     };
 
-    /** Min-heap on (when, seq), maintained via std::push_heap /
-     * std::pop_heap. */
-    std::vector<Entry> queue_;
+    /**
+     * Tick of the first occupied slot at or after curTick();
+     * maxTick when the window is empty. Scans the occupancy bitmap
+     * circularly starting at the slot of curTick(); because the
+     * window is exactly windowSlots wide, the first set bit in
+     * circular order is the earliest due tick.
+     */
+    Tick
+    nearNextTick() const
+    {
+        const std::size_t base = cur_tick_ & windowMask;
+        const std::size_t base_word = base >> 6;
+        // Head of the base word: bits at or after the base slot.
+        std::uint64_t w = occupancy_[base_word] &
+            (~std::uint64_t{0} << (base & 63));
+        if (w != 0)
+            return slotTick(base_word, w, base);
+        // Following words, wrapping; the scan ends back at the base
+        // word, where only the bits before the base slot remain.
+        for (std::size_t k = 1; k <= occupancyWords; ++k) {
+            const std::size_t word =
+                (base_word + k) & (occupancyWords - 1);
+            w = occupancy_[word];
+            if (k == occupancyWords)
+                w &= (std::uint64_t{1} << (base & 63)) - 1;
+            if (w != 0)
+                return slotTick(word, w, base);
+        }
+        return maxTick;
+    }
+
+    /** Due tick of the lowest set bit of @p w (a non-zero occupancy
+     * word), scanning circularly from the @p base slot. */
+    Tick
+    slotTick(std::size_t word, std::uint64_t w,
+             std::size_t base) const
+    {
+        const std::size_t idx = (word << 6) +
+            static_cast<std::size_t>(std::countr_zero(w));
+        return cur_tick_ + ((idx - base) & windowMask);
+    }
+
+    std::array<Slot, windowSlots> slots_;
+    std::array<std::uint64_t, occupancyWords> occupancy_{};
+    std::vector<FarEntry> far_;
+    std::size_t pending_ = 0;
     Tick cur_tick_ = 0;
     std::uint64_t next_seq_ = 0;
     std::uint64_t executed_ = 0;

@@ -57,7 +57,9 @@ struct NocStats
 class Mesh
 {
   public:
-    using DeliverFn = std::function<void()>;
+    /** Delivery continuation; an event-queue action so the closure
+     * rides inline from send() into the scheduled event. */
+    using DeliverFn = EventQueue::Action;
 
     Mesh(const Config &cfg, EventQueue &eq);
 

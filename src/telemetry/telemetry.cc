@@ -158,6 +158,31 @@ RunTelemetry::registerMetrics(CmpSystem &sys)
         return static_cast<double>(mem.outstandingLineLocks());
     });
 
+    // Event-kernel internals: calendar-queue depth/occupancy and
+    // freelist-pool efficiency (hit rate 1.0 = steady state without
+    // allocator traffic).
+    reg.addGauge("eq.near_pending", [&eq] {
+        return static_cast<double>(eq.nearPending());
+    });
+    reg.addGauge("eq.far_pending", [&eq] {
+        return static_cast<double>(eq.farPending());
+    });
+    reg.addGauge("eq.occupied_slots", [&eq] {
+        return static_cast<double>(eq.occupiedSlots());
+    });
+    reg.addGauge("pool.msg.hit_rate",
+                 [&mem] { return mem.msgPoolStats().hitRate(); });
+    reg.addGauge("pool.msg.live", [&mem] {
+        return static_cast<double>(mem.msgPoolStats().live);
+    });
+    reg.addGauge("pool.wb.hit_rate",
+                 [&mem] { return mem.wbPoolStats().hitRate(); });
+    reg.addGauge("pool.txn.hit_rate",
+                 [&mem] { return mem.txnPoolStats().hitRate(); });
+    reg.addGauge("pool.txn.live", [&mem] {
+        return static_cast<double>(mem.txnPoolStats().live);
+    });
+
     const NocStats &noc = sys.mesh().stats();
     reg.addCounter("noc.packets", noc.packets);
     reg.addCounter("noc.flit_bytes", noc.flitBytes);

@@ -236,8 +236,8 @@ TEST(StatsReport, DumpsEveryGroup)
 {
     ExperimentConfig cfg;
     cfg.scale = 0.25;
-    cfg.protocol = Protocol::predicted;
-    cfg.predictor = PredictorKind::sp;
+    cfg.config.protocol = Protocol::predicted;
+    cfg.config.predictor = PredictorKind::sp;
     ExperimentResult r = runExperiment("ocean", cfg);
     const std::string s = statsToString(r.run, "x");
     for (const char *key :
@@ -286,8 +286,8 @@ TEST(Experiment, MetricsAreFinite)
 {
     ExperimentConfig cfg;
     cfg.scale = 0.25;
-    cfg.protocol = Protocol::predicted;
-    cfg.predictor = PredictorKind::sp;
+    cfg.config.protocol = Protocol::predicted;
+    cfg.config.predictor = PredictorKind::sp;
     ExperimentResult r = runExperiment("ocean", cfg);
     EXPECT_GT(r.commMissFraction(), 0.0);
     EXPECT_LT(r.commMissFraction(), 1.0);

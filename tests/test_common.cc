@@ -293,3 +293,46 @@ TEST(Config, MulticastNeedsPredictor)
     EXPECT_DEATH({ cfg.validate(); }, "requires a predictor");
     EXPECT_STREQ(toString(Protocol::multicast), "multicast");
 }
+
+// --- configDescribe / configHash field coverage ---
+
+namespace {
+
+// Produce a value different from the field's default, whatever its
+// type.
+void bumpField(bool &v) { v = !v; }
+void bumpField(double &v) { v += 0.25; }
+void
+bumpField(Protocol &v)
+{
+    v = v == Protocol::broadcast ? Protocol::directory
+                                 : Protocol::broadcast;
+}
+void
+bumpField(PredictorKind &v)
+{
+    v = v == PredictorKind::sp ? PredictorKind::none
+                               : PredictorKind::sp;
+}
+template <typename T> void bumpField(T &v) { v += 1; }
+
+} // namespace
+
+TEST(Config, DescribeCoversEveryField)
+{
+    const Config base;
+    const std::string base_desc = configDescribe(base);
+    const std::uint64_t base_hash = configHash(base);
+    // Every field appears by name, and changing any single field
+    // changes both the description and the hash.
+#define SPP_CHECK_FIELD(f)                                            \
+    {                                                                 \
+        EXPECT_NE(base_desc.find(#f "="), std::string::npos) << #f;   \
+        Config c;                                                     \
+        bumpField(c.f);                                               \
+        EXPECT_NE(configDescribe(c), base_desc) << #f;                \
+        EXPECT_NE(configHash(c), base_hash) << #f;                    \
+    }
+    SPP_CONFIG_FIELDS(SPP_CHECK_FIELD)
+#undef SPP_CHECK_FIELD
+}

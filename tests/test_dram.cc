@@ -126,8 +126,8 @@ TEST(DramSystem, AllProtocolsRunWithDram)
           std::pair{Protocol::multicast, PredictorKind::sp}}) {
         ExperimentConfig cfg;
         cfg.scale = 0.2;
-        cfg.protocol = proto;
-        cfg.predictor = kind;
+        cfg.config.protocol = proto;
+        cfg.config.predictor = kind;
         cfg.tweak = [](Config &c) { c.enableDram = true; };
         ExperimentResult r = runExperiment("ocean", cfg);
         EXPECT_GT(r.run.ticks, 0u) << toString(proto);

@@ -5,6 +5,11 @@
 
 #include <gtest/gtest.h>
 
+#include <cstdint>
+#include <map>
+#include <utility>
+#include <vector>
+
 #include "event/event_queue.hh"
 
 using namespace spp;
@@ -217,4 +222,133 @@ TEST(EventQueue, TickObserverRemoval)
     eq.run();
     EXPECT_FALSE(eq.hasTickObserver());
     EXPECT_EQ(obs.boundaries, (std::vector<Tick>{10}));
+}
+
+// --- Calendar queue vs. reference heap (property test) ---
+//
+// The slotted near-window/far-heap queue must reproduce the exact
+// global (when, FIFO-seq) execution order of a plain binary heap on
+// arbitrary schedules, including events scheduled from inside
+// running events at the current tick (the PR-1 regression class) and
+// offsets straddling the near-window edge.
+
+namespace {
+
+constexpr spp::Tick kOffsets[] = {0,    1,    3,    17,   255,
+                                  1023, 1024, 1025, 4096, 50000};
+constexpr std::size_t kNumOffsets =
+    sizeof(kOffsets) / sizeof(kOffsets[0]);
+constexpr std::uint64_t kRootBase = 1'000'000;
+
+std::uint64_t
+mix64(std::uint64_t x)
+{
+    x += 0x9e3779b97f4a7c15ull;
+    x = (x ^ (x >> 30)) * 0xbf58476d1ce4e5b9ull;
+    x = (x ^ (x >> 27)) * 0x94d049bb133111ebull;
+    return x ^ (x >> 31);
+}
+
+/** Depth of @p id in the ternary id tree rooted at kRootBase. */
+int
+idDepth(std::uint64_t id)
+{
+    int d = 0;
+    while (id >= 3 * kRootBase) {
+        id /= 3;
+        ++d;
+    }
+    return d;
+}
+
+/** Children of @p id and their offsets are a pure function of the
+ * id, so the real queue and the reference replay the identical
+ * logical schedule without sharing any state. */
+template <typename SpawnFn>
+void
+spawnChildren(std::uint64_t id, std::uint64_t seed, spp::Tick now,
+              SpawnFn &&spawn)
+{
+    const std::uint64_t h = mix64(id ^ seed);
+    const unsigned n_children = h % 3;
+    if (idDepth(id) >= 6)
+        return;
+    for (unsigned k = 1; k <= n_children; ++k) {
+        const spp::Tick off = kOffsets[(h >> (8 * k)) % kNumOffsets];
+        spawn(now + off, 3 * id + k);
+    }
+}
+
+spp::Tick
+rootTick(std::uint64_t seed, unsigned i)
+{
+    return mix64(seed ^ (i + 77)) % 3000;
+}
+
+struct RealRun
+{
+    spp::EventQueue eq;
+    std::vector<std::uint64_t> order;
+    std::uint64_t seed = 0;
+
+    void
+    spawn(spp::Tick when, std::uint64_t id)
+    {
+        eq.schedule(when, [this, id] { exec(id); });
+    }
+
+    void
+    exec(std::uint64_t id)
+    {
+        order.push_back(id);
+        spawnChildren(id, seed, eq.curTick(),
+                      [this](spp::Tick when, std::uint64_t child) {
+                          spawn(when, child);
+                      });
+    }
+};
+
+/** Reference semantics: strict (when, schedule-seq) order. */
+std::vector<std::uint64_t>
+referenceOrder(std::uint64_t seed, unsigned n_roots)
+{
+    std::map<std::pair<spp::Tick, std::uint64_t>, std::uint64_t> q;
+    std::uint64_t seq = 0;
+    std::vector<std::uint64_t> order;
+    for (unsigned i = 0; i < n_roots; ++i)
+        q.emplace(std::pair{rootTick(seed, i), seq++},
+                  kRootBase + i);
+    while (!q.empty()) {
+        const auto it = q.begin();
+        const spp::Tick now = it->first.first;
+        const std::uint64_t id = it->second;
+        q.erase(it);
+        order.push_back(id);
+        spawnChildren(id, seed, now,
+                      [&](spp::Tick when, std::uint64_t child) {
+                          q.emplace(std::pair{when, seq++}, child);
+                      });
+    }
+    return order;
+}
+
+} // namespace
+
+TEST(EventQueue, MatchesReferenceHeapOnRandomSchedules)
+{
+    constexpr unsigned n_roots = 32;
+    for (std::uint64_t seed = 1; seed <= 8; ++seed) {
+        RealRun real;
+        real.seed = seed;
+        for (unsigned i = 0; i < n_roots; ++i)
+            real.spawn(rootTick(seed, i), kRootBase + i);
+        real.eq.run();
+
+        const std::vector<std::uint64_t> ref =
+            referenceOrder(seed, n_roots);
+        ASSERT_FALSE(ref.empty());
+        EXPECT_EQ(real.order, ref) << "seed " << seed;
+        EXPECT_EQ(real.eq.nearPending(), 0u);
+        EXPECT_EQ(real.eq.farPending(), 0u);
+    }
 }

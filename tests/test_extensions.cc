@@ -85,8 +85,8 @@ TEST(SharingFilterSystem, CutsWastedBandwidthOnWorkload)
 {
     auto run = [](bool filter) {
         ExperimentConfig cfg;
-        cfg.protocol = Protocol::predicted;
-        cfg.predictor = PredictorKind::sp;
+        cfg.config.protocol = Protocol::predicted;
+        cfg.config.predictor = PredictorKind::sp;
         cfg.scale = 0.5;
         cfg.tweak = [filter](Config &c) {
             c.enableSharingFilter = filter;
@@ -123,8 +123,8 @@ TEST(HotSetCap, BoundsPredictedSetSize)
 {
     auto run = [](unsigned cap) {
         ExperimentConfig cfg;
-        cfg.protocol = Protocol::predicted;
-        cfg.predictor = PredictorKind::sp;
+        cfg.config.protocol = Protocol::predicted;
+        cfg.config.predictor = PredictorKind::sp;
         cfg.scale = 0.5;
         cfg.tweak = [cap](Config &c) { c.maxHotSetSize = cap; };
         // facesim: no locks, so every predicted set comes from a
@@ -169,8 +169,8 @@ TEST(Profile, SeedingPredictsFirstInstances)
 
     auto run = [&](bool seed) {
         ExperimentConfig cfg;
-        cfg.protocol = Protocol::predicted;
-        cfg.predictor = PredictorKind::sp;
+        cfg.config.protocol = Protocol::predicted;
+        cfg.config.predictor = PredictorKind::sp;
         cfg.scale = 0.5;
         if (seed) {
             cfg.prepare = [&profile](CmpSystem &sys) {
@@ -245,8 +245,8 @@ TEST(MesiMode, WorkloadsStayCoherent)
 {
     ExperimentConfig cfg;
     cfg.scale = 0.25;
-    cfg.protocol = Protocol::predicted;
-    cfg.predictor = PredictorKind::sp;
+    cfg.config.protocol = Protocol::predicted;
+    cfg.config.predictor = PredictorKind::sp;
     cfg.tweak = [](Config &c) { c.enableFState = false; };
     ExperimentResult r = runExperiment("ocean", cfg);
     EXPECT_GT(r.run.ticks, 0u);

@@ -20,8 +20,8 @@ run(const char *wl, Protocol proto,
     PredictorKind kind = PredictorKind::none, double scale = 0.5)
 {
     ExperimentConfig cfg;
-    cfg.protocol = proto;
-    cfg.predictor = kind;
+    cfg.config.protocol = proto;
+    cfg.config.predictor = kind;
     cfg.scale = scale;
     return runExperiment(wl, cfg);
 }
@@ -103,10 +103,10 @@ TEST(Integration, CapacityLimitHurtsAddrNotSp)
 {
     auto accuracy = [](PredictorKind kind, unsigned entries) {
         ExperimentConfig cfg;
-        cfg.protocol = Protocol::predicted;
-        cfg.predictor = kind;
+        cfg.config.protocol = Protocol::predicted;
+        cfg.config.predictor = kind;
         cfg.scale = 0.5;
-        cfg.predictorEntries = entries;
+        cfg.config.predictorEntries = entries;
         return runExperiment("ocean", cfg).predictionAccuracy();
     };
     const double addr_full = accuracy(PredictorKind::addr, 0);

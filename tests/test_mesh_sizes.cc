@@ -61,8 +61,8 @@ TEST_P(MeshSizes, WorkloadRunsEndToEnd)
     const auto [cores, x, y] = GetParam();
     ExperimentConfig cfg;
     cfg.scale = 0.2;
-    cfg.protocol = Protocol::predicted;
-    cfg.predictor = PredictorKind::sp;
+    cfg.config.protocol = Protocol::predicted;
+    cfg.config.predictor = PredictorKind::sp;
     cfg.tweak = [cores = cores, x = x, y = y](Config &c) {
         c.numCores = cores;
         c.meshX = x;

@@ -1,0 +1,229 @@
+/**
+ * @file
+ * Tests for the freelist pools behind the coherence hot path:
+ * Pool<T> reuse semantics, PooledMap correctness under churn
+ * (against a reference std::unordered_map, including backward-shift
+ * deletion and address stability), and system-level leak checks —
+ * after a drained run every pool must report live == 0.
+ */
+
+#include <gtest/gtest.h>
+
+#include <cstdint>
+#include <string>
+#include <unordered_map>
+#include <vector>
+
+#include "check/fuzzer.hh"
+#include "common/pool.hh"
+#include "sim/cmp_system.hh"
+#include "workload/fuzz.hh"
+
+using namespace spp;
+
+namespace {
+
+struct Payload
+{
+    int value = 0;
+    std::vector<int> scratch;
+
+    void
+    poolReset()
+    {
+        value = 0;
+        scratch.clear(); // Keeps capacity across reuse.
+    }
+};
+
+std::uint64_t
+mix(std::uint64_t x)
+{
+    x += 0x9e3779b97f4a7c15ull;
+    x = (x ^ (x >> 30)) * 0xbf58476d1ce4e5b9ull;
+    x = (x ^ (x >> 27)) * 0x94d049bb133111ebull;
+    return x ^ (x >> 31);
+}
+
+} // namespace
+
+TEST(Pool, ReusesReleasedSlots)
+{
+    Pool<Payload> pool;
+    Payload *a = pool.acquire();
+    a->value = 42;
+    a->scratch.assign(100, 7);
+    pool.release(a);
+
+    Payload *b = pool.acquire();
+    EXPECT_EQ(b, a); // LIFO freelist hands the slot back.
+    EXPECT_EQ(b->value, 0);
+    EXPECT_TRUE(b->scratch.empty());
+    EXPECT_GE(b->scratch.capacity(), 100u); // poolReset kept it.
+
+    const PoolStats &s = pool.stats();
+    EXPECT_EQ(s.acquires, 2u);
+    EXPECT_EQ(s.reuses, 1u);
+    EXPECT_EQ(s.allocated, 1u);
+    EXPECT_EQ(s.live, 1u);
+    EXPECT_EQ(s.peak, 1u);
+}
+
+TEST(Pool, AddressesStayStableAcrossGrowth)
+{
+    Pool<Payload> pool;
+    std::vector<Payload *> slots;
+    for (int i = 0; i < 1000; ++i) {
+        slots.push_back(pool.acquire());
+        slots.back()->value = i;
+    }
+    for (int i = 0; i < 1000; ++i)
+        EXPECT_EQ(slots[i]->value, i);
+    EXPECT_EQ(pool.stats().peak, 1000u);
+    for (Payload *p : slots)
+        pool.release(p);
+    EXPECT_EQ(pool.stats().live, 0u);
+}
+
+TEST(PooledMap, InsertFindErase)
+{
+    PooledMap<Payload> map;
+    EXPECT_TRUE(map.empty());
+    EXPECT_EQ(map.find(5), nullptr);
+    EXPECT_FALSE(map.erase(5));
+
+    Payload &v = map.insert(5);
+    v.value = 50;
+    EXPECT_EQ(map.size(), 1u);
+    ASSERT_NE(map.find(5), nullptr);
+    EXPECT_EQ(map.find(5)->value, 50);
+    EXPECT_TRUE(map.contains(5));
+
+    EXPECT_EQ(&map.findOrInsert(5), &v);
+    Payload &w = map.findOrInsert(9);
+    EXPECT_EQ(w.value, 0);
+    EXPECT_EQ(map.size(), 2u);
+
+    EXPECT_TRUE(map.erase(5));
+    EXPECT_EQ(map.find(5), nullptr);
+    EXPECT_EQ(map.size(), 1u);
+    EXPECT_EQ(map.stats().live, 1u);
+}
+
+TEST(PooledMap, MatchesReferenceUnderChurn)
+{
+    // Random insert/erase/lookup mix against std::unordered_map,
+    // with regular (line-address-like) keys to stress probing and
+    // backward-shift deletion. Also checks pointer stability: a
+    // value's address must never change while its key is present.
+    PooledMap<Payload> map;
+    std::unordered_map<std::uint64_t, int> ref;
+    std::unordered_map<std::uint64_t, Payload *> addrs;
+
+    for (std::uint64_t step = 0; step < 20000; ++step) {
+        const std::uint64_t h = mix(step * 2654435761ull + 17);
+        const std::uint64_t key = (h % 512) * 64; // 512 "lines".
+        switch ((h >> 32) % 3) {
+          case 0: { // insert / overwrite
+            Payload &v = map.findOrInsert(key);
+            if (ref.count(key)) {
+                EXPECT_EQ(addrs[key], &v) << "key " << key;
+            } else {
+                addrs[key] = &v;
+            }
+            v.value = static_cast<int>(step);
+            ref[key] = static_cast<int>(step);
+            break;
+          }
+          case 1: { // erase
+            EXPECT_EQ(map.erase(key), ref.erase(key) == 1)
+                << "key " << key;
+            addrs.erase(key);
+            break;
+          }
+          default: { // lookup
+            Payload *v = map.find(key);
+            auto it = ref.find(key);
+            if (it == ref.end()) {
+                EXPECT_EQ(v, nullptr) << "key " << key;
+            } else {
+                ASSERT_NE(v, nullptr) << "key " << key;
+                EXPECT_EQ(v->value, it->second);
+                EXPECT_EQ(v, addrs[key]);
+            }
+            break;
+          }
+        }
+        EXPECT_EQ(map.size(), ref.size());
+    }
+
+    // Full drain through forEach + erase.
+    std::vector<std::uint64_t> keys;
+    map.forEach([&](std::uint64_t k, Payload &v) {
+        EXPECT_EQ(v.value, ref.at(k));
+        keys.push_back(k);
+    });
+    EXPECT_EQ(keys.size(), ref.size());
+    for (std::uint64_t k : keys)
+        EXPECT_TRUE(map.erase(k));
+    EXPECT_TRUE(map.empty());
+    EXPECT_EQ(map.stats().live, 0u);
+    EXPECT_GT(map.stats().reuses, 0u);
+}
+
+// --- System-level pool leak checks ----------------------------------
+
+namespace {
+
+/** Run one small fuzz workload and return the drained system. */
+void
+expectPoolsDrained(Protocol protocol, PredictorKind predictor)
+{
+    FuzzCase c;
+    c.protocol = protocol;
+    c.predictor = predictor;
+    c.workload.seed = 12345;
+    const Config cfg = fuzzConfig(c);
+    CmpSystem sys(cfg);
+    const wl::FuzzWorkloadParams wl = c.workload;
+    RunResult rr;
+    const RunStatus status = sys.tryRun(
+        [wl](ThreadContext &ctx) { return wl::fuzzProgram(ctx, wl); },
+        rr);
+    ASSERT_EQ(status, RunStatus::ok) << toString(protocol);
+
+    const MemSys &mem = sys.memSys();
+    const PoolStats msg = mem.msgPoolStats();
+    EXPECT_EQ(msg.live, 0u) << "leaked messages";
+    EXPECT_GT(msg.acquires, 0u);
+    EXPECT_GT(msg.reuses, 0u); // Steady state runs off the freelist.
+
+    const PoolStats wb = mem.wbPoolStats();
+    EXPECT_EQ(wb.live, 0u) << "leaked writeback entries";
+
+    const PoolStats txn = mem.txnPoolStats();
+    EXPECT_EQ(txn.live, 0u) << "leaked transaction entries";
+    EXPECT_GT(txn.acquires, 0u);
+}
+
+} // namespace
+
+TEST(PoolLeak, DirectoryDrainsAllPools)
+{
+    expectPoolsDrained(Protocol::directory, PredictorKind::none);
+}
+
+TEST(PoolLeak, BroadcastDrainsAllPools)
+{
+    expectPoolsDrained(Protocol::broadcast, PredictorKind::none);
+}
+
+TEST(PoolLeak, PredictedDrainsAllPools)
+{
+    expectPoolsDrained(Protocol::predicted, PredictorKind::sp);
+}
+
+TEST(PoolLeak, MulticastDrainsAllPools)
+{
+    expectPoolsDrained(Protocol::multicast, PredictorKind::sp);
+}

@@ -160,8 +160,8 @@ TEST(Multicast, ConcurrentWritersStayCoherent)
 TEST(Multicast, WorkloadEndToEnd)
 {
     ExperimentConfig cfg;
-    cfg.protocol = Protocol::multicast;
-    cfg.predictor = PredictorKind::sp;
+    cfg.config.protocol = Protocol::multicast;
+    cfg.config.predictor = PredictorKind::sp;
     cfg.scale = 0.25;
     ExperimentResult r = runExperiment("ocean", cfg);
     EXPECT_GT(r.run.ticks, 0u);
@@ -173,8 +173,8 @@ TEST(Multicast, WorkloadBandwidthBetweenDirAndBroadcast)
 {
     auto run = [](Protocol proto, PredictorKind kind) {
         ExperimentConfig cfg;
-        cfg.protocol = proto;
-        cfg.predictor = kind;
+        cfg.config.protocol = proto;
+        cfg.config.predictor = kind;
         cfg.scale = 0.5;
         return runExperiment("streamcluster", cfg);
     };

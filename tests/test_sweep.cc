@@ -26,10 +26,10 @@ smallConfig(Protocol proto, PredictorKind kind,
             std::uint64_t seed = 1)
 {
     ExperimentConfig cfg;
-    cfg.protocol = proto;
-    cfg.predictor = kind;
+    cfg.config.protocol = proto;
+    cfg.config.predictor = kind;
     cfg.scale = 0.3;
-    cfg.seed = seed;
+    cfg.config.seed = seed;
     return cfg;
 }
 

@@ -105,8 +105,8 @@ ExperimentConfig
 telemetryConfig(const std::string &dir, Tick period = 200)
 {
     ExperimentConfig cfg;
-    cfg.protocol = Protocol::predicted;
-    cfg.predictor = PredictorKind::sp;
+    cfg.config.protocol = Protocol::predicted;
+    cfg.config.predictor = PredictorKind::sp;
     cfg.scale = 0.3;
     cfg.telemetry.dir = dir;
     cfg.telemetry.samplePeriod = period;
@@ -434,8 +434,8 @@ TEST(Telemetry, DisabledRunMatchesObservedRun)
     const std::string dir = scratchDir("equiv");
 
     ExperimentConfig plain;
-    plain.protocol = Protocol::predicted;
-    plain.predictor = PredictorKind::sp;
+    plain.config.protocol = Protocol::predicted;
+    plain.config.predictor = PredictorKind::sp;
     plain.scale = 0.3;
     ExperimentConfig observed = plain;
     observed.telemetry.dir = dir;

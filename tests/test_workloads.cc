@@ -49,8 +49,8 @@ TEST_P(WorkloadSweep, RunsToCompletionCoherently)
 {
     const WlParam &p = GetParam();
     ExperimentConfig cfg;
-    cfg.protocol = p.protocol;
-    cfg.predictor = p.predictor;
+    cfg.config.protocol = p.protocol;
+    cfg.config.predictor = p.predictor;
     cfg.scale = 0.25;
     cfg.collectTrace = true;
     cfg.checkCoherence = true;
