@@ -45,12 +45,33 @@ namespace bench {
 /** Sweep worker count: 0 = SweepRunner::defaultJobs(). */
 inline unsigned g_jobs = 0;
 
+/** Machine geometry overrides: 0 = keep the Config defaults
+ * (16 cores on a 4x4 mesh). --cores picks the most-square mesh;
+ * --mesh fixes it explicitly (rectangles allowed). */
+inline unsigned g_cores = 0;
+inline unsigned g_mesh_x = 0;
+inline unsigned g_mesh_y = 0;
+
+/** Directory sharer-set format for every config factory below. */
+inline SharerFormat g_format = SharerFormat::full;
+
 /** Telemetry knobs shared by every config factory below; disabled
  * unless --telemetry or SPP_TELEMETRY names a directory. */
 inline TelemetryOptions g_telemetry;
 
-/** Parse the shared bench flags (--jobs N, --telemetry DIR); call
- * first thing in every driver's main(). */
+/** Most-square mesh factorization of @p n (x >= y). */
+inline void
+meshFor(unsigned n, unsigned &x, unsigned &y)
+{
+    y = 1;
+    for (unsigned d = 1; d * d <= n; ++d)
+        if (n % d == 0)
+            y = d;
+    x = n / y;
+}
+
+/** Parse the shared bench flags; call first thing in every driver's
+ * main(). */
 inline void
 initBench(int argc, char **argv)
 {
@@ -61,6 +82,17 @@ initBench(int argc, char **argv)
             g_jobs = static_cast<unsigned>(std::atoi(argv[++i]));
         } else if (std::strncmp(arg, "--jobs=", 7) == 0) {
             g_jobs = static_cast<unsigned>(std::atoi(arg + 7));
+        } else if (std::strcmp(arg, "--cores") == 0 && i + 1 < argc) {
+            g_cores = static_cast<unsigned>(std::atoi(argv[++i]));
+        } else if (std::strncmp(arg, "--cores=", 8) == 0) {
+            g_cores = static_cast<unsigned>(std::atoi(arg + 8));
+        } else if (std::strcmp(arg, "--mesh") == 0 && i + 2 < argc) {
+            g_mesh_x = static_cast<unsigned>(std::atoi(argv[++i]));
+            g_mesh_y = static_cast<unsigned>(std::atoi(argv[++i]));
+        } else if (std::strcmp(arg, "--format") == 0 && i + 1 < argc) {
+            g_format = sharerFormatFromString(argv[++i]);
+        } else if (std::strncmp(arg, "--format=", 9) == 0) {
+            g_format = sharerFormatFromString(arg + 9);
         } else if (std::strcmp(arg, "--telemetry") == 0 &&
                    i + 1 < argc) {
             g_telemetry.dir = argv[++i];
@@ -68,13 +100,36 @@ initBench(int argc, char **argv)
             g_telemetry.dir = arg + 12;
         } else {
             std::fprintf(stderr,
-                         "usage: %s [--jobs N] [--telemetry DIR]   "
+                         "usage: %s [--jobs N] [--cores N] "
+                         "[--mesh X Y] [--format full|coarse|limited] "
+                         "[--telemetry DIR]   "
                          "(also: SPP_JOBS, SPP_BENCH_SCALE, "
                          "SPP_PROGRESS, SPP_TELEMETRY, "
                          "SPP_TELEMETRY_PERIOD)\n", argv[0]);
             std::exit(2);
         }
     }
+    if (g_cores != 0 && g_mesh_x != 0 &&
+        g_mesh_x * g_mesh_y != g_cores) {
+        std::fprintf(stderr, "--mesh %ux%u does not cover %u cores\n",
+                     g_mesh_x, g_mesh_y, g_cores);
+        std::exit(2);
+    }
+}
+
+/** Apply the --cores / --mesh / --format overrides to @p cfg. */
+inline void
+applyGeometry(Config &cfg)
+{
+    if (g_mesh_x != 0) {
+        cfg.meshX = g_mesh_x;
+        cfg.meshY = g_mesh_y;
+        cfg.numCores = g_mesh_x * g_mesh_y;
+    } else if (g_cores != 0) {
+        cfg.numCores = g_cores;
+        meshFor(g_cores, cfg.meshX, cfg.meshY);
+    }
+    cfg.sharerFormat = g_format;
 }
 
 /** Run a job list on the configured worker count. */
@@ -116,6 +171,7 @@ directoryConfig()
 {
     ExperimentConfig c;
     c.config.protocol = Protocol::directory;
+    applyGeometry(c.config);
     c.scale = defaultBenchScale();
     c.telemetry = g_telemetry;
     return c;
@@ -127,6 +183,7 @@ broadcastConfig()
 {
     ExperimentConfig c;
     c.config.protocol = Protocol::broadcast;
+    applyGeometry(c.config);
     c.scale = defaultBenchScale();
     c.telemetry = g_telemetry;
     return c;
@@ -139,6 +196,7 @@ predictedConfig(PredictorKind kind)
     ExperimentConfig c;
     c.config.protocol = Protocol::predicted;
     c.config.predictor = kind;
+    applyGeometry(c.config);
     c.scale = defaultBenchScale();
     c.telemetry = g_telemetry;
     return c;

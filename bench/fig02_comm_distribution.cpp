@@ -17,8 +17,7 @@ namespace {
 
 void
 printDistribution(const char *label,
-                  const std::array<std::uint64_t, maxCores> &v,
-                  unsigned n)
+                  const std::vector<std::uint64_t> &v, unsigned n)
 {
     std::printf("%-28s", label);
     for (unsigned c = 0; c < n; ++c)
@@ -26,13 +25,10 @@ printDistribution(const char *label,
     std::printf("\n");
 }
 
-std::array<std::uint64_t, maxCores>
-widen(const std::array<std::uint32_t, maxCores> &v)
+std::vector<std::uint64_t>
+widen(const std::vector<std::uint32_t> &v)
 {
-    std::array<std::uint64_t, maxCores> out{};
-    for (unsigned i = 0; i < maxCores; ++i)
-        out[i] = v[i];
-    return out;
+    return {v.begin(), v.end()};
 }
 
 } // namespace

@@ -44,6 +44,7 @@ struct Options
     bool shrink = true;
     std::string report;            ///< Failure artifact directory.
     std::string protocols = "all"; ///< all | directory,broadcast,...
+    std::string format = "all";    ///< Sharer format(s) to sweep.
 
     // Single-case mode (active when --seed is given).
     bool single = false;
@@ -58,11 +59,13 @@ usage(const char *argv0)
         "usage: %s [--seeds N] [--seed-base S] [--jobs N]\n"
         "          [--protocols all|directory,predicted,broadcast,"
         "multicast]\n"
+        "          [--cores N] [--format full|coarse|limited|all]\n"
         "          [--inject K] [--expect-catch] [--no-shrink]\n"
         "          [--report DIR]\n"
         "   or: %s --protocol P --predictor K --seed S [--cores N]\n"
-        "          [--segments N] [--ops N] [--lines N] [--locks N]\n"
-        "          [--barriers N] [--inject K]   (single case)\n",
+        "          [--format F] [--segments N] [--ops N] [--lines N]\n"
+        "          [--locks N] [--barriers N] [--inject K]   "
+        "(single case)\n",
         argv0, argv0);
     std::exit(2);
 }
@@ -132,6 +135,11 @@ parseArgs(int argc, char **argv)
             o.single_case.workload.seed = num(i);
         } else if (!std::strcmp(a, "--cores")) {
             o.single_case.numCores = static_cast<unsigned>(num(i));
+        } else if (!std::strcmp(a, "--format")) {
+            o.format = str(i);
+            if (o.format != "all")
+                o.single_case.sharerFormat =
+                    sharerFormatFromString(o.format);
         } else if (!std::strcmp(a, "--segments")) {
             o.single_case.workload.segments =
                 static_cast<unsigned>(num(i));
@@ -281,6 +289,12 @@ main(int argc, char **argv)
             c.protocol = protocol;
             c.predictor = predictor;
             c.workload.seed = o.seedBase + s;
+            c.numCores = o.single_case.numCores;
+            // "--format all" rotates the directory sharer format
+            // across the seeds so one sweep covers every encoding.
+            c.sharerFormat = o.format == "all"
+                ? static_cast<SharerFormat>(s % 3)
+                : o.single_case.sharerFormat;
             c.injectBug = o.inject;
             cases.push_back(c);
         }

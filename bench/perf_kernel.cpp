@@ -4,12 +4,15 @@
  * trajectory (BENCH_kernel.json).
  *
  * Times the simulation kernel itself — events/sec and misses/sec —
- * on three representative workloads, one per protocol engine:
+ * on four representative cells, one per protocol engine plus a
+ * wide-machine cell:
  *
  *   ocean/directory          barrier-phase wavefront sharing
  *   streamcluster/broadcast  high-epoch-count hot-set churn
  *   radiosity/predicted+sp   lock-heavy migratory sharing through
  *                            the prediction path
+ *   ocean/directory @ 64     the same kernel on an 8x8 machine,
+ *                            guarding the multi-word CoreSet paths
  *
  * Each cell runs `--reps` times and reports the best wall clock (the
  * least-noise estimate of kernel cost; event/miss counts are
@@ -53,12 +56,16 @@ struct Cell
     const char *workload;
     Protocol protocol;
     PredictorKind predictor;
+    unsigned cores;
 };
 
 constexpr Cell kCells[] = {
-    {"ocean", Protocol::directory, PredictorKind::none},
-    {"streamcluster", Protocol::broadcast, PredictorKind::none},
-    {"radiosity", Protocol::predicted, PredictorKind::sp},
+    {"ocean", Protocol::directory, PredictorKind::none, 16},
+    {"streamcluster", Protocol::broadcast, PredictorKind::none, 16},
+    {"radiosity", Protocol::predicted, PredictorKind::sp, 16},
+    // Scale cell: the same directory workload at 64 cores guards the
+    // multi-word CoreSet / wide-machine paths against regressions.
+    {"ocean", Protocol::directory, PredictorKind::none, 64},
 };
 
 struct CellResult
@@ -134,6 +141,13 @@ runCell(const Cell &cell, const Options &o)
     Config cfg;
     cfg.protocol = cell.protocol;
     cfg.predictor = cell.predictor;
+    cfg.numCores = cell.cores;
+    unsigned y = 1;
+    for (unsigned d = 2; d * d <= cell.cores; ++d)
+        if (cell.cores % d == 0)
+            y = d;
+    cfg.meshY = y;
+    cfg.meshX = cell.cores / y;
 
     WorkloadParams params;
     params.scale = o.scale;
@@ -202,10 +216,11 @@ main(int argc, char **argv)
     double total_ms = 0.0;
     for (const Cell &cell : kCells) {
         CellResult r = runCell(cell, o);
-        std::printf("%-13s %-9s %-4s  events %10llu  misses %8llu  "
-                    "ticks %9llu  wall %8.2f ms  %7.2f Mev/s\n",
+        std::printf("%-13s %-9s %-4s c%-4u events %10llu  "
+                    "misses %8llu  ticks %9llu  wall %8.2f ms  "
+                    "%7.2f Mev/s\n",
                     cell.workload, toString(cell.protocol),
-                    toString(cell.predictor),
+                    toString(cell.predictor), cell.cores,
                     static_cast<unsigned long long>(r.events),
                     static_cast<unsigned long long>(r.misses),
                     static_cast<unsigned long long>(r.ticks),
@@ -225,7 +240,7 @@ main(int argc, char **argv)
                 total_ms, total_eps / 1e6, total_mps / 1e6);
 
     Json doc = Json::object();
-    doc["schema"] = "spp.perf_kernel.v1";
+    doc["schema"] = "spp.perf_kernel.v2";
     doc["scale"] = o.scale;
     doc["reps"] = o.reps;
     Json arr = Json::array();
@@ -234,6 +249,7 @@ main(int argc, char **argv)
         c["workload"] = r.cell->workload;
         c["protocol"] = toString(r.cell->protocol);
         c["predictor"] = toString(r.cell->predictor);
+        c["cores"] = r.cell->cores;
         c["events"] = r.events;
         c["misses"] = r.misses;
         c["ticks"] = static_cast<std::uint64_t>(r.ticks);

@@ -63,13 +63,15 @@ EventTrace::attach(CmpSystem &sys)
 void
 EventTrace::save(std::ostream &os) const
 {
-    os << "# spp event trace v1\n";
+    // v2: the miss-targets field is a hex CoreSet (was a decimal
+    // 64-bit mask), so traces scale past 64 cores.
+    os << "# spp event trace v2\n";
     for (const TraceEvent &e : *events_) {
         if (e.kind == TraceEvent::Kind::miss) {
             os << "M " << e.core << ' ' << e.line << ' ' << e.pc
                << ' ' << (e.isWrite ? 1 : 0) << ' '
                << (e.communicating ? 1 : 0) << ' '
-               << e.targets.mask() << '\n';
+               << e.targets.toHex() << '\n';
         } else {
             os << "S " << e.core << ' '
                << static_cast<unsigned>(e.type) << ' ' << e.staticId
@@ -100,13 +102,13 @@ EventTrace::load(std::istream &is)
         ls >> tag;
         TraceEvent e;
         if (tag == 'M') {
-            std::uint64_t mask = 0;
+            std::string mask;
             int w = 0, c = 0;
             e.kind = TraceEvent::Kind::miss;
             ls >> e.core >> e.line >> e.pc >> w >> c >> mask;
             e.isWrite = w != 0;
             e.communicating = c != 0;
-            e.targets = CoreSet::fromMask(mask);
+            e.targets = CoreSet::fromHex(mask);
         } else if (tag == 'S') {
             unsigned type = 0;
             e.kind = TraceEvent::Kind::syncPoint;

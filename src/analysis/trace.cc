@@ -10,7 +10,7 @@ EpochRecord::hotSet(double threshold) const
     if (sum == 0)
         return hot;
     const double cut = threshold * static_cast<double>(sum);
-    for (unsigned c = 0; c < maxCores; ++c)
+    for (unsigned c = 0; c < volume.size(); ++c)
         if (volume[c] > 0 && volume[c] >= cut)
             hot.set(static_cast<CoreId>(c));
     return hot;
@@ -18,8 +18,9 @@ EpochRecord::hotSet(double threshold) const
 
 CommTrace::CommTrace(unsigned n_cores, bool record_targets)
     : n_cores_(n_cores), record_targets_(record_targets),
-      current_(n_cores), epochs_(n_cores),
-      whole_(n_cores), pc_volume_(n_cores)
+      current_(n_cores, EpochRecord(n_cores)), epochs_(n_cores),
+      whole_(n_cores, std::vector<std::uint64_t>(n_cores, 0)),
+      pc_volume_(n_cores)
 {
     for (unsigned c = 0; c < n_cores; ++c)
         current_[c].core = static_cast<CoreId>(c);
@@ -35,7 +36,7 @@ CommTrace::onSyncPoint(CoreId core, const SyncPointInfo &info)
         !epochs_[core].empty()) {
         epochs_[core].push_back(cur);
     }
-    EpochRecord next;
+    EpochRecord next(n_cores_);
     next.core = core;
     next.beginType = info.type;
     next.staticId = info.staticId;
@@ -60,6 +61,8 @@ CommTrace::onAccess(CoreId core, Addr addr, Pc pc,
     if (record_targets_)
         cur.missTargets.push_back(out.servicedBy);
     auto &pcs = pc_volume_[core][pc];
+    if (pcs.empty())
+        pcs.resize(n_cores_, 0);
     for (CoreId target : out.servicedBy) {
         ++cur.volume[target];
         ++whole_[core][target];

@@ -9,7 +9,6 @@
 #ifndef SPP_ANALYSIS_TRACE_HH
 #define SPP_ANALYSIS_TRACE_HH
 
-#include <array>
 #include <cstdint>
 #include <unordered_map>
 #include <vector>
@@ -24,13 +23,17 @@ namespace spp {
 /** Per-interval communication record. */
 struct EpochRecord
 {
+    /** @p n_cores sizes the per-target volume vector; records built
+     * by CommTrace always use the configured core count. */
+    explicit EpochRecord(unsigned n_cores = 0) : volume(n_cores, 0) {}
+
     CoreId core = invalidCore;
     SyncType beginType = SyncType::threadStart;
     std::uint64_t staticId = 0;
     std::uint64_t dynamicId = 0;
     Tick beginTick = 0;
     /** Communication volume towards each target core. */
-    std::array<std::uint32_t, maxCores> volume{};
+    std::vector<std::uint32_t> volume;
     std::uint32_t misses = 0;
     std::uint32_t commMisses = 0;
     /** Per-communicating-miss target sets (only when the trace was
@@ -85,14 +88,14 @@ class CommTrace : public SyncListener
     }
 
     /** Whole-run communication volume of @p core per target. */
-    const std::array<std::uint64_t, maxCores> &
+    const std::vector<std::uint64_t> &
     wholeRunVolume(CoreId core) const
     {
         return whole_[core];
     }
 
     /** Per-static-instruction volume at @p core. */
-    const std::unordered_map<Pc, std::array<std::uint32_t, maxCores>> &
+    const std::unordered_map<Pc, std::vector<std::uint32_t>> &
     pcVolume(CoreId core) const
     {
         return pc_volume_[core];
@@ -109,9 +112,8 @@ class CommTrace : public SyncListener
     bool record_targets_;
     std::vector<EpochRecord> current_;
     std::vector<std::vector<EpochRecord>> epochs_;
-    std::vector<std::array<std::uint64_t, maxCores>> whole_;
-    std::vector<
-        std::unordered_map<Pc, std::array<std::uint32_t, maxCores>>>
+    std::vector<std::vector<std::uint64_t>> whole_;
+    std::vector<std::unordered_map<Pc, std::vector<std::uint32_t>>>
         pc_volume_;
     std::uint64_t total_misses_ = 0;
     std::uint64_t total_comm_ = 0;

@@ -23,6 +23,7 @@ fuzzConfig(const FuzzCase &c)
     cfg.meshX = c.numCores / y;
     cfg.protocol = c.protocol;
     cfg.predictor = c.predictor;
+    cfg.sharerFormat = c.sharerFormat;
     cfg.seed = c.workload.seed;
     cfg.maxTicks = c.maxTicks;
     cfg.injectBug = c.injectBug;
@@ -117,6 +118,8 @@ describeFuzzCase(const FuzzCase &c)
         toString(c.protocol), toString(c.predictor), c.workload.seed,
         c.numCores, c.workload.segments, c.workload.opsPerSegment,
         c.workload.lines, c.workload.locks, c.workload.barriers);
+    if (c.sharerFormat != SharerFormat::full)
+        s += strfmt(" --format {}", toString(c.sharerFormat));
     if (c.injectBug)
         s += strfmt(" --inject {}", c.injectBug);
     return s;

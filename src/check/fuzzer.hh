@@ -31,6 +31,7 @@ struct FuzzCase
     PredictorKind predictor = PredictorKind::none;
     wl::FuzzWorkloadParams workload;
     unsigned numCores = 8;
+    SharerFormat sharerFormat = SharerFormat::full;
     Tick maxTicks = 5'000'000;
     unsigned injectBug = 0;     ///< Config::injectBug pass-through.
 

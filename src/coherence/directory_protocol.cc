@@ -7,8 +7,18 @@ namespace spp {
 DirectoryMemSys::DirectoryMemSys(const Config &cfg, EventQueue &eq,
                                  Mesh &mesh,
                                  DestinationPredictor *predictor)
-    : MemSys(cfg, eq, mesh, predictor)
+    : MemSys(cfg, eq, mesh, predictor),
+      sharer_layout_(SharerLayout::fromConfig(cfg))
 {
+}
+
+DirEntry &
+DirectoryMemSys::dirAt(Addr line)
+{
+    return dir_
+        .try_emplace(line, DirEntry{SharerTracker(sharer_layout_),
+                                    invalidCore})
+        .first->second;
 }
 
 // ---------------------------------------------------------------------
@@ -197,10 +207,18 @@ void
 DirectoryMemSys::onRequest(const Msg &m)
 {
     const TxnKey key{m.requester, m.txn};
-    auto process = [this, m]() {
+    // Park the request in a message-pool slot while it waits for the
+    // line lock and the directory lookup: a Msg carries a multi-word
+    // CoreSet, so capturing it by value would overflow the inline
+    // action storage (and reintroduce per-request heap allocation).
+    Msg *pending = msg_pool_.acquire();
+    *pending = m;
+    auto process = [this, pending]() {
         // Directory lookup latency before any action.
-        eq_.scheduleAfter(cfg_.dirLatency,
-                          [this, m]() { processRequest(m); });
+        eq_.scheduleAfter(cfg_.dirLatency, [this, pending]() {
+            processRequest(*pending);
+            msg_pool_.release(pending);
+        });
     };
     if (locks_.acquireOrQueue(m.line, key, process))
         process();
@@ -255,8 +273,7 @@ DirectoryMemSys::serviceReadFromDir(const Msg &m, DirEntry &e)
         f.txn = m.txn;
         sendMsg(f);
     } else {
-        const bool solo = (e.sharers - CoreSet::single(m.requester))
-            .empty();
+        const bool solo = e.sharers.others(m.requester).empty();
         sendMemoryData(m.line, m.requester,
                        solo ? Mesif::exclusive
                             : cfg_.cleanSharedFill());
@@ -274,7 +291,7 @@ DirectoryMemSys::serviceReadFromDir(const Msg &m, DirEntry &e)
 void
 DirectoryMemSys::processRead(const Msg &m)
 {
-    DirEntry &e = dir_[m.line];
+    DirEntry &e = dirAt(m.line);
     const TxnKey key{m.requester, m.txn};
     if (m.predicted && e.owner != invalidCore &&
         e.owner != m.requester && m.set.test(e.owner) &&
@@ -325,8 +342,8 @@ DirectoryMemSys::takeEarlyPredFailure(Addr line, const TxnKey &key)
 void
 DirectoryMemSys::processWrite(const Msg &m)
 {
-    DirEntry &e = dir_[m.line];
-    CoreSet must_ack = e.sharers - CoreSet::single(m.requester);
+    DirEntry &e = dirAt(m.line);
+    CoreSet must_ack = e.sharers.others(m.requester);
     if (cfg_.injectBug == 1) {
         // Checker self-test fault: silently forget one sharer, as a
         // real lost-invalidation bug would. Its stale copy survives
@@ -376,7 +393,7 @@ DirectoryMemSys::processWrite(const Msg &m)
     g.needData = need_data;
     sendMsg(g);
 
-    e.sharers = CoreSet::single(m.requester);
+    e.sharers.setSingle(m.requester);
     e.owner = m.requester;
 }
 
@@ -394,7 +411,7 @@ DirectoryMemSys::onPredFailed(const Msg &m)
     if (!t->waitingPeer)
         return; // The directory path is already servicing the read.
     t->waitingPeer = false;
-    serviceReadFromDir(m, dir_[m.line]);
+    serviceReadFromDir(m, dirAt(m.line));
 }
 
 void
@@ -417,7 +434,7 @@ DirectoryMemSys::onUnblock(const Msg &m)
         // Predicted read serviced entirely by the peer path: record
         // the requester as the new F holder now (plain MESI keeps no
         // clean owner).
-        DirEntry &e = dir_[m.line];
+        DirEntry &e = dirAt(m.line);
         e.sharers.set(m.requester);
         e.owner = cfg_.enableFState ? m.requester : invalidCore;
     }

@@ -30,13 +30,20 @@
 #include <unordered_map>
 
 #include "coherence/mem_sys.hh"
+#include "common/sharer_tracker.hh"
 
 namespace spp {
 
-/** Full-map directory entry. */
+/**
+ * Directory entry: a sharer set in the configured representation
+ * (full map / coarse vector / limited pointers; sharer_tracker.hh)
+ * plus the exact owner. Protocols act on the conservative superset
+ * the tracker reports, so inexact formats cost extra invalidations,
+ * never correctness.
+ */
 struct DirEntry
 {
-    CoreSet sharers;
+    SharerTracker sharers;
     CoreId owner = invalidCore; ///< E/M/F holder, if any.
 };
 
@@ -104,9 +111,14 @@ class DirectoryMemSys : public MemSys
     void maybeRetryNacked(Mshr &m);
     void checkCompletion(Mshr &m);
 
+    /** Find-or-create the entry for @p line in the configured
+     * sharer format. */
+    DirEntry &dirAt(Addr line);
+
     /** Warm-up-only growth: lines are never removed, so the node
      * churn PooledMap avoids does not occur here. */
     std::unordered_map<Addr, DirEntry> dir_;
+    SharerLayout sharer_layout_;
     /** One entry per in-flight home transaction: per-miss insert and
      * erase, so entries come from a pool. */
     PooledMap<DirTxn> txns_;

@@ -5,8 +5,18 @@ namespace spp {
 MulticastMemSys::MulticastMemSys(const Config &cfg, EventQueue &eq,
                                  Mesh &mesh,
                                  DestinationPredictor *predictor)
-    : MemSys(cfg, eq, mesh, predictor)
+    : MemSys(cfg, eq, mesh, predictor),
+      sharer_layout_(SharerLayout::fromConfig(cfg))
 {
+}
+
+DirEntry &
+MulticastMemSys::dirAt(Addr line)
+{
+    return dir_
+        .try_emplace(line, DirEntry{SharerTracker(sharer_layout_),
+                                    invalidCore})
+        .first->second;
 }
 
 // ---------------------------------------------------------------------
@@ -210,8 +220,15 @@ MulticastMemSys::onCompleteMiss(Mshr &m)
 void
 MulticastMemSys::onVerify(const Msg &m)
 {
-    eq_.scheduleAfter(cfg_.dirLatency,
-                      [this, m]() { processVerify(m); });
+    // Pool-slot capture: a Msg (with its multi-word CoreSet) exceeds
+    // the inline action capacity, so the deferred lookup carries a
+    // slot pointer instead of the message itself.
+    Msg *pending = msg_pool_.acquire();
+    *pending = m;
+    eq_.scheduleAfter(cfg_.dirLatency, [this, pending]() {
+        processVerify(*pending);
+        msg_pool_.release(pending);
+    });
 }
 
 void
@@ -237,14 +254,13 @@ MulticastMemSys::sendMemoryData(Addr line, CoreId requester,
 void
 MulticastMemSys::processVerify(const Msg &m)
 {
-    DirEntry &e = dir_[m.line];
+    DirEntry &e = dirAt(m.line);
     const CoreId home = map_.homeNode(m.line);
     CoreSet snooped = m.set;
     bool need_data = true;
 
     if (m.isWrite) {
-        const CoreSet required =
-            e.sharers - CoreSet::single(m.requester);
+        const CoreSet required = e.sharers.others(m.requester);
         const CoreSet missing = required - m.set;
         for (CoreId t : missing)
             sendSnoop(home, t, m);
@@ -259,7 +275,7 @@ MulticastMemSys::processVerify(const Msg &m)
         // An existing owner is in `required`, hence snooped; its
         // ackInv carries the data.
 
-        e.sharers = CoreSet::single(m.requester);
+        e.sharers.setSingle(m.requester);
         e.owner = m.requester;
     } else {
         if (e.owner != invalidCore && e.owner != m.requester) {
@@ -269,8 +285,7 @@ MulticastMemSys::processVerify(const Msg &m)
                 ++insufficient_masks_;
             }
         } else {
-            const bool solo =
-                (e.sharers - CoreSet::single(m.requester)).empty();
+            const bool solo = e.sharers.others(m.requester).empty();
             sendMemoryData(m.line, m.requester, m.txn,
                            solo ? Mesif::exclusive
                                 : cfg_.cleanSharedFill());

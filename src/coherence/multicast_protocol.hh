@@ -87,8 +87,13 @@ class MulticastMemSys : public MemSys
     void sendMemoryData(Addr line, CoreId requester,
                         std::uint64_t txn, Mesif fill_state);
 
+    /** Find-or-create the entry for @p line in the configured
+     * sharer format. */
+    DirEntry &dirAt(Addr line);
+
     /** Memory-side verification directory. */
     std::unordered_map<Addr, DirEntry> dir_;
+    SharerLayout sharer_layout_;
     /** Resumed-but-not-drained transactions, keyed by txn id;
      * per-miss churn, so entries come from a pool. */
     PooledMap<Mshr> lingering_;

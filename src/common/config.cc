@@ -70,6 +70,12 @@ printValue(std::ostream &os, PredictorKind v)
     return os << toString(v);
 }
 
+std::ostream &
+printValue(std::ostream &os, SharerFormat v)
+{
+    return os << toString(v);
+}
+
 template <typename T>
 std::ostream &
 printValue(std::ostream &os, const T &v)
@@ -104,6 +110,29 @@ toString(PredictorKind k)
     return "?";
 }
 
+const char *
+toString(SharerFormat f)
+{
+    switch (f) {
+      case SharerFormat::full:    return "full";
+      case SharerFormat::coarse:  return "coarse";
+      case SharerFormat::limited: return "limited";
+    }
+    return "?";
+}
+
+SharerFormat
+sharerFormatFromString(const std::string &s)
+{
+    if (s == "full")
+        return SharerFormat::full;
+    if (s == "coarse")
+        return SharerFormat::coarse;
+    if (s == "limited")
+        return SharerFormat::limited;
+    SPP_FATAL("unknown sharer format '{}' (full, coarse, limited)", s);
+}
+
 void
 Config::validate() const
 {
@@ -133,6 +162,11 @@ Config::validate() const
         SPP_FATAL("Protocol::{} requires a predictor kind",
                   toString(protocol));
     }
+    if (coarseCoresPerBit == 0 || coarseCoresPerBit > numCores)
+        SPP_FATAL("coarseCoresPerBit must be in [1, numCores], got {}",
+                  coarseCoresPerBit);
+    if (sharerPointers == 0)
+        SPP_FATAL("sharerPointers must be non-zero");
     if (linkBytesPerCycle == 0)
         SPP_FATAL("linkBytesPerCycle must be non-zero");
     if (enableDram && (dramBanks == 0 || dramRowLines == 0))

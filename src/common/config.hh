@@ -35,8 +35,22 @@ enum class PredictorKind
     uni,    ///< Unindexed locality predictor (single entry).
 };
 
+/** Directory sharer-set representation (see sharer_tracker.hh). */
+enum class SharerFormat
+{
+    full,    ///< Exact full-map bit vector: n bits per entry.
+    coarse,  ///< One bit per group of coarseCoresPerBit cores;
+             ///< invalidations multicast to the group superset.
+    limited, ///< sharerPointers exact core IDs + an overflow flag;
+             ///< broadcast once more cores share.
+};
+
 const char *toString(Protocol p);
 const char *toString(PredictorKind k);
+const char *toString(SharerFormat f);
+
+/** Parse a --format CLI value; calls fatal() on unknown names. */
+SharerFormat sharerFormatFromString(const std::string &s);
 
 /** Machine and predictor parameters; defaults follow the paper. */
 struct Config
@@ -88,6 +102,16 @@ struct Config
      * ablation showing why the paper's baseline needs F.
      */
     bool enableFState = true;
+
+    /**
+     * Directory sharer-set representation. full keeps the exact
+     * bit-vector baseline; coarse and limited trade exactness for
+     * space at large core counts, over-approximating the sharer set
+     * (extra invalidations, never missed ones).
+     */
+    SharerFormat sharerFormat = SharerFormat::full;
+    unsigned coarseCoresPerBit = 4; ///< K: cores per coarse bit.
+    unsigned sharerPointers = 4;    ///< P: limited-format pointers.
 
     /** State a reader of a (non-solo) line fills with. */
     Mesif
@@ -160,6 +184,7 @@ struct Config
     X(routerLatency) X(linkLatency) X(linkBytesPerCycle)              \
     X(ctrlPacketBytes) X(dataPacketBytes) X(modelContention)          \
     X(protocol) X(predictor) X(enableFState)                          \
+    X(sharerFormat) X(coarseCoresPerBit) X(sharerPointers)            \
     X(hotThreshold) X(historyDepth) X(warmupMisses) X(noiseMisses)    \
     X(confidenceBits) X(enableRecovery) X(enablePatterns)             \
     X(unionEpochIntoLock) X(maxHotSetSize) X(spTableLatency)          \

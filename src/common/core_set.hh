@@ -3,14 +3,19 @@
  * CoreSet: a fixed-capacity bit vector over core IDs.
  *
  * Communication signatures, predicted destination sets and directory
- * sharer vectors are all CoreSets. The representation is a single
- * 64-bit mask, which bounds the system at 64 cores (the paper models
- * 16).
+ * sharer vectors are all CoreSets. The representation is a
+ * fixed-capacity multi-word bit mask whose capacity follows
+ * SPP_MAX_CORES (default 1024, see common/types.hh), so the simulated
+ * machine can scale well past the paper's 16-core design point while
+ * CoreSet stays a plain value type: no heap, cheap to copy, and the
+ * iteration order (ascending core ID) is identical to the historical
+ * single-word representation.
  */
 
 #ifndef SPP_COMMON_CORE_SET_HH
 #define SPP_COMMON_CORE_SET_HH
 
+#include <array>
 #include <bit>
 #include <cassert>
 #include <cstdint>
@@ -22,19 +27,27 @@
 namespace spp {
 
 /**
- * A set of core IDs stored as a bit mask. Value type; cheap to copy.
+ * A set of core IDs stored as a multi-word bit mask. Value type;
+ * cheap to copy (maxCores / 8 bytes).
  */
 class CoreSet
 {
   public:
+    using Word = std::uint64_t;
+    static constexpr unsigned wordBits = 64;
+    static constexpr unsigned nWords =
+        (maxCores + wordBits - 1) / wordBits;
+
     constexpr CoreSet() = default;
 
-    /** Construct from an explicit mask. */
+    /** Construct from an explicit single-word mask (cores 0..63). */
     static constexpr CoreSet
-    fromMask(std::uint64_t mask)
+    fromMask(Word mask)
     {
         CoreSet s;
-        s.bits_ = mask;
+        s.w_[0] = maxCores >= wordBits
+            ? mask
+            : mask & ((Word{1} << maxCores) - 1);
         return s;
     }
 
@@ -53,8 +66,14 @@ class CoreSet
     {
         assert(n_cores <= maxCores);
         CoreSet s;
-        s.bits_ = n_cores == maxCores ? ~std::uint64_t{0}
-                                      : (std::uint64_t{1} << n_cores) - 1;
+        unsigned full = n_cores / wordBits;
+        for (unsigned w = 0; w < full; ++w)
+            s.w_[w] = ~Word{0};
+        // A shift by a full word width is UB, hence the split above:
+        // only the genuinely partial trailing word is shifted.
+        const unsigned rem = n_cores % wordBits;
+        if (rem != 0)
+            s.w_[full] = (Word{1} << rem) - 1;
         return s;
     }
 
@@ -68,83 +87,134 @@ class CoreSet
     set(CoreId core)
     {
         assert(core < maxCores);
-        bits_ |= std::uint64_t{1} << core;
+        w_[core / wordBits] |= Word{1} << (core % wordBits);
     }
 
     constexpr void
     reset(CoreId core)
     {
         assert(core < maxCores);
-        bits_ &= ~(std::uint64_t{1} << core);
+        w_[core / wordBits] &= ~(Word{1} << (core % wordBits));
     }
 
     constexpr bool
     test(CoreId core) const
     {
         assert(core < maxCores);
-        return bits_ & (std::uint64_t{1} << core);
+        return w_[core / wordBits] & (Word{1} << (core % wordBits));
     }
 
-    constexpr void clear() { bits_ = 0; }
+    constexpr void
+    clear()
+    {
+        for (Word &w : w_)
+            w = 0;
+    }
 
-    constexpr bool empty() const { return bits_ == 0; }
+    constexpr bool
+    empty() const
+    {
+        for (Word w : w_)
+            if (w != 0)
+                return false;
+        return true;
+    }
 
     /** Number of cores in the set. */
-    constexpr unsigned count() const { return std::popcount(bits_); }
+    constexpr unsigned
+    count() const
+    {
+        unsigned n = 0;
+        for (Word w : w_)
+            n += static_cast<unsigned>(std::popcount(w));
+        return n;
+    }
 
-    constexpr std::uint64_t mask() const { return bits_; }
+    /**
+     * The historical single-word view; every member must fit in 64
+     * bits. Prefer toHex()/fromHex() for serialization — this exists
+     * for small-system call sites and tests.
+     */
+    constexpr Word
+    mask() const
+    {
+        for (unsigned w = 1; w < nWords; ++w)
+            assert(w_[w] == 0 && "mask() on a set with cores >= 64");
+        return w_[0];
+    }
 
     /** Lowest-numbered member; the set must be non-empty. */
     constexpr CoreId
     first() const
     {
-        assert(!empty());
-        return static_cast<CoreId>(std::countr_zero(bits_));
+        for (unsigned w = 0; w < nWords; ++w)
+            if (w_[w] != 0)
+                return static_cast<CoreId>(
+                    w * wordBits + std::countr_zero(w_[w]));
+        assert(!"first() on an empty CoreSet");
+        return invalidCore;
     }
 
     /** True iff this set contains every member of @p other. */
     constexpr bool
     contains(const CoreSet &other) const
     {
-        return (other.bits_ & ~bits_) == 0;
+        for (unsigned w = 0; w < nWords; ++w)
+            if (other.w_[w] & ~w_[w])
+                return false;
+        return true;
     }
 
     constexpr bool
     intersects(const CoreSet &other) const
     {
-        return (bits_ & other.bits_) != 0;
+        for (unsigned w = 0; w < nWords; ++w)
+            if (w_[w] & other.w_[w])
+                return true;
+        return false;
     }
 
     constexpr CoreSet
     operator|(const CoreSet &o) const
     {
-        return fromMask(bits_ | o.bits_);
+        CoreSet r;
+        for (unsigned w = 0; w < nWords; ++w)
+            r.w_[w] = w_[w] | o.w_[w];
+        return r;
     }
 
     constexpr CoreSet
     operator&(const CoreSet &o) const
     {
-        return fromMask(bits_ & o.bits_);
+        CoreSet r;
+        for (unsigned w = 0; w < nWords; ++w)
+            r.w_[w] = w_[w] & o.w_[w];
+        return r;
     }
 
     /** Set difference: members of this set not in @p o. */
     constexpr CoreSet
     operator-(const CoreSet &o) const
     {
-        return fromMask(bits_ & ~o.bits_);
+        CoreSet r;
+        for (unsigned w = 0; w < nWords; ++w)
+            r.w_[w] = w_[w] & ~o.w_[w];
+        return r;
     }
 
     constexpr CoreSet &
     operator|=(const CoreSet &o)
     {
-        bits_ |= o.bits_;
+        for (unsigned w = 0; w < nWords; ++w)
+            w_[w] |= o.w_[w];
         return *this;
     }
 
     constexpr CoreSet &
     operator&=(const CoreSet &o)
     {
-        bits_ &= o.bits_;
+        for (unsigned w = 0; w < nWords; ++w)
+            w_[w] &= o.w_[w];
         return *this;
     }
 
@@ -152,33 +222,62 @@ class CoreSet
 
     /**
      * Iteration support: visits member core IDs in ascending order.
+     * The iterator references the set's word storage, so the set must
+     * outlive the iteration (range-for over a temporary is fine: the
+     * temporary's lifetime covers the loop).
      */
     class iterator
     {
       public:
-        explicit constexpr iterator(std::uint64_t rest) : rest_(rest) {}
+        constexpr iterator(const Word *words, unsigned word)
+            : words_(words), word_(word)
+        {
+            skipEmptyWords();
+        }
 
         constexpr CoreId
         operator*() const
         {
-            return static_cast<CoreId>(std::countr_zero(rest_));
+            return static_cast<CoreId>(
+                word_ * wordBits + std::countr_zero(rest_));
         }
 
         constexpr iterator &
         operator++()
         {
             rest_ &= rest_ - 1;
+            if (rest_ == 0) {
+                ++word_;
+                skipEmptyWords();
+            }
             return *this;
         }
 
-        constexpr bool operator==(const iterator &) const = default;
+        constexpr bool
+        operator==(const iterator &o) const
+        {
+            return word_ == o.word_ && rest_ == o.rest_;
+        }
 
       private:
-        std::uint64_t rest_;
+        constexpr void
+        skipEmptyWords()
+        {
+            while (word_ < nWords && words_[word_] == 0)
+                ++word_;
+            rest_ = word_ < nWords ? words_[word_] : 0;
+        }
+
+        const Word *words_;
+        unsigned word_;
+        Word rest_ = 0;
     };
 
-    constexpr iterator begin() const { return iterator(bits_); }
-    constexpr iterator end() const { return iterator(0); }
+    constexpr iterator begin() const { return iterator(w_.data(), 0); }
+    constexpr iterator end() const
+    {
+        return iterator(w_.data(), nWords);
+    }
 
     /** Render as e.g. "{0,5,12}" for logs and test failure messages. */
     std::string toString() const;
@@ -186,8 +285,18 @@ class CoreSet
     /** Render as a 0/1 string of @p n_cores bits, LSB (core 0) first. */
     std::string toBitString(unsigned n_cores) const;
 
+    /**
+     * Compact lowercase-hex rendering of the whole mask (least
+     * significant digit last, no leading zeros, "0" when empty);
+     * width-independent serialization for trace files.
+     */
+    std::string toHex() const;
+
+    /** Parse a toHex() rendering; fatal on malformed input. */
+    static CoreSet fromHex(const std::string &hex);
+
   private:
-    std::uint64_t bits_ = 0;
+    std::array<Word, nWords> w_{};
 };
 
 } // namespace spp

@@ -1,0 +1,210 @@
+/**
+ * @file
+ * Scalable directory sharer-set representations.
+ *
+ * A full-map bit vector costs n bits per directory entry and stops
+ * being reasonable somewhere past a few dozen cores. The classic
+ * scalable alternatives trade exactness for space, and stay correct
+ * by only ever over-approximating the sharer set (invalidations sent
+ * to non-sharers are answered with hadCopy = false acks, so SWMR is
+ * preserved):
+ *
+ *  - full:    exact bit vector, n bits/entry.
+ *  - coarse:  one bit per group of K consecutive cores
+ *             (Gupta et al.'s coarse vector); ceil(n/K) bits/entry.
+ *             Invalidations multicast to the whole group. Per-core
+ *             removal is impossible (other group members may still
+ *             share), so writebacks leave the group bit set — the
+ *             same kind of staleness silent Shared evictions already
+ *             leave in a full map.
+ *  - limited: P exact core pointers plus an overflow flag (Dir-P-B).
+ *             Once more than P cores share, the entry degrades to
+ *             broadcast until the next write makes it exact again.
+ *             P*ceil(log2 n)+1 bits/entry.
+ *
+ * SharerTracker is the value type directory entries hold; protocols
+ * act on the conservative superset members() returns. A
+ * default-constructed tracker is a full-map over the compile-time
+ * capacity, i.e. exactly the plain CoreSet it replaced.
+ */
+
+#ifndef SPP_COMMON_SHARER_TRACKER_HH
+#define SPP_COMMON_SHARER_TRACKER_HH
+
+#include <algorithm>
+#include <bit>
+#include <cstddef>
+
+#include "common/config.hh"
+#include "common/core_set.hh"
+
+namespace spp {
+
+/** Geometry of a sharer-set representation. */
+struct SharerLayout
+{
+    SharerFormat format = SharerFormat::full;
+    unsigned nCores = maxCores;
+    unsigned coarseCoresPerBit = 4; ///< K (coarse format).
+    unsigned sharerPointers = 4;    ///< P (limited format).
+
+    static SharerLayout
+    fromConfig(const Config &cfg)
+    {
+        return {cfg.sharerFormat, cfg.numCores, cfg.coarseCoresPerBit,
+                cfg.sharerPointers};
+    }
+};
+
+/** One directory entry's sharer field, in a configurable format. */
+class SharerTracker
+{
+  public:
+    SharerTracker() = default;
+    explicit SharerTracker(const SharerLayout &l)
+        : format_(l.format), n_cores_(l.nCores),
+          k_(l.coarseCoresPerBit), p_(l.sharerPointers)
+    {}
+
+    /** Record @p c as a sharer. */
+    void
+    set(CoreId c)
+    {
+        switch (format_) {
+          case SharerFormat::full:
+            bits_.set(c);
+            return;
+          case SharerFormat::coarse:
+            bits_.set(group(c));
+            return;
+          case SharerFormat::limited:
+            if (overflow_ || bits_.test(c))
+                return;
+            if (bits_.count() < p_)
+                bits_.set(c);
+            else
+                overflow_ = true;
+            return;
+        }
+    }
+
+    /**
+     * Forget @p c where the format allows it. Coarse group bits and
+     * overflowed limited entries keep their conservative superset
+     * (the represented set must never under-approximate).
+     */
+    void
+    reset(CoreId c)
+    {
+        switch (format_) {
+          case SharerFormat::full:
+            bits_.reset(c);
+            return;
+          case SharerFormat::coarse:
+            return;
+          case SharerFormat::limited:
+            if (!overflow_)
+                bits_.reset(c);
+            return;
+        }
+    }
+
+    /** The write path's exact re-initialization to one sharer. */
+    void
+    setSingle(CoreId c)
+    {
+        bits_.clear();
+        overflow_ = false;
+        bits_.set(format_ == SharerFormat::coarse ? group(c) : c);
+    }
+
+    void
+    clear()
+    {
+        bits_.clear();
+        overflow_ = false;
+    }
+
+    /** May @p c hold a copy? (Conservative: never false for an
+     * actual sharer.) */
+    bool
+    test(CoreId c) const
+    {
+        switch (format_) {
+          case SharerFormat::full:
+            return bits_.test(c);
+          case SharerFormat::coarse:
+            return bits_.test(group(c));
+          case SharerFormat::limited:
+            return overflow_ || bits_.test(c);
+        }
+        return false;
+    }
+
+    /** Conservative superset of the recorded sharers, clipped to the
+     * configured core count. */
+    CoreSet
+    members() const
+    {
+        switch (format_) {
+          case SharerFormat::full:
+            return bits_;
+          case SharerFormat::coarse: {
+            CoreSet s;
+            for (CoreId g : bits_) {
+                const unsigned lo = g * k_;
+                const unsigned hi = std::min(lo + k_, n_cores_);
+                for (unsigned c = lo; c < hi; ++c)
+                    s.set(static_cast<CoreId>(c));
+            }
+            return s;
+          }
+          case SharerFormat::limited:
+            return overflow_ ? CoreSet::all(n_cores_) : bits_;
+        }
+        return {};
+    }
+
+    /** members() minus @p c — the peers a request must contact. */
+    CoreSet
+    others(CoreId c) const
+    {
+        CoreSet s = members();
+        s.reset(c);
+        return s;
+    }
+
+    bool overflowed() const { return overflow_; }
+
+    /** Modelled bits of one entry's sharer field under @p l. */
+    static std::size_t
+    entryBits(const SharerLayout &l)
+    {
+        switch (l.format) {
+          case SharerFormat::full:
+            return l.nCores;
+          case SharerFormat::coarse:
+            return (l.nCores + l.coarseCoresPerBit - 1) /
+                l.coarseCoresPerBit;
+          case SharerFormat::limited:
+            return l.sharerPointers *
+                std::bit_width(l.nCores - 1u) + 1;
+        }
+        return 0;
+    }
+
+  private:
+    CoreId group(CoreId c) const { return static_cast<CoreId>(c / k_); }
+
+    SharerFormat format_ = SharerFormat::full;
+    unsigned n_cores_ = maxCores;
+    unsigned k_ = 1;
+    unsigned p_ = 0;
+    /** full: exact sharers; coarse: group bits; limited: pointers. */
+    CoreSet bits_;
+    bool overflow_ = false;
+};
+
+} // namespace spp
+
+#endif // SPP_COMMON_SHARER_TRACKER_HH

@@ -13,19 +13,26 @@
 #ifndef SPP_CORE_COMM_COUNTERS_HH
 #define SPP_CORE_COMM_COUNTERS_HH
 
-#include <array>
+#include <algorithm>
 #include <cstdint>
+#include <vector>
 
 #include "common/core_set.hh"
 #include "common/types.hh"
 
 namespace spp {
 
-/** Fixed-size bank of saturating communication counters. */
+/** Bank of saturating communication counters, one per core of the
+ * simulated machine (sized by the configured core count, not the
+ * compile-time maxCores capacity). */
 class CommCounters
 {
   public:
     static constexpr std::uint8_t saturation = 255;
+
+    explicit CommCounters(unsigned n_cores = maxCores)
+        : counts_(n_cores, 0)
+    {}
 
     /** Record one communication event towards each core in @p who. */
     void
@@ -60,7 +67,7 @@ class CommCounters
         if (sum == 0)
             return hot;
         const double cut = threshold * sum;
-        for (unsigned c = 0; c < maxCores; ++c)
+        for (unsigned c = 0; c < counts_.size(); ++c)
             if (counts_[c] >= cut && counts_[c] > 0)
                 hot.set(static_cast<CoreId>(c));
         while (max_size != 0 && hot.count() > max_size) {
@@ -86,7 +93,7 @@ class CommCounters
     reset()
     {
         lifetime_ += total();
-        counts_.fill(0);
+        std::fill(counts_.begin(), counts_.end(), 0);
     }
 
     /** Cumulative recorded volume across all epochs, including the
@@ -95,7 +102,7 @@ class CommCounters
     std::uint64_t lifetimeTotal() const { return lifetime_ + total(); }
 
   private:
-    std::array<std::uint8_t, maxCores> counts_{};
+    std::vector<std::uint8_t> counts_;
     std::uint64_t lifetime_ = 0;
 };
 

@@ -1,5 +1,7 @@
 #include "core/sp_predictor.hh"
 
+#include "common/sharer_tracker.hh"
+
 namespace spp {
 
 const char *
@@ -22,8 +24,10 @@ SpPredictor::SpPredictor(const Config &cfg, unsigned n_cores)
       table_(n_cores, cfg.historyDepth), map_(n_cores),
       epochs_(n_cores)
 {
-    for (EpochState &e : epochs_)
+    for (EpochState &e : epochs_) {
+        e.counters = CommCounters(n_cores);
         e.confidence = confidenceMax();
+    }
 }
 
 // ---------------------------------------------------------------------
@@ -245,9 +249,15 @@ SpPredictor::storageBits() const
     // SP-table entries plus the fixed per-core cost: one one-byte
     // communication counter per target core plus the core's one-byte
     // prediction-register slice. For 16 cores that is 16 + 1 = 17
-    // bytes (136 bits) per core, Section 5.4's figure.
+    // bytes (136 bits) per core, Section 5.4's figure; the formula
+    // recomputes it at any scale. Stored signatures follow the
+    // machine's sharer format (full: n_cores bits; coarse / limited
+    // shrink them the same way they shrink directory entries).
+    const std::size_t sig_bits =
+        SharerTracker::entryBits(SharerLayout::fromConfig(cfg_));
     const std::size_t fixed_per_core = n_cores_ * 8 + 8;
-    return table_.storageBits(n_cores_) + n_cores_ * fixed_per_core;
+    return table_.storageBits(n_cores_, sig_bits) +
+        n_cores_ * fixed_per_core;
 }
 
 std::uint64_t

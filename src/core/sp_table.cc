@@ -5,14 +5,16 @@
 namespace spp {
 
 std::size_t
-SpTable::storageBits(unsigned n_cores) const
+SpTable::storageBits(unsigned n_cores, std::size_t sig_bits) const
 {
+    if (sig_bits == 0)
+        sig_bits = n_cores;
     const unsigned id_bits =
         std::bit_width(static_cast<unsigned>(n_cores - 1));
     std::size_t bits = 0;
     for (const auto &slice : slices_) {
         // tag (32) + d signatures + stride (2) + shared flag (1).
-        bits += slice.size() * (32 + depth_ * n_cores + 2 + 1);
+        bits += slice.size() * (32 + depth_ * sig_bits + 2 + 1);
     }
     bits += lock_entries_.size() * (32 + depth_ * id_bits + 1);
     return bits;

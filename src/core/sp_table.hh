@@ -124,10 +124,14 @@ class SpTable
 
     /**
      * Modelled storage cost in bits (Section 4.6): per entry a 32-bit
-     * tag, d signatures of n_cores bits each, a 2-bit stride and a
-     * shared bit; lock entries hold d log2-sized holder IDs.
+     * tag, d signatures, a 2-bit stride and a shared bit; lock
+     * entries hold d log2-sized holder IDs. A signature is n_cores
+     * bits by default (the full bit-vector machine); @p sig_bits
+     * overrides its width when the machine stores destination sets in
+     * a scalable sharer format (coarse / limited, sharer_tracker.hh).
      */
-    std::size_t storageBits(unsigned n_cores) const;
+    std::size_t storageBits(unsigned n_cores,
+                            std::size_t sig_bits = 0) const;
 
     std::uint64_t accesses() const { return accesses_; }
 

@@ -9,6 +9,11 @@ Mesh::Mesh(const Config &cfg, EventQueue &eq)
       link_free_(static_cast<std::size_t>(cfg.numCores) * 4, 0),
       link_busy_(static_cast<std::size_t>(cfg.numCores) * 4, 0)
 {
+    // Rectangular meshes are fine; a mesh that does not cover the
+    // core count would silently mis-route (tile = y * meshX + x).
+    SPP_ASSERT(cfg.meshX * cfg.meshY == cfg.numCores,
+               "mesh {}x{} does not cover {} cores", cfg.meshX,
+               cfg.meshY, cfg.numCores);
 }
 
 unsigned

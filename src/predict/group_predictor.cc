@@ -8,8 +8,10 @@ GroupPredictor::GroupPredictor(const Config &cfg, unsigned n_cores,
 {
     tables_.reserve(n_cores);
     for (unsigned c = 0; c < n_cores; ++c)
-        tables_.emplace_back(static_cast<std::size_t>(
-            index == GroupIndex::none ? 1 : cfg.predictorEntries));
+        tables_.emplace_back(
+            static_cast<std::size_t>(
+                index == GroupIndex::none ? 1 : cfg.predictorEntries),
+            n_cores);
 }
 
 std::uint64_t

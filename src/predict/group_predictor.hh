@@ -32,11 +32,16 @@
 
 namespace spp {
 
-/** One group-predictor entry: 2-bit counters + train-down rollover. */
+/** One group-predictor entry: 2-bit counters + train-down rollover.
+ * Counter storage is sized by the configured core count, not the
+ * compile-time maxCores capacity, so entries stay proportional to the
+ * machine actually simulated. */
 class GroupEntry
 {
   public:
     static constexpr std::uint8_t counterMax = 3;
+
+    explicit GroupEntry(unsigned n_cores) : counters_(n_cores, 0) {}
 
     /** Train up the counters of @p who; decay all counters once per
      * @p traindown_period trainings. */
@@ -59,7 +64,7 @@ class GroupEntry
     predict(unsigned threshold) const
     {
         CoreSet s;
-        for (unsigned c = 0; c < maxCores; ++c)
+        for (unsigned c = 0; c < counters_.size(); ++c)
             if (counters_[c] >= threshold)
                 s.set(static_cast<CoreId>(c));
         return s;
@@ -68,7 +73,7 @@ class GroupEntry
     std::uint8_t counter(CoreId c) const { return counters_[c]; }
 
   private:
-    std::array<std::uint8_t, maxCores> counters_{};
+    std::vector<std::uint8_t> counters_;
     std::uint8_t rollover_ = 0;
 };
 
@@ -79,7 +84,9 @@ class GroupEntry
 class GroupTable
 {
   public:
-    explicit GroupTable(std::size_t capacity) : capacity_(capacity) {}
+    GroupTable(std::size_t capacity, unsigned n_cores)
+        : capacity_(capacity), n_cores_(n_cores)
+    {}
 
     /** Find or allocate the entry for @p key (touches LRU). */
     GroupEntry &
@@ -97,7 +104,7 @@ class GroupTable
             lru_.pop_back();
             map_.erase(victim);
         }
-        Slot slot;
+        Slot slot{GroupEntry(n_cores_), {}};
         if (capacity_ != 0) {
             lru_.push_front(key);
             slot.lruPos = lru_.begin();
@@ -125,6 +132,7 @@ class GroupTable
     };
 
     std::size_t capacity_;
+    unsigned n_cores_;
     std::unordered_map<std::uint64_t, Slot> map_;
     std::list<std::uint64_t> lru_;
     mutable std::uint64_t accesses_ = 0;

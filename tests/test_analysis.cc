@@ -27,7 +27,7 @@ makeEpoch(CoreId core, std::uint64_t sid, std::uint64_t dyn,
           std::initializer_list<std::pair<CoreId, std::uint32_t>> vols,
           SyncType type = SyncType::barrier)
 {
-    EpochRecord e;
+    EpochRecord e(16);
     e.core = core;
     e.staticId = sid;
     e.dynamicId = dyn;

@@ -314,6 +314,12 @@ bumpField(PredictorKind &v)
     v = v == PredictorKind::sp ? PredictorKind::none
                                : PredictorKind::sp;
 }
+void
+bumpField(SharerFormat &v)
+{
+    v = v == SharerFormat::coarse ? SharerFormat::full
+                                  : SharerFormat::coarse;
+}
 template <typename T> void bumpField(T &v) { v += 1; }
 
 } // namespace

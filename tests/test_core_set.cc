@@ -132,3 +132,93 @@ TEST_P(CoreSetAlgebra, Laws)
 
 INSTANTIATE_TEST_SUITE_P(Masks, CoreSetAlgebra,
                          ::testing::Range<std::uint64_t>(1, 50));
+
+// --- Reference-model property test -----------------------------------
+//
+// Drive CoreSet and std::bitset through the same random op sequence
+// and demand identical observable state after every step. The sizes
+// straddle the word boundaries where shift bugs live (63/64/65) plus
+// a genuinely multi-word width.
+
+#include <bitset>
+
+#include "common/rng.hh"
+
+namespace {
+
+class CoreSetVsBitset : public ::testing::TestWithParam<unsigned>
+{};
+
+} // namespace
+
+TEST_P(CoreSetVsBitset, RandomOpsMatchReference)
+{
+    const unsigned n = GetParam();
+    ASSERT_LE(n, maxCores);
+    Rng rng(0xC0DE + n);
+    CoreSet a, b;
+    std::bitset<maxCores> ra, rb;
+
+    auto check = [&](int step) {
+        ASSERT_EQ(a.count(), ra.count()) << "n=" << n << " step " << step;
+        for (unsigned c = 0; c < n; ++c)
+            ASSERT_EQ(a.test(c), ra.test(c))
+                << "n=" << n << " step " << step << " bit " << c;
+        // Iteration yields exactly the set bits, ascending.
+        CoreId prev = 0;
+        unsigned seen = 0;
+        for (CoreId c : a) {
+            ASSERT_TRUE(ra.test(c));
+            if (seen) {
+                ASSERT_LT(prev, c);
+            }
+            prev = c;
+            ++seen;
+        }
+        ASSERT_EQ(seen, ra.count());
+    };
+
+    for (int step = 0; step < 3000; ++step) {
+        const CoreId c = static_cast<CoreId>(rng.below(n));
+        switch (rng.below(9)) {
+          case 0: a.set(c); ra.set(c); break;
+          case 1: a.reset(c); ra.reset(c); break;
+          case 2: b.set(c); rb.set(c); break;
+          case 3: a |= b; ra |= rb; break;
+          case 4: a &= b; ra &= rb; break;
+          case 5: a = a - b; ra &= ~rb; break;
+          case 6:
+            a = CoreSet::single(c);
+            ra.reset();
+            ra.set(c);
+            break;
+          case 7:
+            a = CoreSet::all(n);
+            ra.reset();
+            for (unsigned i = 0; i < n; ++i)
+                ra.set(i);
+            break;
+          case 8: a.clear(); ra.reset(); break;
+        }
+        check(step);
+    }
+}
+
+INSTANTIATE_TEST_SUITE_P(WordBoundaries, CoreSetVsBitset,
+                         ::testing::Values(63u, 64u, 65u, 128u),
+                         [](const auto &info) {
+                             return "n" + std::to_string(info.param);
+                         });
+
+TEST(CoreSet, AllAtWordBoundaries)
+{
+    // all(64) once shifted by the full word width (UB); pin the
+    // boundary sizes explicitly.
+    EXPECT_EQ(CoreSet::all(63).count(), 63u);
+    EXPECT_EQ(CoreSet::all(64).count(), 64u);
+    EXPECT_EQ(CoreSet::all(65).count(), 65u);
+    EXPECT_EQ(CoreSet::all(128).count(), 128u);
+    EXPECT_EQ(CoreSet::all(maxCores).count(), maxCores);
+    EXPECT_FALSE(CoreSet::all(65).test(65));
+    EXPECT_TRUE(CoreSet::all(65).test(64));
+}

@@ -30,7 +30,7 @@ query(CoreId core, Addr macro, Pc pc, bool write = false)
 
 TEST(GroupEntry, TrainUpToThreshold)
 {
-    GroupEntry e;
+    GroupEntry e(16);
     EXPECT_TRUE(e.predict(2).empty());
     e.train(CoreSet{4}, 1000);
     EXPECT_TRUE(e.predict(2).empty()); // Counter 1 < threshold 2.
@@ -40,7 +40,7 @@ TEST(GroupEntry, TrainUpToThreshold)
 
 TEST(GroupEntry, CounterSaturates)
 {
-    GroupEntry e;
+    GroupEntry e(16);
     for (int i = 0; i < 10; ++i)
         e.train(CoreSet{4}, 1000);
     EXPECT_EQ(e.counter(4), GroupEntry::counterMax);
@@ -48,7 +48,7 @@ TEST(GroupEntry, CounterSaturates)
 
 TEST(GroupEntry, TrainDownDecaysInactive)
 {
-    GroupEntry e;
+    GroupEntry e(16);
     e.train(CoreSet{4}, 4);
     e.train(CoreSet{4}, 4);
     e.train(CoreSet{4}, 4);
@@ -63,7 +63,7 @@ TEST(GroupEntry, TrainDownDecaysInactive)
 
 TEST(GroupTable, UnlimitedGrows)
 {
-    GroupTable t(0);
+    GroupTable t(0, 16);
     for (std::uint64_t k = 0; k < 100; ++k)
         t.entry(k);
     EXPECT_EQ(t.size(), 100u);
@@ -71,7 +71,7 @@ TEST(GroupTable, UnlimitedGrows)
 
 TEST(GroupTable, CapacityEvictsLru)
 {
-    GroupTable t(2);
+    GroupTable t(2, 16);
     t.entry(1).train(CoreSet{1}, 1000);
     t.entry(2).train(CoreSet{2}, 1000);
     t.entry(1); // Touch 1: key 2 becomes LRU.
@@ -84,7 +84,7 @@ TEST(GroupTable, CapacityEvictsLru)
 
 TEST(GroupTable, PeekDoesNotAllocate)
 {
-    GroupTable t(0);
+    GroupTable t(0, 16);
     EXPECT_EQ(t.peek(7), nullptr);
     EXPECT_EQ(t.size(), 0u);
 }

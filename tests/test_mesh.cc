@@ -7,6 +7,7 @@
 
 #include "common/config.hh"
 #include "event/event_queue.hh"
+#include "mem/address_map.hh"
 #include "noc/mesh.hh"
 
 using namespace spp;
@@ -121,4 +122,50 @@ TEST(MeshLatencySample, RecordsLatencies)
     eq.run();
     EXPECT_EQ(mesh.stats().packetLatency.count(), 1u);
     EXPECT_GT(mesh.stats().packetLatency.mean(), 0.0);
+}
+
+TEST(MeshRectangular, RoutesAndHomesStayInRange)
+{
+    // 4x2 mesh: tile = y * 4 + x; nothing may assume a square grid.
+    Config cfg;
+    cfg.numCores = 8;
+    cfg.meshX = 4;
+    cfg.meshY = 2;
+    cfg.validate();
+    EventQueue eq;
+    Mesh mesh(cfg, eq);
+
+    EXPECT_EQ(mesh.hops(0, 7), 4u);  // (0,0) -> (3,1).
+    EXPECT_EQ(mesh.hops(3, 4), 4u);  // (3,0) -> (0,1).
+    EXPECT_EQ(mesh.hops(2, 6), 1u);  // Straight down one row.
+
+    // Contention routing walks linkIndex across every hop; an idle
+    // mesh must agree with the zero-load latency.
+    Tick delivered = 0;
+    mesh.send(Packet{0, 7, 8, TrafficClass::request},
+              [&] { delivered = eq.curTick(); });
+    eq.run();
+    EXPECT_EQ(delivered, mesh.zeroLoadLatency(4, 8));
+
+    AddressMap map(cfg);
+    for (Addr a = 0; a < 64 * cfg.lineBytes; a += cfg.lineBytes)
+        EXPECT_LT(map.homeNode(a), cfg.numCores);
+}
+
+TEST(MeshRectangular, TallMeshDelivers)
+{
+    // 2x8: more rows than columns.
+    Config cfg;
+    cfg.numCores = 16;
+    cfg.meshX = 2;
+    cfg.meshY = 8;
+    cfg.validate();
+    EventQueue eq;
+    Mesh mesh(cfg, eq);
+    EXPECT_EQ(mesh.hops(0, 15), 8u); // (0,0) -> (1,7).
+    Tick delivered = 0;
+    mesh.send(Packet{15, 0, 72, TrafficClass::data},
+              [&] { delivered = eq.curTick(); });
+    eq.run();
+    EXPECT_EQ(delivered, mesh.zeroLoadLatency(8, 72));
 }

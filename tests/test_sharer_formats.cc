@@ -1,0 +1,190 @@
+/**
+ * @file
+ * Scalable sharer-set representations: SharerTracker semantics per
+ * format, the superset invariant against an exact reference model,
+ * the modelled storage costs, and an end-to-end regression that
+ * coarse-vector supersets never let a protocol violate SWMR.
+ */
+
+#include <gtest/gtest.h>
+
+#include "check/fuzzer.hh"
+#include "common/rng.hh"
+#include "common/sharer_tracker.hh"
+
+using namespace spp;
+
+namespace {
+
+SharerLayout
+mkLayout(SharerFormat f, unsigned n, unsigned k = 4, unsigned p = 4)
+{
+    SharerLayout l;
+    l.format = f;
+    l.nCores = n;
+    l.coarseCoresPerBit = k;
+    l.sharerPointers = p;
+    return l;
+}
+
+} // namespace
+
+TEST(SharerTracker, DefaultMatchesPlainCoreSet)
+{
+    SharerTracker t;
+    t.set(3);
+    t.set(900);
+    EXPECT_EQ(t.members(), (CoreSet{3, 900}));
+    t.reset(3);
+    EXPECT_EQ(t.members(), CoreSet{900});
+    t.setSingle(7);
+    EXPECT_EQ(t.members(), CoreSet{7});
+    EXPECT_FALSE(t.overflowed());
+}
+
+TEST(SharerTracker, CoarseExpandsToGroups)
+{
+    SharerTracker t(mkLayout(SharerFormat::coarse, 16));
+    t.set(5); // Group 1 = cores 4..7.
+    EXPECT_EQ(t.members(), (CoreSet{4, 5, 6, 7}));
+    EXPECT_TRUE(t.test(6)); // Conservative: whole group "may share".
+    t.reset(5); // Per-core removal impossible; superset remains.
+    EXPECT_EQ(t.members(), (CoreSet{4, 5, 6, 7}));
+    t.setSingle(0); // Write path: exact single group again.
+    EXPECT_EQ(t.members(), (CoreSet{0, 1, 2, 3}));
+}
+
+TEST(SharerTracker, CoarseClipsLastGroupToCoreCount)
+{
+    // 10 cores, K = 4: the last group holds only cores 8..9.
+    SharerTracker t(mkLayout(SharerFormat::coarse, 10));
+    t.set(9);
+    EXPECT_EQ(t.members(), (CoreSet{8, 9}));
+}
+
+TEST(SharerTracker, LimitedExactUntilOverflow)
+{
+    SharerTracker t(mkLayout(SharerFormat::limited, 64, 4, 2));
+    t.set(10);
+    t.set(20);
+    EXPECT_EQ(t.members(), (CoreSet{10, 20}));
+    EXPECT_FALSE(t.overflowed());
+    t.reset(10); // Exact removal works below the pointer limit.
+    EXPECT_EQ(t.members(), CoreSet{20});
+    t.set(30);
+    t.set(40); // Third sharer with P = 2: degrade to broadcast.
+    EXPECT_TRUE(t.overflowed());
+    EXPECT_EQ(t.members(), CoreSet::all(64));
+    EXPECT_TRUE(t.test(63));
+    t.setSingle(5); // The next write makes the entry exact again.
+    EXPECT_FALSE(t.overflowed());
+    EXPECT_EQ(t.members(), CoreSet{5});
+}
+
+TEST(SharerTracker, EntryBitsPerFormat)
+{
+    EXPECT_EQ(SharerTracker::entryBits(mkLayout(SharerFormat::full, 64)),
+              64u);
+    EXPECT_EQ(SharerTracker::entryBits(mkLayout(SharerFormat::full, 1024)),
+              1024u);
+    // ceil(n / K) group bits.
+    EXPECT_EQ(
+        SharerTracker::entryBits(mkLayout(SharerFormat::coarse, 64, 4)),
+        16u);
+    EXPECT_EQ(
+        SharerTracker::entryBits(mkLayout(SharerFormat::coarse, 1024, 8)),
+        128u);
+    // P * ceil(log2 n) + 1 overflow bit.
+    EXPECT_EQ(
+        SharerTracker::entryBits(mkLayout(SharerFormat::limited, 64, 4, 4)),
+        4u * 6u + 1u);
+    EXPECT_EQ(SharerTracker::entryBits(
+                  mkLayout(SharerFormat::limited, 1024, 4, 8)),
+              8u * 10u + 1u);
+}
+
+// The load-bearing invariant: whatever the op sequence, every format's
+// members() is a superset of the exact sharer set, and test() never
+// returns false for an actual sharer. Protocols rely on exactly this
+// to keep SWMR when they multicast to the superset.
+TEST(SharerTracker, SupersetInvariantUnderRandomOps)
+{
+    for (const SharerFormat f :
+         {SharerFormat::full, SharerFormat::coarse,
+          SharerFormat::limited}) {
+        for (const unsigned n : {16u, 63u, 64u, 65u, 256u}) {
+            SharerTracker t(mkLayout(f, n, 4, 4));
+            CoreSet exact;
+            Rng rng(77 * n + static_cast<unsigned>(f));
+            for (int step = 0; step < 2000; ++step) {
+                const CoreId c = static_cast<CoreId>(rng.below(n));
+                switch (rng.below(4)) {
+                  case 0:
+                    t.set(c);
+                    exact.set(c);
+                    break;
+                  case 1:
+                    // Directory resets on writeback/invalidate-ack:
+                    // the core really dropped its copy.
+                    t.reset(c);
+                    exact.reset(c);
+                    break;
+                  case 2:
+                    t.setSingle(c);
+                    exact = CoreSet::single(c);
+                    break;
+                  default:
+                    if (!exact.empty()) {
+                        ASSERT_TRUE(t.test(exact.first()))
+                            << toString(f) << " n=" << n;
+                    }
+                    break;
+                }
+                ASSERT_TRUE(t.members().contains(exact))
+                    << toString(f) << " n=" << n << " step " << step;
+                if (f == SharerFormat::full) {
+                    ASSERT_EQ(t.members(), exact);
+                }
+            }
+        }
+    }
+}
+
+// End-to-end SWMR regression: seeded random workloads under the
+// protocol invariant checker, with the directory forced onto the
+// inexact formats. Extra invalidations to never-sharers must be
+// answered harmlessly and no store may ever see a stale second owner.
+TEST(SharerFormats, CoarseMulticastNeverViolatesSwmr)
+{
+    for (const Protocol proto :
+         {Protocol::directory, Protocol::predicted,
+          Protocol::multicast}) {
+        for (unsigned seed = 1; seed <= 3; ++seed) {
+            FuzzCase c;
+            c.protocol = proto;
+            c.predictor = proto == Protocol::directory
+                ? PredictorKind::none
+                : PredictorKind::sp;
+            c.sharerFormat = SharerFormat::coarse;
+            c.workload.seed = seed;
+            const FuzzResult r = runFuzzCase(c);
+            EXPECT_FALSE(r.failed())
+                << toString(proto) << " seed " << seed << "\n"
+                << r.trace;
+            EXPECT_TRUE(r.violations.empty());
+        }
+    }
+}
+
+TEST(SharerFormats, LimitedOverflowBroadcastStaysCoherent)
+{
+    for (unsigned seed = 1; seed <= 3; ++seed) {
+        FuzzCase c;
+        c.protocol = Protocol::directory;
+        c.sharerFormat = SharerFormat::limited;
+        c.numCores = 16; // > P = 4 sharers overflow readily.
+        c.workload.seed = seed;
+        const FuzzResult r = runFuzzCase(c);
+        EXPECT_FALSE(r.failed()) << "seed " << seed << "\n" << r.trace;
+    }
+}
