@@ -35,7 +35,9 @@ idealAccuracy(const CommTrace &trace, double threshold)
             }
         }
     }
-    return total ? static_cast<double>(covered) / total : 0.0;
+    return total ? static_cast<double>(covered) /
+            static_cast<double>(total)
+                 : 0.0;
 }
 
 } // namespace
@@ -68,8 +70,10 @@ main(int argc, char **argv)
             sp.run.mem.communicatingMisses.value());
         auto pct = [&](PredSource s) {
             return comm == 0 ? 0.0
-                : 100.0 * sp.run.mem.sufficientBySource[
-                      static_cast<std::size_t>(s)] / comm;
+                : 100.0 * static_cast<double>(
+                      sp.run.mem.sufficientBySource[
+                          static_cast<std::size_t>(s)]) /
+                      static_cast<double>(comm);
         };
         const double warmup = pct(PredSource::warmup);
         const double history =

@@ -36,11 +36,11 @@ main(int argc, char **argv)
 
         const double base = static_cast<double>(dir.run.ticks);
         t.cell(name).cell(1.0, 3)
-            .cell(bc.run.ticks / base, 3)
-            .cell(sp.run.ticks / base, 3)
+            .cell(static_cast<double>(bc.run.ticks) / base, 3)
+            .cell(static_cast<double>(sp.run.ticks) / base, 3)
             .cell(std::uint64_t{dir.run.ticks}).endRow();
-        sum_sp += sp.run.ticks / base;
-        sum_bc += bc.run.ticks / base;
+        sum_sp += static_cast<double>(sp.run.ticks) / base;
+        sum_bc += static_cast<double>(bc.run.ticks) / base;
         ++n;
     }
     t.print();

@@ -1,0 +1,349 @@
+/**
+ * @file
+ * Exhaustive protocol model-check driver.
+ *
+ * Sweep mode (default): exhaustively explore every same-tick message
+ * delivery ordering of a tiny scripted workload for each protocol and
+ * sharer format, with the invariant checker attached. The search is
+ * bounded (state-hash pruning + conflict reduction keep it small);
+ * any violation, deadlock or timeout fails the run and prints a
+ * minimized, replayable schedule.
+ *
+ * Single mode: pass --protocol to explore one configuration, with
+ * full exploration statistics.
+ *
+ * Replay mode: --replay FILE re-executes exactly one schedule saved
+ * by --report (or pasted from a failure log) and reports the outcome.
+ *
+ * Self-test mode: --inject K plants a known protocol bug (see
+ * Config::injectBug) and --expect-catch inverts the exit code — the
+ * exhaustive search *must* find a schedule that exposes it.
+ */
+
+#include <cstdio>
+#include <cstdlib>
+#include <cstring>
+#include <string>
+#include <vector>
+
+#include "check/model_checker.hh"
+#include "common/logging.hh"
+
+using namespace spp;
+
+namespace {
+
+struct Options
+{
+    ModelCheckOptions mc;
+    bool single = false;       ///< --protocol given: one config.
+    bool expectCatch = false;
+    std::string report;        ///< Failure artifact directory.
+    std::string replay;        ///< Schedule file to re-execute.
+};
+
+void
+usage(const char *argv0)
+{
+    std::fprintf(
+        stderr,
+        "usage: %s [--cores N] [--workload %s]\n"
+        "          [--depth N] [--max-execs N] [--inject K]\n"
+        "          [--mem-latency T] [--race-delay N]\n"
+        "          [--expect-catch] [--no-prune] [--no-reduce]\n"
+        "          [--report DIR]                      (sweep mode)\n"
+        "   or: %s --protocol P [--predictor K] [--format F] ...\n"
+        "                                             (single mode)\n"
+        "   or: %s --replay FILE                      (replay mode)\n",
+        argv0, modelCheckWorkloads(), argv0, argv0);
+    std::exit(2);
+}
+
+Protocol
+parseProtocol(const std::string &s)
+{
+    if (s == "directory") return Protocol::directory;
+    if (s == "broadcast") return Protocol::broadcast;
+    if (s == "predicted") return Protocol::predicted;
+    if (s == "multicast") return Protocol::multicast;
+    std::fprintf(stderr, "unknown protocol '%s'\n", s.c_str());
+    std::exit(2);
+}
+
+PredictorKind
+parsePredictor(const std::string &s)
+{
+    if (s == "none") return PredictorKind::none;
+    if (s == "sp") return PredictorKind::sp;
+    if (s == "addr") return PredictorKind::addr;
+    if (s == "inst") return PredictorKind::inst;
+    if (s == "uni") return PredictorKind::uni;
+    std::fprintf(stderr, "unknown predictor '%s'\n", s.c_str());
+    std::exit(2);
+}
+
+Options
+parseArgs(int argc, char **argv)
+{
+    Options o;
+    auto num = [&](int &i) -> std::uint64_t {
+        if (i + 1 >= argc)
+            usage(argv[0]);
+        return std::strtoull(argv[++i], nullptr, 10);
+    };
+    auto str = [&](int &i) -> std::string {
+        if (i + 1 >= argc)
+            usage(argv[0]);
+        return argv[++i];
+    };
+    for (int i = 1; i < argc; ++i) {
+        const char *a = argv[i];
+        if (!std::strcmp(a, "--protocol")) {
+            o.single = true;
+            o.mc.protocol = parseProtocol(str(i));
+        } else if (!std::strcmp(a, "--predictor")) {
+            o.mc.predictor = parsePredictor(str(i));
+        } else if (!std::strcmp(a, "--format")) {
+            o.mc.format = sharerFormatFromString(str(i));
+        } else if (!std::strcmp(a, "--cores")) {
+            o.mc.cores = static_cast<unsigned>(num(i));
+        } else if (!std::strcmp(a, "--workload")) {
+            o.mc.workload = str(i);
+            if (!isModelCheckWorkload(o.mc.workload)) {
+                std::fprintf(stderr,
+                             "unknown workload '%s' (expected %s)\n",
+                             o.mc.workload.c_str(),
+                             modelCheckWorkloads());
+                std::exit(2);
+            }
+        } else if (!std::strcmp(a, "--depth")) {
+            o.mc.maxDepth = static_cast<unsigned>(num(i));
+        } else if (!std::strcmp(a, "--max-execs")) {
+            o.mc.maxExecutions = num(i);
+        } else if (!std::strcmp(a, "--inject")) {
+            o.mc.injectBug = static_cast<unsigned>(num(i));
+        } else if (!std::strcmp(a, "--mem-latency")) {
+            o.mc.memLatency = num(i);
+        } else if (!std::strcmp(a, "--race-delay")) {
+            o.mc.raceDelay = static_cast<unsigned>(num(i));
+        } else if (!std::strcmp(a, "--expect-catch")) {
+            o.expectCatch = true;
+        } else if (!std::strcmp(a, "--no-prune")) {
+            o.mc.prune = false;
+        } else if (!std::strcmp(a, "--no-reduce")) {
+            o.mc.reduce = false;
+        } else if (!std::strcmp(a, "--report")) {
+            o.report = str(i);
+        } else if (!std::strcmp(a, "--replay")) {
+            o.replay = str(i);
+        } else {
+            usage(argv[0]);
+        }
+    }
+    return o;
+}
+
+std::string
+scheduleLine(const std::vector<unsigned> &schedule)
+{
+    if (schedule.empty())
+        return "(default order)";
+    std::string s;
+    for (unsigned c : schedule) {
+        if (!s.empty())
+            s += ' ';
+        s += std::to_string(c);
+    }
+    return s;
+}
+
+/** Save failure artifacts; returns the .sched path (or ""). */
+std::string
+saveReport(const Options &o, const ModelCheckOptions &mc,
+           const ModelCheckResult &r)
+{
+    if (o.report.empty())
+        return {};
+    const std::string stem = o.report + "/mc_" +
+        toString(mc.protocol) + "_" + toString(mc.format) + "_" +
+        mc.workload;
+
+    const std::string sched = stem + ".sched";
+    if (std::FILE *f = std::fopen(sched.c_str(), "w")) {
+        const std::string text = scheduleToText(mc, r.schedule);
+        std::fwrite(text.data(), 1, text.size(), f);
+        std::fclose(f);
+    }
+    if (std::FILE *log = std::fopen((stem + ".log").c_str(), "w")) {
+        std::fprintf(log, "reproducer: %s\nschedule: %s\n"
+                     "status: %s\n",
+                     describeModelCheck(mc).c_str(),
+                     scheduleLine(r.schedule).c_str(),
+                     toString(r.failStatus));
+        for (const Violation &v : r.violations)
+            std::fprintf(log, "[tick %llu] %s: %s\n",
+                         static_cast<unsigned long long>(v.tick),
+                         v.rule.c_str(), v.detail.c_str());
+        if (!r.outstanding.empty())
+            std::fprintf(log, "outstanding:\n%s\n",
+                         r.outstanding.c_str());
+        std::fprintf(log, "recent messages:\n%s", r.trace.c_str());
+        std::fclose(log);
+    }
+    return sched;
+}
+
+void
+printFailure(const Options &o, const ModelCheckOptions &mc,
+             const ModelCheckResult &r)
+{
+    std::printf("FAIL %s: status=%s violations=%zu\n",
+                describeModelCheck(mc).c_str(), toString(r.failStatus),
+                r.violations.size());
+    std::printf("  schedule: %s\n", scheduleLine(r.schedule).c_str());
+    for (const Violation &v : r.violations)
+        std::printf("  [tick %llu] %s: %s\n",
+                    static_cast<unsigned long long>(v.tick),
+                    v.rule.c_str(), v.detail.c_str());
+    if (r.failStatus != RunStatus::ok && !r.outstanding.empty())
+        std::printf("  outstanding:\n%s\n", r.outstanding.c_str());
+    const std::string sched = saveReport(o, mc, r);
+    if (!sched.empty())
+        std::printf("saved artifacts: %s (+ .log); replay with "
+                    "bench/model_check --replay %s\n",
+                    sched.c_str(), sched.c_str());
+}
+
+int
+runReplay(const Options &o)
+{
+    std::string text;
+    if (std::FILE *f = std::fopen(o.replay.c_str(), "r")) {
+        char buf[4096];
+        std::size_t n;
+        while ((n = std::fread(buf, 1, sizeof buf, f)) > 0)
+            text.append(buf, n);
+        std::fclose(f);
+    } else {
+        std::fprintf(stderr, "cannot open '%s'\n", o.replay.c_str());
+        return 2;
+    }
+
+    ModelCheckOptions mc = o.mc;
+    std::vector<unsigned> schedule;
+    std::string err;
+    if (!scheduleFromText(text, mc, schedule, &err)) {
+        std::fprintf(stderr, "%s: %s\n", o.replay.c_str(),
+                     err.c_str());
+        return 2;
+    }
+
+    const ModelCheckResult r = replaySchedule(mc, schedule);
+    std::printf("replay %s: schedule [%s] -> status=%s "
+                "violations=%zu choice-points=%llu\n",
+                describeModelCheck(mc).c_str(),
+                scheduleLine(schedule).c_str(),
+                toString(r.failStatus), r.violations.size(),
+                static_cast<unsigned long long>(r.choicePoints));
+    for (const Violation &v : r.violations)
+        std::printf("  [tick %llu] %s: %s\n",
+                    static_cast<unsigned long long>(v.tick),
+                    v.rule.c_str(), v.detail.c_str());
+    if (r.violationFound && !r.trace.empty())
+        std::printf("recent messages:\n%s", r.trace.c_str());
+    return r.violationFound == o.expectCatch ? 0 : 1;
+}
+
+/** The protocol/format grid a sweep covers. */
+std::vector<ModelCheckOptions>
+sweepGrid(const Options &o)
+{
+    std::vector<ModelCheckOptions> grid;
+    auto add = [&](Protocol p, SharerFormat f) {
+        // The injected bugs live in the directory engine; self-test
+        // sweeps only cover protocols exercising that code.
+        if (o.mc.injectBug != 0 && p != Protocol::directory &&
+            p != Protocol::predicted)
+            return;
+        ModelCheckOptions mc = o.mc;
+        mc.protocol = p;
+        mc.format = f;
+        grid.push_back(mc);
+    };
+    for (SharerFormat f : {SharerFormat::full, SharerFormat::coarse,
+                           SharerFormat::limited}) {
+        add(Protocol::directory, f);
+        add(Protocol::predicted, f);
+        add(Protocol::multicast, f);
+    }
+    // Broadcast keeps no sharer sets; one format slot covers it.
+    add(Protocol::broadcast, SharerFormat::full);
+    return grid;
+}
+
+int
+runOne(const Options &o, const ModelCheckOptions &mc, bool verbose,
+       std::size_t &failures)
+{
+    const ModelCheckResult r = modelCheck(mc);
+    std::printf("%-10s %-8s %-10s: %llu execs, %llu choice points "
+                "(max batch %llu), %llu pruned, %llu reduced, "
+                "%llu late-data drops%s%s\n",
+                toString(mc.protocol), toString(mc.format),
+                mc.workload.c_str(),
+                static_cast<unsigned long long>(r.executions),
+                static_cast<unsigned long long>(r.choicePoints),
+                static_cast<unsigned long long>(r.maxBatch),
+                static_cast<unsigned long long>(r.statesPruned),
+                static_cast<unsigned long long>(r.branchesReduced),
+                static_cast<unsigned long long>(r.lateDataDrops),
+                r.complete() ? "" : " [bounded]",
+                r.violationFound ? " FAIL" : "");
+    if (verbose)
+        std::printf("  hashed %llu states, deepest choice vector "
+                    "%zu\n",
+                    static_cast<unsigned long long>(r.statesHashed),
+                    r.deepestChoice);
+    if (r.violationFound) {
+        ++failures;
+        if (!o.expectCatch)
+            printFailure(o, mc, r);
+        else if (verbose)
+            std::printf("  schedule: %s\n",
+                        scheduleLine(r.schedule).c_str());
+    }
+    return r.violationFound ? 1 : 0;
+}
+
+} // namespace
+
+int
+main(int argc, char **argv)
+{
+    const Options o = parseArgs(argc, argv);
+    setQuiet(true);
+
+    if (!o.replay.empty())
+        return runReplay(o);
+
+    std::size_t failures = 0;
+    if (o.single) {
+        runOne(o, o.mc, true, failures);
+    } else {
+        for (const ModelCheckOptions &mc : sweepGrid(o))
+            runOne(o, mc, false, failures);
+    }
+
+    if (o.expectCatch) {
+        if (!failures) {
+            std::printf("expected the injected bug (%u) to be "
+                        "caught, but every schedule passed\n",
+                        o.mc.injectBug);
+            return 1;
+        }
+        std::printf("injected bug %u caught as expected\n",
+                    o.mc.injectBug);
+        return 0;
+    }
+    return failures ? 1 : 0;
+}

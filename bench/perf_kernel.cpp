@@ -76,8 +76,16 @@ struct CellResult
     Tick ticks = 0;
     double wallMs = 0.0;   ///< Best-of-reps.
 
-    double eventsPerSec() const { return events / (wallMs / 1e3); }
-    double missesPerSec() const { return misses / (wallMs / 1e3); }
+    double
+    eventsPerSec() const
+    {
+        return static_cast<double>(events) / (wallMs / 1e3);
+    }
+    double
+    missesPerSec() const
+    {
+        return static_cast<double>(misses) / (wallMs / 1e3);
+    }
 };
 
 struct Options
@@ -231,8 +239,10 @@ main(int argc, char **argv)
         cells.push_back(r);
     }
 
-    const double total_eps = total_events / (total_ms / 1e3);
-    const double total_mps = total_misses / (total_ms / 1e3);
+    const double total_eps =
+        static_cast<double>(total_events) / (total_ms / 1e3);
+    const double total_mps =
+        static_cast<double>(total_misses) / (total_ms / 1e3);
     std::printf("total: %llu events, %llu misses in %.2f ms — "
                 "%.2f Mev/s, %.2f Mmiss/s\n",
                 static_cast<unsigned long long>(total_events),

@@ -211,7 +211,8 @@ evaluateOffline(const EventTrace &trace, const Config &cfg,
     }
 
     if (res.attempted > 0)
-        res.predictedTargets = set_sum / res.attempted;
+        res.predictedTargets =
+            set_sum / static_cast<double>(res.attempted);
     res.storageBits = predictor->storageBits();
     return res;
 }

@@ -105,7 +105,9 @@ struct OfflineResult
     accuracy() const
     {
         return commMisses
-            ? static_cast<double>(sufficient) / commMisses : 0.0;
+            ? static_cast<double>(sufficient) /
+                  static_cast<double>(commMisses)
+            : 0.0;
     }
 };
 

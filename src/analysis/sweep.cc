@@ -140,6 +140,7 @@ SweepRunner::run(const std::vector<SweepJob> &jobs) const
                     Clock::now() - sweep_start)
                     .count();
             std::lock_guard<std::mutex> lock(io_mutex);
+            // lint: allow(std-io) — opt-in progress meter on stderr.
             std::fprintf(stderr,
                          "sweep [%zu/%zu] %s %.0fms "
                          "(elapsed %.0fms)\n",
@@ -157,6 +158,7 @@ SweepRunner::run(const std::vector<SweepJob> &jobs) const
                                                   sweep_start)
             .count();
     if (progress && jobs.size() > 1) {
+        // lint: allow(std-io) — opt-in progress meter on stderr.
         std::fprintf(stderr, "sweep done: %zu jobs on %u thread%s "
                              "in %.0fms\n",
                      jobs.size(), n_workers,
@@ -178,6 +180,7 @@ SweepRunner::run(const std::vector<SweepJob> &jobs) const
 
 void
 SweepRunner::forIndices(
+    // lint: allow(std-function) — pool dispatch, once per sweep cell.
     std::size_t n, const std::function<void(std::size_t)> &fn) const
 {
     if (n == 0)

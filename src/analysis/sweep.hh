@@ -82,6 +82,7 @@ class SweepRunner
   private:
     /** Run fn(0), ..., fn(n-1) on the pool, each index once. */
     void forIndices(std::size_t n,
+                    // lint: allow(std-function) — pool dispatch.
                     const std::function<void(std::size_t)> &fn) const;
 
     unsigned n_threads_;

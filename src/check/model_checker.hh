@@ -1,0 +1,158 @@
+/**
+ * @file
+ * Bounded exhaustive model checker for the coherence protocols.
+ *
+ * Complements the stress fuzzer (check/fuzzer.hh): where the fuzzer
+ * samples many random workloads under the simulator's one canonical
+ * (FIFO) message ordering, the model checker takes one tiny scripted
+ * workload and systematically explores *every* order in which
+ * protocol messages that become deliverable at the same tick can be
+ * delivered. Races the fuzzer can only hit by luck — late data
+ * against a retired transaction, a read overtaking a writeback
+ * notice, predicted requests crossing invalidations — are visited
+ * deterministically.
+ *
+ * Mechanics (stateless / VeriSoft-style search):
+ *  - MemSys::setDeliveryScheduler routes every protocol message
+ *    through the checker instead of the event queue. NoC latency and
+ *    traffic accounting are unchanged (Mesh::inject); only the order
+ *    among messages deliverable at the same tick is permuted.
+ *  - Each batch of >= 2 conflicting ready messages is a choice
+ *    point. One execution = one vector of choice indices; the
+ *    explorer re-executes the whole (deterministic) simulation per
+ *    schedule prefix, depth-first, until every reachable ordering
+ *    has been covered.
+ *  - Partial-order reduction: messages commute unless they target
+ *    the same core or the same line, so only conflicting batch
+ *    members generate branches (DESIGN.md §11 argues soundness and
+ *    lists the caveats).
+ *  - State pruning: at every choice point the full coherence state
+ *    (caches, MSHRs, writeback buffers, locks, directories, pending
+ *    messages, event-timing profile, workload progress) is hashed;
+ *    revisiting a hash suppresses re-branching below it. Hashing is
+ *    approximate (see DESIGN.md §11) — --no-prune forces the full
+ *    tree.
+ *
+ * Every execution runs under the ProtocolChecker in record mode; a
+ * violation (or deadlock/timeout) stops the search, the failing
+ * choice vector is greedily minimized, and the result is replayable
+ * via bench/model_check --replay with the same artifact format the
+ * fuzzer emits.
+ */
+
+#ifndef SPP_CHECK_MODEL_CHECKER_HH
+#define SPP_CHECK_MODEL_CHECKER_HH
+
+#include <string>
+#include <vector>
+
+#include "check/protocol_checker.hh"
+#include "common/config.hh"
+#include "sim/cmp_system.hh"
+
+namespace spp {
+
+/** Everything defining one exploration; fully reproducible. */
+struct ModelCheckOptions
+{
+    Protocol protocol = Protocol::directory;
+    /** none resolves to the protocol's default (sp where needed). */
+    PredictorKind predictor = PredictorKind::none;
+    SharerFormat format = SharerFormat::full;
+    unsigned cores = 2;
+    /** Scripted workload name; see modelCheckWorkloads(). */
+    std::string workload = "conflict";
+    unsigned injectBug = 0;     ///< Config::injectBug pass-through.
+
+    /** Choice points beyond this depth take the default (FIFO)
+     * branch without registering alternatives; 0 = unbounded. */
+    unsigned maxDepth = 0;
+    /** Stop after this many executions; 0 = unbounded. */
+    std::uint64_t maxExecutions = 0;
+    /** Per-execution tick budget (a hung schedule is a finding). */
+    Tick maxTicks = 1'000'000;
+    /** Memory latency for the tiny config. The default paper value
+     * (150) puts memory data hopelessly behind every cache-to-cache
+     * path; a handful of ticks makes the late/speculative data races
+     * reachable. Witness tests tune this per scenario. */
+    Tick memLatency = 8;
+    /** wbrace only: compute instructions core 1 burns before its one
+     * read, phasing it against core 0's dirty eviction. The
+     * in-flight-writeback window is narrow (roughly delay 160..190 at
+     * 3 cores / memLatency 8) and cannot self-align: any earlier read
+     * downgrades the line and makes the eviction clean. The witness
+     * test sweeps a small range around this default. */
+    unsigned raceDelay = 175;
+
+    bool prune = true;          ///< State-hash revisit suppression.
+    bool reduce = true;         ///< Conflict-based branch reduction.
+    bool stopOnViolation = true;///< Halt the search at first failure.
+    /** Extra executions allowed for schedule minimization. */
+    unsigned minimizeBudget = 64;
+};
+
+/** Outcome of one exploration (or one replay). */
+struct ModelCheckResult
+{
+    std::uint64_t executions = 0;
+    std::uint64_t choicePoints = 0;   ///< Summed over executions.
+    std::uint64_t statesHashed = 0;
+    std::uint64_t statesPruned = 0;   ///< Revisits that cut branching.
+    std::uint64_t branchesReduced = 0;///< Independent members skipped.
+    std::uint64_t maxBatch = 0;       ///< Largest same-tick ready set.
+    std::size_t deepestChoice = 0;    ///< Longest choice vector seen.
+    /** Late-data drops observed across all executions (the PR 3 race
+     * windows; broadcast/multicast witness observable). */
+    std::uint64_t lateDataDrops = 0;
+    bool hitDepthLimit = false;
+    bool hitExecLimit = false;
+
+    // First failing execution, if any.
+    bool violationFound = false;
+    RunStatus failStatus = RunStatus::ok;
+    /** Minimized failing choice vector (empty: default order). */
+    std::vector<unsigned> schedule;
+    std::vector<Violation> violations;
+    std::string trace;          ///< Checker message ring (failures).
+    std::string outstanding;    ///< dumpOutstanding (hangs).
+
+    /** Every reachable ordering (under the enabled reductions) was
+     * visited — no artificial limit cut the search. */
+    bool complete() const { return !hitDepthLimit && !hitExecLimit; }
+    bool failed() const { return violationFound; }
+};
+
+/** The tiny-system Config an exploration runs under. */
+Config modelCheckConfig(const ModelCheckOptions &o);
+
+/** Exhaustively explore; never terminates the process. */
+ModelCheckResult modelCheck(const ModelCheckOptions &o);
+
+/**
+ * Re-execute exactly one schedule (a prior result's choice vector)
+ * and report that single execution's outcome.
+ */
+ModelCheckResult replaySchedule(const ModelCheckOptions &o,
+                                const std::vector<unsigned> &schedule);
+
+/** Render as a replayable bench/model_check invocation. */
+std::string describeModelCheck(const ModelCheckOptions &o);
+
+/**
+ * Schedule-file round trip ("# spp model_check schedule v1": the
+ * options defining the run plus the choice vector, line-oriented
+ * text). parse returns false (with *err set) on malformed input.
+ */
+std::string scheduleToText(const ModelCheckOptions &o,
+                           const std::vector<unsigned> &schedule);
+bool scheduleFromText(const std::string &text, ModelCheckOptions &o,
+                      std::vector<unsigned> &schedule,
+                      std::string *err = nullptr);
+
+/** "conflict|writeback|pingpong|race|wbrace" (CLI help, validation). */
+const char *modelCheckWorkloads();
+bool isModelCheckWorkload(const std::string &name);
+
+} // namespace spp
+
+#endif // SPP_CHECK_MODEL_CHECKER_HH

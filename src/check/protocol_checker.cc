@@ -256,8 +256,10 @@ ProtocolChecker::checkQuiescent()
     // system drained no lock gates it.
     std::vector<Addr> lines;
     lines.reserve(max_seen_.size() + mem_.mem_version_.size());
+    // lint: allow(unordered-iter) — collected, then sorted below.
     for (const auto &[line, ver] : max_seen_)
         lines.push_back(line);
+    // lint: allow(unordered-iter) — collected, then sorted below.
     for (const auto &[line, ver] : mem_.mem_version_)
         lines.push_back(line);
     std::sort(lines.begin(), lines.end());

@@ -103,6 +103,7 @@ BroadcastMemSys::onData(const Msg &msg)
         SPP_ASSERT(msg.fromMemory,
                    "broadcast peer data for missing txn at core {}",
                    msg.dst);
+        ++late_data_drops_;
         return;
     }
     // absorbData resolves the speculative-fill race: owner data is
@@ -413,6 +414,7 @@ BroadcastMemSys::handleMsg(const Msg &m)
 {
     if (const char *dbg = std::getenv("SPP_DEBUG_LINE")) {
         if (m.line == static_cast<Addr>(std::atoll(dbg))) {
+            // lint: allow(std-io) — SPP_DEBUG_LINE opt-in tracer.
             std::fprintf(stderr,
                          "[%8lu] bc %-10s line %lu %u->%u req=%u "
                          "txn=%lu hadCopy=%d owner=%d\n",
@@ -462,6 +464,26 @@ BroadcastMemSys::handleMsg(const Msg &m)
       default:
         SPP_PANIC("broadcast protocol got {}", toString(m.type));
     }
+}
+
+void
+BroadcastMemSys::hashState(StateHasher &h) const
+{
+    MemSys::hashState(h);
+    spec_fetch_.forEach([&](std::uint64_t line, const SpecFetch &f) {
+        StateHasher sub;
+        sub.mix(line);
+        sub.mix(f.key.requester);
+        sub.mix(f.key.txn);
+        sub.mix(f.cancelled);
+        h.mixUnordered(sub.value());
+    });
+    lingering_.forEach([&](std::uint64_t txn, const Mshr &m) {
+        StateHasher sub;
+        sub.mix(txn);
+        hashMshr(sub, m);
+        h.mixUnordered(sub.value());
+    });
 }
 
 } // namespace spp

@@ -50,6 +50,17 @@ class BroadcastMemSys : public MemSys
         return sum;
     }
 
+    void hashState(StateHasher &h) const override;
+
+    /**
+     * Late data messages dropped because their transaction had fully
+     * retired (a speculative memory fetch losing the race against the
+     * owner's cache-to-cache response). A correctness-relevant
+     * ordering window: the model checker's race-witness tests assert
+     * exploration actually drives executions into it.
+     */
+    std::uint64_t lateDataDrops() const { return late_data_drops_; }
+
   protected:
     void startMiss(Mshr &m) override;
     void handleMsg(const Msg &m) override;
@@ -92,6 +103,7 @@ class BroadcastMemSys : public MemSys
     PooledMap<SpecFetch> spec_fetch_;
     /** Resumed-but-not-drained transactions, keyed by txn id. */
     PooledMap<Mshr> lingering_;
+    std::uint64_t late_data_drops_ = 0;
 };
 
 } // namespace spp

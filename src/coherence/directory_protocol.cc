@@ -650,6 +650,7 @@ DirectoryMemSys::handleMsg(const Msg &m)
 {
     if (const char *dbg = std::getenv("SPP_DEBUG_LINE")) {
         if (m.line == static_cast<Addr>(std::atoll(dbg))) {
+            // lint: allow(std-io) — SPP_DEBUG_LINE opt-in tracer.
             std::fprintf(stderr,
                          "[%8lu] %-10s line %lu %u->%u req=%u txn=%lu "
                          "pred=%d set=%s\n",
@@ -722,6 +723,7 @@ DirectoryMemSys::dirEntry(Addr line) const
 void
 DirectoryMemSys::checkDirectory() const
 {
+    // lint: allow(unordered-iter) — order-independent assertion scan.
     for (const auto &[line, e] : dir_) {
         if (e.owner != invalidCore) {
             SPP_ASSERT(e.sharers.test(e.owner),
@@ -747,6 +749,53 @@ DirectoryMemSys::checkDirectory() const
                            e.owner);
             }
         }
+    }
+}
+
+void
+DirectoryMemSys::hashState(StateHasher &h) const
+{
+    MemSys::hashState(h);
+    // Sharer trackers hash by behavior: members() + overflow is
+    // injective up to behavioral equivalence in every format (an
+    // overflowed limited entry acts the same whatever its retained
+    // pointers).
+    // lint: allow(unordered-iter) — commutative fold.
+    for (const auto &[line, e] : dir_) {
+        StateHasher sub;
+        sub.mix(line);
+        sub.mix(e.owner);
+        sub.mix(e.sharers.overflowed());
+        hashCoreSet(sub, e.sharers.members());
+        h.mixUnordered(sub.value());
+    }
+    txns_.forEach([&](std::uint64_t line, const DirTxn &t) {
+        StateHasher sub;
+        sub.mix(line);
+        sub.mix(t.key.requester);
+        sub.mix(t.key.txn);
+        sub.mix(t.waitingPeer);
+        h.mixUnordered(sub.value());
+    });
+    // lint: allow(unordered-iter) — commutative fold.
+    for (const auto &[line, keys] : early_pred_failed_) {
+        StateHasher sub;
+        sub.mix(line);
+        for (const TxnKey &k : keys) {
+            sub.mix(k.requester);
+            sub.mix(k.txn);
+        }
+        h.mixUnordered(sub.value());
+    }
+    // lint: allow(unordered-iter) — commutative fold.
+    for (const auto &[line, keys] : early_unblock_) {
+        StateHasher sub;
+        sub.mix(~line);
+        for (const TxnKey &k : keys) {
+            sub.mix(k.requester);
+            sub.mix(k.txn);
+        }
+        h.mixUnordered(sub.value());
     }
 }
 

@@ -71,6 +71,8 @@ class DirectoryMemSys : public MemSys
 
     PoolStats txnPoolStats() const override { return txns_.stats(); }
 
+    void hashState(StateHasher &h) const override;
+
   protected:
     void startMiss(Mshr &m) override;
     void handleMsg(const Msg &m) override;

@@ -29,6 +29,7 @@
 #include <unordered_map>
 #include <vector>
 
+#include "common/hash.hh"
 #include "common/logging.hh"
 #include "common/types.hh"
 #include "event/event_queue.hh"
@@ -131,11 +132,35 @@ class LineLockTable
     /** Number of lines currently locked (for drain checks). */
     std::size_t lockedLines() const { return locks_.size(); }
 
+    /**
+     * Fold holders and ordered wait queues into @p h (model-checker
+     * state hashing). Map iteration order must not leak into the
+     * digest, so lines fold commutatively; each line's queue folds in
+     * FIFO order because hand-off order is part of the state.
+     */
+    void
+    hashInto(StateHasher &h) const
+    {
+        // lint: allow(unordered-iter) — commutative fold.
+        for (const auto &[line, e] : locks_) {
+            StateHasher sub;
+            sub.mix(line);
+            sub.mix(e.holder.requester);
+            sub.mix(e.holder.txn);
+            for (std::size_t i = e.head; i < e.waiters.size(); ++i) {
+                sub.mix(e.waiters[i].key.requester);
+                sub.mix(e.waiters[i].key.txn);
+            }
+            h.mixUnordered(sub.value());
+        }
+    }
+
     /** Describe all held locks (deadlock diagnostics). */
     template <typename Out>
     void
     dump(Out &&emit) const
     {
+        // lint: allow(unordered-iter) — diagnostic dump only.
         for (const auto &[line, entry] : locks_)
             emit(line, entry.holder, entry.waiterCount());
     }

@@ -623,12 +623,19 @@ MemSys::sendPooled(Msg *slot)
     // capture the Msg by value); sends they issue take other slots.
     // checker_ is re-read at delivery time so detaching mid-flight
     // is safe; the checker sees the pre-handler state of the system.
-    mesh_.send(pkt, [this, slot]() {
+    const Tick arrive = mesh_.inject(pkt);
+    Mesh::DeliverFn deliver = [this, slot]() {
         if (checker_) [[unlikely]]
             checker_->onDeliver(*slot);
         handleMsg(*slot);
         msg_pool_.release(slot);
-    });
+    };
+    if (delivery_scheduler_ != nullptr) [[unlikely]] {
+        delivery_scheduler_->onMessage(arrive, *slot,
+                                       std::move(deliver));
+    } else {
+        eq_.schedule(arrive, std::move(deliver));
+    }
 }
 
 void
@@ -663,6 +670,97 @@ MemSys::depositMemVersion(Addr line, std::uint64_t version)
     std::uint64_t &v = mem_version_[line];
     if (version > v)
         v = version;
+}
+
+// ---------------------------------------------------------------------
+// Model-checker state hashing
+// ---------------------------------------------------------------------
+
+void
+MemSys::hashCoreSet(StateHasher &h, const CoreSet &s)
+{
+    // Members in ascending order, then a terminator so e.g. {1} into
+    // one set and {2} into the next cannot alias {1,2} into the first.
+    for (CoreId c : s)
+        h.mix(c);
+    h.mix(~std::uint64_t{0});
+}
+
+void
+MemSys::hashMshr(StateHasher &h, const Mshr &m)
+{
+    h.mix(m.core);
+    h.mix(m.line);
+    h.mix(std::uint64_t{m.isWrite} |
+          std::uint64_t{m.hadLine} << 1 |
+          std::uint64_t{m.needData} << 2 |
+          std::uint64_t{m.dataReceived} << 3 |
+          std::uint64_t{m.dataFromPeer} << 4 |
+          std::uint64_t{m.grantReceived} << 5 |
+          std::uint64_t{m.predFailedSent} << 6 |
+          std::uint64_t{m.peerHadCopy} << 7 |
+          std::uint64_t{m.ordered} << 8 |
+          std::uint64_t{m.coreResumed} << 9);
+    h.mix(m.txn);
+    hashCoreSet(h, m.mustAck);
+    hashCoreSet(h, m.ackedBy);
+    hashCoreSet(h, m.nackedBy);
+    hashCoreSet(h, m.retried);
+    h.mix(m.predRespPending);
+    h.mix(m.peerResponses);
+    h.mix(m.dataSource);
+    h.mix(static_cast<std::uint64_t>(m.fillState));
+    h.mix(m.version);
+}
+
+void
+MemSys::hashState(StateHasher &h) const
+{
+    for (unsigned c = 0; c < n_cores_; ++c) {
+        StateHasher core;
+        core.mix(c);
+        // Cache arrays enumerate valid lines in set/way order, which
+        // is a function of contents only — safe to fold ordered.
+        // lastPc is deliberately excluded: it feeds only predictor
+        // training (excluded by design, see hashState's declaration).
+        l2_[c]->forEachValid([&](const CacheLine &l) {
+            core.mix(l.tag);
+            core.mix(static_cast<std::uint64_t>(l.state));
+            core.mix(l.version);
+        });
+        l1_[c]->forEachValid([&](const CacheLine &l) {
+            core.mix(l.tag);
+            core.mix(static_cast<std::uint64_t>(l.state));
+            core.mix(l.version);
+        });
+        // PooledMap iteration order depends on allocation history, so
+        // writeback-buffer entries fold commutatively.
+        wb_buffer_[c].forEach([&](Addr line, const WbEntry &wb) {
+            StateHasher sub;
+            sub.mix(line);
+            sub.mix(static_cast<std::uint64_t>(wb.state));
+            sub.mix(wb.version);
+            sub.mix(wb.txn);
+            sub.mix(wb.noticed);
+            sub.mix(wb.stalled.size());
+            core.mixUnordered(sub.value());
+        });
+        core.mix(mshr_[c].has_value());
+        if (mshr_[c].has_value())
+            hashMshr(core, *mshr_[c]);
+        h.mix(core.value());
+    }
+    locks_.hashInto(h);
+    // lint: allow(unordered-iter) — commutative fold.
+    for (const auto &[line, v] : mem_version_) {
+        StateHasher sub;
+        sub.mix(line);
+        sub.mix(v);
+        h.mixUnordered(sub.value());
+    }
+    h.mix(version_counter_);
+    h.mix(txn_counter_);
+    h.mix(outstanding_wb_);
 }
 
 // ---------------------------------------------------------------------

@@ -31,6 +31,7 @@
 #include "coherence/messages.hh"
 #include "common/config.hh"
 #include "common/core_set.hh"
+#include "common/hash.hh"
 #include "common/pool.hh"
 #include "common/stats.hh"
 #include "common/types.hh"
@@ -45,6 +46,31 @@
 namespace spp {
 
 class ProtocolChecker;
+
+/**
+ * Hook between message injection and delivery scheduling. When
+ * attached (MemSys::setDeliveryScheduler), every protocol message
+ * still pays its full NoC cost — Mesh::inject computes the arrival
+ * tick and accounts traffic exactly as in a normal run — but instead
+ * of the mesh scheduling the delivery, the hook receives (arrival
+ * tick, message, delivery action) and becomes responsible for running
+ * the action at that tick. The model checker uses this to permute the
+ * delivery order of messages that become ready at the same tick; a
+ * null hook (the default) keeps the one-branch-per-send fast path.
+ */
+class DeliveryScheduler
+{
+  public:
+    virtual ~DeliveryScheduler() = default;
+
+    /**
+     * Take ownership of delivering @p m: run @p deliver exactly once
+     * at tick @p arrive (never earlier). @p m aliases the pooled
+     * message slot, which stays valid until @p deliver returns.
+     */
+    virtual void onMessage(Tick arrive, const Msg &m,
+                           EventQueue::Action deliver) = 0;
+};
 
 /** Everything a caller learns about one finished memory access. */
 struct AccessOutcome
@@ -117,6 +143,7 @@ struct CoreMemStats
 class MemSys
 {
   public:
+    // lint: allow(std-function) — one per core-side access slot, bound at miss issue, not per event.
     using DoneFn = std::function<void(const AccessOutcome &)>;
 
     MemSys(const Config &cfg, EventQueue &eq, Mesh &mesh,
@@ -202,6 +229,33 @@ class MemSys
      * keeps ownership and must outlive the attachment.
      */
     void setChecker(ProtocolChecker *checker) { checker_ = checker; }
+
+    /**
+     * Attach (or detach, with nullptr) a delivery scheduler that
+     * takes over running delivery actions (model checking). At most
+     * one; the caller keeps ownership and must outlive the
+     * attachment. Attach before any traffic flows: messages already
+     * scheduled through the event queue are not re-routed.
+     */
+    void
+    setDeliveryScheduler(DeliveryScheduler *s)
+    {
+        delivery_scheduler_ = s;
+    }
+
+    /**
+     * Fold every behavior-relevant piece of coherence state into
+     * @p h: cache contents, writeback buffers, MSHRs, line locks,
+     * memory versions and the version/transaction counters.
+     * Subclasses extend it with their protocol-engine state
+     * (directory entries, in-flight transaction tables, lingering
+     * transactions). Statistics are deliberately excluded — they
+     * never feed back into protocol decisions — and predictor
+     * internals are excluded by design (see DESIGN.md §11: they
+     * steer only *which* requests are predicted, not whether the
+     * protocol is allowed to behave as observed).
+     */
+    virtual void hashState(StateHasher &h) const;
 
     /** Describe outstanding MSHRs/writebacks/locks (deadlock digs). */
     virtual std::string dumpOutstanding() const;
@@ -368,6 +422,12 @@ class MemSys
     void trainExternalAt(CoreId observer, Addr line, CoreId requester,
                          bool is_write);
 
+    /** Fold one MSHR into @p h (hashState helpers). */
+    static void hashMshr(StateHasher &h, const Mshr &m);
+
+    /** Fold a CoreSet into @p h. */
+    static void hashCoreSet(StateHasher &h, const CoreSet &s);
+
     const Config &cfg_;
     EventQueue &eq_;
     Mesh &mesh_;
@@ -390,6 +450,7 @@ class MemSys
     std::unordered_map<Addr, std::uint64_t> mem_version_;
     std::uint64_t outstanding_wb_ = 0;
     ProtocolChecker *checker_ = nullptr;
+    DeliveryScheduler *delivery_scheduler_ = nullptr;
 
     /**
      * Freelist of in-flight coherence messages. A message occupies a

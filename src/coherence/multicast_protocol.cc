@@ -108,6 +108,7 @@ MulticastMemSys::onData(const Msg &msg)
         SPP_ASSERT(msg.fromMemory,
                    "multicast peer data for missing txn at core {}",
                    msg.dst);
+        ++late_data_drops_;
         return;
     }
     // Duplicates are reachable here for the same reason: the buffer
@@ -482,6 +483,27 @@ MulticastMemSys::dumpOutstanding() const
     out += strfmt("insufficient multicast masks: {}\n",
                   insufficient_masks_);
     return out;
+}
+
+void
+MulticastMemSys::hashState(StateHasher &h) const
+{
+    MemSys::hashState(h);
+    // lint: allow(unordered-iter) — commutative fold.
+    for (const auto &[line, e] : dir_) {
+        StateHasher sub;
+        sub.mix(line);
+        sub.mix(e.owner);
+        sub.mix(e.sharers.overflowed());
+        hashCoreSet(sub, e.sharers.members());
+        h.mixUnordered(sub.value());
+    }
+    lingering_.forEach([&](std::uint64_t txn, const Mshr &m) {
+        StateHasher sub;
+        sub.mix(txn);
+        hashMshr(sub, m);
+        h.mixUnordered(sub.value());
+    });
 }
 
 } // namespace spp

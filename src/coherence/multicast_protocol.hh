@@ -55,6 +55,17 @@ class MulticastMemSys : public MemSys
         return insufficient_masks_;
     }
 
+    void hashState(StateHasher &h) const override;
+
+    /**
+     * Late memory-data messages dropped because their transaction had
+     * fully retired (an evicted owner's writeback buffer answering a
+     * predicted snoop while home memory data is still in flight). The
+     * model checker's race-witness tests assert exploration reaches
+     * this window.
+     */
+    std::uint64_t lateDataDrops() const { return late_data_drops_; }
+
     /** Peek the memory-side verification directory (tests). */
     const DirEntry *
     dirEntry(Addr line) const
@@ -98,6 +109,7 @@ class MulticastMemSys : public MemSys
      * per-miss churn, so entries come from a pool. */
     PooledMap<Mshr> lingering_;
     std::uint64_t insufficient_masks_ = 0;
+    std::uint64_t late_data_drops_ = 0;
 };
 
 } // namespace spp

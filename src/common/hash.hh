@@ -1,0 +1,74 @@
+/**
+ * @file
+ * Incremental state hashing for the model checker.
+ *
+ * StateHasher folds a stream of 64-bit words into one digest. Two
+ * folding modes cover the two container shapes the simulator stores
+ * state in:
+ *
+ *  - mix(): order-sensitive. Use for sequences whose order is part of
+ *    the state (FIFO wait queues, per-core arrays walked in index
+ *    order, script cursors).
+ *  - mixUnordered(): order-insensitive (commutative sum of finalized
+ *    element digests). Use for hash-map contents, whose iteration
+ *    order depends on insertion history and must not leak into the
+ *    digest. Fold each *element* into its own StateHasher first and
+ *    feed the finished value here, so element fields stay
+ *    order-sensitive inside an order-free collection.
+ *
+ * The digest is a deterministic function of the folded words only —
+ * no pointers, no iteration-order artifacts — so equal logical states
+ * reached along different execution paths hash equal, which is what
+ * the model checker's visited-state pruning relies on.
+ */
+
+#ifndef SPP_COMMON_HASH_HH
+#define SPP_COMMON_HASH_HH
+
+#include <cstdint>
+
+namespace spp {
+
+/** Accumulates a 64-bit digest of a stream of words. */
+class StateHasher
+{
+  public:
+    /** splitmix64 finalizer: the bijective mixing step. */
+    static std::uint64_t
+    mix64(std::uint64_t x)
+    {
+        x += 0x9e37'79b9'7f4a'7c15ULL;
+        x = (x ^ (x >> 30)) * 0xbf58'476d'1ce4'e5b9ULL;
+        x = (x ^ (x >> 27)) * 0x94d0'49bb'1331'11ebULL;
+        return x ^ (x >> 31);
+    }
+
+    /** Fold @p v order-sensitively. */
+    void
+    mix(std::uint64_t v)
+    {
+        ordered_ = mix64(ordered_ ^ v);
+    }
+
+    /** Fold @p v order-insensitively (commutative). */
+    void
+    mixUnordered(std::uint64_t v)
+    {
+        unordered_ += mix64(v);
+    }
+
+    /** The digest of everything folded so far. */
+    std::uint64_t
+    value() const
+    {
+        return mix64(ordered_ ^ (unordered_ * 0x2545'f491'4f6c'dd1dULL));
+    }
+
+  private:
+    std::uint64_t ordered_ = 0x6a09'e667'f3bc'c908ULL;
+    std::uint64_t unordered_ = 0;
+};
+
+} // namespace spp
+
+#endif // SPP_COMMON_HASH_HH

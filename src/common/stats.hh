@@ -76,7 +76,11 @@ class Average
         min_ = count_ == 1 ? v : std::min(min_, v);
     }
 
-    double mean() const { return count_ ? sum_ / count_ : 0.0; }
+    double
+    mean() const
+    {
+        return count_ ? sum_ / static_cast<double>(count_) : 0.0;
+    }
     double sum() const { return sum_; }
     std::uint64_t count() const { return count_; }
     double max() const { return max_; }

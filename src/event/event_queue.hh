@@ -220,6 +220,60 @@ class EventQueue
     /** Total number of events executed so far. */
     std::uint64_t executed() const { return executed_; }
 
+    /**
+     * Enumerate the due tick of every pending event as
+     * fn(Tick when, std::size_t count), in ascending tick order.
+     * Event actions themselves are opaque; this exposes exactly the
+     * queue's *timing* profile, which the model checker folds into
+     * its state hash (two states with different in-flight event
+     * schedules must not be identified). O(windowSlots + far log far)
+     * — a model-checking path, not a hot path.
+     */
+    template <typename Fn>
+    void
+    forEachPendingTick(Fn fn) const
+    {
+        // Far entries first into a sorted scratch list: the heap's
+        // internal layout depends on insertion history and must not
+        // leak into enumeration order.
+        std::vector<Tick> far_ticks;
+        far_ticks.reserve(far_.size());
+        for (const FarEntry &e : far_)
+            far_ticks.push_back(e.when);
+        std::sort(far_ticks.begin(), far_ticks.end());
+
+        std::size_t fi = 0;
+        const std::size_t base = cur_tick_ & windowMask;
+        for (std::size_t k = 0; k < windowSlots; ++k) {
+            const std::size_t idx = (base + k) & windowMask;
+            const Slot &slot = slots_[idx];
+            const std::size_t n = slot.fifo.size() - slot.head;
+            if (n == 0)
+                continue;
+            // Far entries due at or before this slot tick precede it
+            // (far entries for a tick always predate slot entries for
+            // the same tick; see the class comment).
+            const Tick when = cur_tick_ + k;
+            while (fi < far_ticks.size() && far_ticks[fi] <= when) {
+                std::size_t c = 1;
+                while (fi + c < far_ticks.size() &&
+                       far_ticks[fi + c] == far_ticks[fi])
+                    ++c;
+                fn(far_ticks[fi], c);
+                fi += c;
+            }
+            fn(when, n);
+        }
+        while (fi < far_ticks.size()) {
+            std::size_t c = 1;
+            while (fi + c < far_ticks.size() &&
+                   far_ticks[fi + c] == far_ticks[fi])
+                ++c;
+            fn(far_ticks[fi], c);
+            fi += c;
+        }
+    }
+
     /** Near-time window width in ticks (and slots). */
     static constexpr std::size_t windowSlots = 1024;
 

@@ -76,6 +76,12 @@ Mesh::zeroLoadLatency(unsigned n_hops, unsigned bytes) const
 void
 Mesh::send(const Packet &pkt, DeliverFn on_delivery)
 {
+    eq_.schedule(inject(pkt), std::move(on_delivery));
+}
+
+Tick
+Mesh::inject(const Packet &pkt)
+{
     SPP_ASSERT(pkt.src < n_cores_ && pkt.dst < n_cores_,
                "packet endpoints out of range: {} -> {}", pkt.src,
                pkt.dst);
@@ -118,7 +124,7 @@ Mesh::send(const Packet &pkt, DeliverFn on_delivery)
     }
 
     stats_.packetLatency.sample(static_cast<double>(arrive - now));
-    eq_.schedule(arrive, std::move(on_delivery));
+    return arrive;
 }
 
 } // namespace spp

@@ -20,7 +20,6 @@
 
 #include <array>
 #include <cstdint>
-#include <functional>
 #include <vector>
 
 #include "common/config.hh"
@@ -72,6 +71,17 @@ class Mesh
      * pipeline only.
      */
     void send(const Packet &pkt, DeliverFn on_delivery);
+
+    /**
+     * Inject @p pkt without scheduling a delivery: accounts traffic,
+     * reserves links (under contention modeling) and returns the
+     * arrival tick. send() is inject() plus scheduling the callback;
+     * callers that route delivery through their own scheduler (the
+     * model checker's interleaving explorer) use inject() directly,
+     * so the NoC timing/accounting model stays identical in both
+     * modes.
+     */
+    Tick inject(const Packet &pkt);
 
     /**
      * Zero-load latency of a packet of @p bytes over @p n_hops hops:

@@ -60,10 +60,12 @@ class CmpSystem
 {
   public:
     /** Factory producing the per-thread program. */
+    // lint: allow(std-function) — setup-time binding, not per-event.
     using ThreadFn = std::function<Task(ThreadContext &)>;
 
     /** Observer of every completed memory access (tracing). */
     using AccessObserver =
+        // lint: allow(std-function) — optional tracing hook; unbound in timed runs.
         std::function<void(CoreId, Addr, Pc, const AccessOutcome &)>;
 
     explicit CmpSystem(const Config &cfg);

@@ -26,6 +26,7 @@ class [[nodiscard]] Task
     struct promise_type
     {
         std::coroutine_handle<> continuation;
+        // lint: allow(std-function) — fires once per top-level task.
         std::function<void()> onDone;
 
         Task
@@ -85,6 +86,7 @@ class [[nodiscard]] Task
 
     /** Start a top-level task; @p on_done fires at completion. */
     void
+    // lint: allow(std-function) — once per thread program.
     start(std::function<void()> on_done = {})
     {
         handle_.promise().onDone = std::move(on_done);

@@ -45,6 +45,7 @@ inline constexpr Pc syncPcBase = 0xff00'0000;
 class ThreadContext
 {
   public:
+    // lint: allow(std-function) — coroutine resume capsule; one live per blocked thread.
     using Action = std::function<void()>;
 
     ThreadContext(CmpSystem &sys, CoreId core, unsigned n_threads,
@@ -65,6 +66,7 @@ class ThreadContext
     struct Op
     {
         ThreadContext *tc;
+        // lint: allow(std-function) — one per co_await suspension, not per event.
         std::function<void(Action)> fn;
 
         bool await_ready() const noexcept { return false; }

@@ -42,6 +42,7 @@ struct SyncStats
 class SyncManager
 {
   public:
+    // lint: allow(std-function) — blocked-thread wakeup capsule, not per-event.
     using Action = std::function<void()>;
 
     SyncManager(const Config &cfg, EventQueue &eq, Addr sync_base);

@@ -33,6 +33,7 @@ namespace spp {
 class MetricRegistry
 {
   public:
+    // lint: allow(std-function) — sampled at report time only.
     using Gauge = std::function<double()>;
 
     /** Register a cumulative Counter. */

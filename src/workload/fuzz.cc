@@ -36,7 +36,8 @@ fuzzProgram(ThreadContext &ctx, FuzzWorkloadParams p)
     constexpr Pc pc0 = 0x00fa'0000;
 
     for (unsigned seg = 0; seg < p.segments; ++seg) {
-        const unsigned kind = skel.below(kNumKinds);
+        const unsigned kind =
+            static_cast<unsigned>(skel.below(kNumKinds));
         const unsigned hot_count =
             1 + static_cast<unsigned>(skel.below(6));
         std::uint64_t hot[6];

@@ -49,6 +49,7 @@ struct WorkloadSpec
     unsigned paperStaticCS;     ///< Paper: # static critical sections.
     unsigned paperStaticEpochs; ///< Paper: # static sync-epochs.
     unsigned paperDynEpochs;    ///< Paper: total dyn. epochs per core.
+    // lint: allow(std-function) — setup-time binding, not per-event.
     std::function<Task(ThreadContext &, const WorkloadParams &)> run;
 };
 

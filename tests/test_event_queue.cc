@@ -270,7 +270,7 @@ spawnChildren(std::uint64_t id, std::uint64_t seed, spp::Tick now,
               SpawnFn &&spawn)
 {
     const std::uint64_t h = mix64(id ^ seed);
-    const unsigned n_children = h % 3;
+    const unsigned n_children = static_cast<unsigned>(h % 3);
     if (idDepth(id) >= 6)
         return;
     for (unsigned k = 1; k <= n_children; ++k) {

@@ -47,8 +47,9 @@ TEST(EventTrace, RecordsMissesAndSyncPoints)
             comm += e.communicating;
             EXPECT_LT(e.core, 16u);
             EXPECT_EQ(e.line % 64, 0u);
-            if (e.communicating)
+            if (e.communicating) {
                 EXPECT_FALSE(e.targets.empty());
+            }
         } else {
             ++syncs;
         }

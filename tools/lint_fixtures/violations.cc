@@ -1,0 +1,27 @@
+// Lint self-test fixture: every rule in tools/lint_sim.py must fire
+// at least once on this file. Never compiled.
+
+#include <cstdio>
+#include <functional>
+#include <random>
+#include <unordered_map>
+
+void
+violations()
+{
+    std::unordered_map<int, int> m;
+    for (const auto &kv : m) // unordered-iter
+        (void)kv;
+
+    int *p = new int(7); // raw-new-delete
+    delete p;            // raw-new-delete
+
+    std::function<void()> f = [] {}; // std-function
+    f();
+
+    (void)rand();         // raw-random
+    std::mt19937 rng(42); // raw-random
+    (void)rng();
+
+    std::printf("hello\n"); // std-io
+}
