@@ -18,6 +18,12 @@
  * write per-job time-series CSVs, Chrome-trace timelines and run
  * manifests into DIR; SPP_TELEMETRY_PERIOD overrides the sampling
  * cadence in ticks. Off by default at zero cost.
+ *
+ * Attribution: pass --attribution DIR (or set SPP_ATTRIBUTION=DIR)
+ * to write per-job attribution.{json,txt} artifacts — per-sync-point
+ * misprediction and traffic accounting — into DIR;
+ * SPP_ATTRIBUTION_TOPK / SPP_ATTRIBUTION_REGION tune the store.
+ * Off by default at zero cost.
  */
 
 #ifndef SPP_BENCH_BENCH_COMMON_HH
@@ -59,6 +65,10 @@ inline SharerFormat g_format = SharerFormat::full;
  * unless --telemetry or SPP_TELEMETRY names a directory. */
 inline TelemetryOptions g_telemetry;
 
+/** Attribution knobs shared by every config factory below; disabled
+ * unless --attribution or SPP_ATTRIBUTION names a directory. */
+inline AttributionOptions g_attribution;
+
 /** Most-square mesh factorization of @p n (x >= y). */
 inline void
 meshFor(unsigned n, unsigned &x, unsigned &y)
@@ -76,6 +86,7 @@ inline void
 initBench(int argc, char **argv)
 {
     g_telemetry = TelemetryOptions::fromEnv();
+    g_attribution = AttributionOptions::fromEnv();
     for (int i = 1; i < argc; ++i) {
         const char *arg = argv[i];
         if (std::strcmp(arg, "--jobs") == 0 && i + 1 < argc) {
@@ -98,14 +109,20 @@ initBench(int argc, char **argv)
             g_telemetry.dir = argv[++i];
         } else if (std::strncmp(arg, "--telemetry=", 12) == 0) {
             g_telemetry.dir = arg + 12;
+        } else if (std::strcmp(arg, "--attribution") == 0 &&
+                   i + 1 < argc) {
+            g_attribution.dir = argv[++i];
+        } else if (std::strncmp(arg, "--attribution=", 14) == 0) {
+            g_attribution.dir = arg + 14;
         } else {
             std::fprintf(stderr,
                          "usage: %s [--jobs N] [--cores N] "
                          "[--mesh X Y] [--format full|coarse|limited] "
-                         "[--telemetry DIR]   "
+                         "[--telemetry DIR] [--attribution DIR]   "
                          "(also: SPP_JOBS, SPP_BENCH_SCALE, "
                          "SPP_PROGRESS, SPP_TELEMETRY, "
-                         "SPP_TELEMETRY_PERIOD)\n", argv[0]);
+                         "SPP_TELEMETRY_PERIOD, SPP_ATTRIBUTION)\n",
+                         argv[0]);
             std::exit(2);
         }
     }
@@ -174,6 +191,7 @@ directoryConfig()
     applyGeometry(c.config);
     c.scale = defaultBenchScale();
     c.telemetry = g_telemetry;
+    c.attribution = g_attribution;
     return c;
 }
 
@@ -186,6 +204,7 @@ broadcastConfig()
     applyGeometry(c.config);
     c.scale = defaultBenchScale();
     c.telemetry = g_telemetry;
+    c.attribution = g_attribution;
     return c;
 }
 
@@ -199,6 +218,7 @@ predictedConfig(PredictorKind kind)
     applyGeometry(c.config);
     c.scale = defaultBenchScale();
     c.telemetry = g_telemetry;
+    c.attribution = g_attribution;
     return c;
 }
 

@@ -16,6 +16,10 @@
  * Self-test mode: --inject K plants a known protocol bug (see
  * Config::injectBug) and --expect-catch inverts the exit code — the
  * run *must* find a violation, proving the checker catches real bugs.
+ *
+ * Telemetry: --telemetry DIR (or SPP_TELEMETRY=DIR) writes per-case
+ * series/trace/manifest sidecars into DIR, same as the bench_common
+ * drivers.
  */
 
 #include <cstdio>
@@ -28,6 +32,7 @@
 
 #include "analysis/sweep.hh"
 #include "check/fuzzer.hh"
+#include "common/format.hh"
 #include "common/logging.hh"
 
 using namespace spp;
@@ -45,6 +50,7 @@ struct Options
     std::string report;            ///< Failure artifact directory.
     std::string protocols = "all"; ///< all | directory,broadcast,...
     std::string format = "all";    ///< Sharer format(s) to sweep.
+    TelemetryOptions telemetry;    ///< Per-case sidecars (opt-in).
 
     // Single-case mode (active when --seed is given).
     bool single = false;
@@ -61,7 +67,7 @@ usage(const char *argv0)
         "multicast]\n"
         "          [--cores N] [--format full|coarse|limited|all]\n"
         "          [--inject K] [--expect-catch] [--no-shrink]\n"
-        "          [--report DIR]\n"
+        "          [--report DIR] [--telemetry DIR]\n"
         "   or: %s --protocol P --predictor K --seed S [--cores N]\n"
         "          [--format F] [--segments N] [--ops N] [--lines N]\n"
         "          [--locks N] [--barriers N] [--inject K]   "
@@ -97,6 +103,7 @@ Options
 parseArgs(int argc, char **argv)
 {
     Options o;
+    o.telemetry = TelemetryOptions::fromEnv();
     auto num = [&](int &i) -> std::uint64_t {
         if (i + 1 >= argc)
             usage(argv[0]);
@@ -125,6 +132,8 @@ parseArgs(int argc, char **argv)
             o.shrink = false;
         } else if (!std::strcmp(a, "--report")) {
             o.report = str(i);
+        } else if (!std::strcmp(a, "--telemetry")) {
+            o.telemetry.dir = str(i);
         } else if (!std::strcmp(a, "--protocol")) {
             o.single = true;
             o.single_case.protocol = parseProtocol(str(i));
@@ -264,6 +273,10 @@ main(int argc, char **argv)
     if (o.single) {
         FuzzCase c = o.single_case;
         c.injectBug = o.inject;
+        c.telemetry = o.telemetry;
+        c.telemetryLabel = strfmt("fuzz_{}_s{}",
+                                  toString(c.protocol),
+                                  c.workload.seed);
         const FuzzResult r = runFuzzCase(c);
         std::printf("%s: status=%s violations=%zu messages=%llu "
                     "ticks=%llu\n",
@@ -296,6 +309,13 @@ main(int argc, char **argv)
                 ? static_cast<SharerFormat>(s % 3)
                 : o.single_case.sharerFormat;
             c.injectBug = o.inject;
+            c.telemetry = o.telemetry;
+            // Unique deterministic file stem per case; the case
+            // list is fixed before the sweep, so labels are
+            // identical at any --jobs count.
+            c.telemetryLabel = strfmt("fuzz_{}_s{}_i{}",
+                                      toString(protocol),
+                                      c.workload.seed, cases.size());
             cases.push_back(c);
         }
     }

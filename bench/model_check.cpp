@@ -18,16 +18,25 @@
  * Self-test mode: --inject K plants a known protocol bug (see
  * Config::injectBug) and --expect-catch inverts the exit code — the
  * exhaustive search *must* find a schedule that exposes it.
+ *
+ * Telemetry: --telemetry DIR (or SPP_TELEMETRY=DIR) writes one
+ * manifest per explored configuration with the full exploration
+ * statistics (executions, choice points, pruning effectiveness), so
+ * search-space regressions are observable across commits.
  */
 
 #include <cstdio>
 #include <cstdlib>
 #include <cstring>
+#include <filesystem>
 #include <string>
 #include <vector>
 
 #include "check/model_checker.hh"
 #include "common/logging.hh"
+#include "telemetry/json.hh"
+#include "telemetry/manifest.hh"
+#include "telemetry/options.hh"
 
 using namespace spp;
 
@@ -40,6 +49,7 @@ struct Options
     bool expectCatch = false;
     std::string report;        ///< Failure artifact directory.
     std::string replay;        ///< Schedule file to re-execute.
+    std::string telemetry;     ///< Exploration-manifest directory.
 };
 
 void
@@ -51,7 +61,7 @@ usage(const char *argv0)
         "          [--depth N] [--max-execs N] [--inject K]\n"
         "          [--mem-latency T] [--race-delay N]\n"
         "          [--expect-catch] [--no-prune] [--no-reduce]\n"
-        "          [--report DIR]                      (sweep mode)\n"
+        "          [--report DIR] [--telemetry DIR]    (sweep mode)\n"
         "   or: %s --protocol P [--predictor K] [--format F] ...\n"
         "                                             (single mode)\n"
         "   or: %s --replay FILE                      (replay mode)\n",
@@ -86,6 +96,7 @@ Options
 parseArgs(int argc, char **argv)
 {
     Options o;
+    o.telemetry = TelemetryOptions::fromEnv().dir;
     auto num = [&](int &i) -> std::uint64_t {
         if (i + 1 >= argc)
             usage(argv[0]);
@@ -134,6 +145,8 @@ parseArgs(int argc, char **argv)
             o.mc.reduce = false;
         } else if (!std::strcmp(a, "--report")) {
             o.report = str(i);
+        } else if (!std::strcmp(a, "--telemetry")) {
+            o.telemetry = str(i);
         } else if (!std::strcmp(a, "--replay")) {
             o.replay = str(i);
         } else {
@@ -281,11 +294,49 @@ sweepGrid(const Options &o)
     return grid;
 }
 
+/** One exploration-statistics manifest per explored config. */
+void
+writeExplorationManifest(const std::string &dir,
+                         const ModelCheckOptions &mc,
+                         const ModelCheckResult &r)
+{
+    std::error_code ec;
+    std::filesystem::create_directories(dir, ec);
+    if (ec) {
+        std::fprintf(stderr,
+                     "cannot create telemetry directory '%s': %s\n",
+                     dir.c_str(), ec.message().c_str());
+        return;
+    }
+
+    RunManifest manifest;
+    manifest.set("kind", Json("model_check"));
+    manifest.set("case", Json(describeModelCheck(mc)));
+    Json stats = Json::object();
+    stats["executions"] = Json(r.executions);
+    stats["choice_points"] = Json(r.choicePoints);
+    stats["max_batch"] = Json(r.maxBatch);
+    stats["states_hashed"] = Json(r.statesHashed);
+    stats["states_pruned"] = Json(r.statesPruned);
+    stats["branches_reduced"] = Json(r.branchesReduced);
+    stats["late_data_drops"] = Json(r.lateDataDrops);
+    stats["deepest_choice"] = Json(r.deepestChoice);
+    stats["complete"] = Json(r.complete());
+    stats["violation_found"] = Json(r.violationFound);
+    manifest.set("exploration", std::move(stats));
+
+    manifest.write(dir + "/mc_" + toString(mc.protocol) + "_" +
+                   toString(mc.format) + "_" + mc.workload +
+                   ".manifest.json");
+}
+
 int
 runOne(const Options &o, const ModelCheckOptions &mc, bool verbose,
        std::size_t &failures)
 {
     const ModelCheckResult r = modelCheck(mc);
+    if (!o.telemetry.empty())
+        writeExplorationManifest(o.telemetry, mc, r);
     std::printf("%-10s %-8s %-10s: %llu execs, %llu choice points "
                 "(max batch %llu), %llu pruned, %llu reduced, "
                 "%llu late-data drops%s%s\n",

@@ -14,6 +14,21 @@
  *   ocean/directory @ 64     the same kernel on an 8x8 machine,
  *                            guarding the multi-word CoreSet paths
  *
+ * plus two observability cells, both radiosity/predicted+sp again:
+ * one with an AttributionProfiler compiled in but *disabled* (the
+ * profiler exists, its hot-path hooks are untaken branches — the
+ * configuration every normal run pays for), and one with the
+ * profiler attached and collecting. Both are excluded from the
+ * aggregate (totals stay comparable across schema versions) and are
+ * compared against the plain radiosity cell intra-run — a ratio
+ * robust to machine-to-machine variance, so it can gate far tighter
+ * than the committed-baseline check: `--attr-overhead-tolerance PCT`
+ * fails the run when the *disabled*-profiler cell exceeds the
+ * budget. The attached-profiler overhead is reported and recorded
+ * in the JSON for trend tracking, but not gated (an attached
+ * profiler is an opt-in diagnostic; its cost is inherent virtual
+ * dispatch per message, not a regression signal).
+ *
  * Each cell runs `--reps` times and reports the best wall clock (the
  * least-noise estimate of kernel cost; event/miss counts are
  * deterministic across reps and are asserted to be so). The summary
@@ -41,6 +56,7 @@
 #include <string>
 #include <vector>
 
+#include "analysis/attribution.hh"
 #include "common/config.hh"
 #include "common/logging.hh"
 #include "sim/cmp_system.hh"
@@ -51,22 +67,61 @@ using namespace spp;
 
 namespace {
 
+/** Profiler configuration of one cell. */
+enum class AttrMode
+{
+    off,        ///< No profiler object at all (the three base cells).
+    disabled,   ///< Profiler constructed, never attached: the hooks
+                ///< compile in but stay untaken — what every normal
+                ///< run pays. Gated by --attr-overhead-tolerance.
+    attached,   ///< Profiler attached and collecting (report-only).
+};
+
+const char *
+toString(AttrMode m)
+{
+    switch (m) {
+    case AttrMode::off: return "off";
+    case AttrMode::disabled: return "disabled";
+    case AttrMode::attached: return "attached";
+    }
+    return "?";
+}
+
 struct Cell
 {
     const char *workload;
     Protocol protocol;
     PredictorKind predictor;
     unsigned cores;
+    AttrMode attr;
 };
 
 constexpr Cell kCells[] = {
-    {"ocean", Protocol::directory, PredictorKind::none, 16},
-    {"streamcluster", Protocol::broadcast, PredictorKind::none, 16},
-    {"radiosity", Protocol::predicted, PredictorKind::sp, 16},
+    {"ocean", Protocol::directory, PredictorKind::none, 16,
+     AttrMode::off},
+    {"streamcluster", Protocol::broadcast, PredictorKind::none, 16,
+     AttrMode::off},
+    {"radiosity", Protocol::predicted, PredictorKind::sp, 16,
+     AttrMode::off},
     // Scale cell: the same directory workload at 64 cores guards the
     // multi-word CoreSet / wide-machine paths against regressions.
-    {"ocean", Protocol::directory, PredictorKind::none, 64},
+    {"ocean", Protocol::directory, PredictorKind::none, 64,
+     AttrMode::off},
+    // Observability cells: the prediction-path workload with the
+    // attribution profiler compiled-in-but-disabled (gated against
+    // the plain radiosity cell via --attr-overhead-tolerance) and
+    // attached-and-collecting (report-only).
+    {"radiosity", Protocol::predicted, PredictorKind::sp, 16,
+     AttrMode::disabled},
+    {"radiosity", Protocol::predicted, PredictorKind::sp, 16,
+     AttrMode::attached},
 };
+
+// Cell indices the profiler-overhead comparisons use.
+constexpr std::size_t kPlainRadiosityCell = 2;
+constexpr std::size_t kProfOffCell = 4;
+constexpr std::size_t kAttrCell = 5;
 
 struct CellResult
 {
@@ -93,6 +148,9 @@ struct Options
     std::string out = "BENCH_kernel.json";
     std::string baseline;
     double tolerancePct = 20.0;
+    /** Max allowed disabled-profiler-vs-plain slowdown in percent;
+     * 0 = report only. */
+    double attrOverheadPct = 0.0;
     unsigned reps = 3;
     double scale = 1.0;
 };
@@ -102,8 +160,9 @@ usage(const char *argv0)
 {
     std::fprintf(stderr,
                  "usage: %s [--out FILE] [--baseline FILE]\n"
-                 "          [--tolerance PCT] [--reps N] "
-                 "[--scale X]\n",
+                 "          [--tolerance PCT] "
+                 "[--attr-overhead-tolerance PCT]\n"
+                 "          [--reps N] [--scale X]\n",
                  argv0);
     std::exit(2);
 }
@@ -127,6 +186,8 @@ parseArgs(int argc, char **argv)
             o.baseline = next(i);
         else if (!std::strcmp(a, "--tolerance"))
             o.tolerancePct = std::atof(next(i));
+        else if (!std::strcmp(a, "--attr-overhead-tolerance"))
+            o.attrOverheadPct = std::atof(next(i));
         else if (!std::strcmp(a, "--reps"))
             o.reps = static_cast<unsigned>(std::atoi(next(i)));
         else if (!std::strcmp(a, "--scale"))
@@ -139,8 +200,9 @@ parseArgs(int argc, char **argv)
     return o;
 }
 
-CellResult
-runCell(const Cell &cell, const Options &o)
+/** One timed execution of @p cell, folded into @p r (best-of). */
+void
+runCellOnce(const Cell &cell, const Options &o, CellResult &r)
 {
     const WorkloadSpec *spec = findWorkload(cell.workload);
     if (!spec)
@@ -160,36 +222,36 @@ runCell(const Cell &cell, const Options &o)
     WorkloadParams params;
     params.scale = o.scale;
 
-    CellResult r;
-    r.cell = &cell;
-    for (unsigned rep = 0; rep < o.reps; ++rep) {
-        CmpSystem sys(cfg);
-        const auto t0 = std::chrono::steady_clock::now();
-        const RunResult run =
-            sys.run([spec, params](ThreadContext &ctx) {
-                return spec->run(ctx, params);
-            });
-        const auto t1 = std::chrono::steady_clock::now();
-        const double ms =
-            std::chrono::duration<double, std::milli>(t1 - t0)
-                .count();
+    CmpSystem sys(cfg);
+    // AttrMode::disabled constructs the profiler but never attaches
+    // it: the sink hooks stay untaken branches, which is exactly
+    // what a normal (unprofiled) run executes.
+    AttributionProfiler attrib{AttributionOptions{}};
+    if (cell.attr == AttrMode::attached)
+        attrib.attach(sys);
+    const auto t0 = std::chrono::steady_clock::now();
+    const RunResult run = sys.run([spec, params](ThreadContext &ctx) {
+        return spec->run(ctx, params);
+    });
+    const auto t1 = std::chrono::steady_clock::now();
+    const double ms =
+        std::chrono::duration<double, std::milli>(t1 - t0).count();
 
-        if (rep == 0) {
-            r.events = run.eventsExecuted;
-            r.misses = run.mem.misses.value();
-            r.ticks = run.ticks;
-            r.wallMs = ms;
-        } else {
-            // The kernel is deterministic; only the wall clock may
-            // differ between reps.
-            SPP_ASSERT(run.eventsExecuted == r.events &&
-                           run.mem.misses.value() == r.misses &&
-                           run.ticks == r.ticks,
-                       "nondeterministic rep for {}", cell.workload);
-            r.wallMs = std::min(r.wallMs, ms);
-        }
+    if (r.cell == nullptr) {
+        r.cell = &cell;
+        r.events = run.eventsExecuted;
+        r.misses = run.mem.misses.value();
+        r.ticks = run.ticks;
+        r.wallMs = ms;
+    } else {
+        // The kernel is deterministic; only the wall clock may
+        // differ between reps.
+        SPP_ASSERT(run.eventsExecuted == r.events &&
+                       run.mem.misses.value() == r.misses &&
+                       run.ticks == r.ticks,
+                   "nondeterministic rep for {}", cell.workload);
+        r.wallMs = std::min(r.wallMs, ms);
     }
-    return r;
 }
 
 /** Aggregate events/sec recorded in @p path; < 0 on parse failure. */
@@ -219,25 +281,51 @@ main(int argc, char **argv)
     const Options o = parseArgs(argc, argv);
     setQuiet(true);
 
-    std::vector<CellResult> cells;
+    // Reps are interleaved across cells (cell 0..N, then again) so
+    // slow system phases hit every cell equally; a sequential
+    // per-cell rep loop would bias the intra-run overhead ratios on
+    // machines whose speed drifts over the run.
+    constexpr std::size_t kNumCells =
+        sizeof(kCells) / sizeof(kCells[0]);
+    std::vector<CellResult> cells(kNumCells);
+    for (unsigned rep = 0; rep < o.reps; ++rep)
+        for (std::size_t i = 0; i < kNumCells; ++i)
+            runCellOnce(kCells[i], o, cells[i]);
+
     std::uint64_t total_events = 0, total_misses = 0;
     double total_ms = 0.0;
-    for (const Cell &cell : kCells) {
-        CellResult r = runCell(cell, o);
-        std::printf("%-13s %-9s %-4s c%-4u events %10llu  "
+    for (std::size_t i = 0; i < kNumCells; ++i) {
+        const Cell &cell = kCells[i];
+        const CellResult &r = cells[i];
+        const char *tag = cell.attr == AttrMode::attached ? "+attr "
+            : cell.attr == AttrMode::disabled              ? "+prof0"
+                                                           : "      ";
+        std::printf("%-13s %-9s %-4s c%-4u%s events %9llu  "
                     "misses %8llu  ticks %9llu  wall %8.2f ms  "
                     "%7.2f Mev/s\n",
                     cell.workload, toString(cell.protocol),
-                    toString(cell.predictor), cell.cores,
+                    toString(cell.predictor), cell.cores, tag,
                     static_cast<unsigned long long>(r.events),
                     static_cast<unsigned long long>(r.misses),
                     static_cast<unsigned long long>(r.ticks),
                     r.wallMs, r.eventsPerSec() / 1e6);
-        total_events += r.events;
-        total_misses += r.misses;
-        total_ms += r.wallMs;
-        cells.push_back(r);
+        // The profiler cells are overhead probes, not part of the
+        // aggregate: totals stay comparable to pre-v3 baselines.
+        if (cell.attr == AttrMode::off) {
+            total_events += r.events;
+            total_misses += r.misses;
+            total_ms += r.wallMs;
+        }
     }
+
+    // Attribution is purely observational: both profiler cells must
+    // replay the exact same simulation as their plain twin.
+    for (const std::size_t idx : {kProfOffCell, kAttrCell})
+        SPP_ASSERT(cells[idx].events ==
+                           cells[kPlainRadiosityCell].events &&
+                       cells[idx].ticks ==
+                           cells[kPlainRadiosityCell].ticks,
+                   "attribution profiler perturbed the simulation");
 
     const double total_eps =
         static_cast<double>(total_events) / (total_ms / 1e3);
@@ -249,8 +337,24 @@ main(int argc, char **argv)
                 static_cast<unsigned long long>(total_misses),
                 total_ms, total_eps / 1e6, total_mps / 1e6);
 
+    const double prof_off_overhead =
+        cells[kProfOffCell].wallMs /
+            cells[kPlainRadiosityCell].wallMs -
+        1.0;
+    const double attr_overhead =
+        cells[kAttrCell].wallMs / cells[kPlainRadiosityCell].wallMs -
+        1.0;
+    std::printf("profiler-off overhead: %+.1f%% "
+                "(radiosity+prof0 %.2f ms vs %.2f ms)\n",
+                prof_off_overhead * 100.0, cells[kProfOffCell].wallMs,
+                cells[kPlainRadiosityCell].wallMs);
+    std::printf("attached-profiler overhead: %+.1f%% "
+                "(radiosity+attr %.2f ms vs %.2f ms, report-only)\n",
+                attr_overhead * 100.0, cells[kAttrCell].wallMs,
+                cells[kPlainRadiosityCell].wallMs);
+
     Json doc = Json::object();
-    doc["schema"] = "spp.perf_kernel.v2";
+    doc["schema"] = "spp.perf_kernel.v3";
     doc["scale"] = o.scale;
     doc["reps"] = o.reps;
     Json arr = Json::array();
@@ -260,6 +364,7 @@ main(int argc, char **argv)
         c["protocol"] = toString(r.cell->protocol);
         c["predictor"] = toString(r.cell->predictor);
         c["cores"] = r.cell->cores;
+        c["attr"] = toString(r.cell->attr);
         c["events"] = r.events;
         c["misses"] = r.misses;
         c["ticks"] = static_cast<std::uint64_t>(r.ticks);
@@ -276,6 +381,8 @@ main(int argc, char **argv)
     totals["events_per_sec"] = total_eps;
     totals["misses_per_sec"] = total_mps;
     doc["totals"] = std::move(totals);
+    doc["prof_off_overhead_pct"] = prof_off_overhead * 100.0;
+    doc["attr_overhead_pct"] = attr_overhead * 100.0;
 
     std::ofstream out(o.out);
     if (!out) {
@@ -304,6 +411,14 @@ main(int argc, char **argv)
                         "tolerance\n");
             return 1;
         }
+    }
+
+    if (o.attrOverheadPct > 0.0 &&
+        prof_off_overhead > o.attrOverheadPct / 100.0) {
+        std::printf("FAIL: profiler-off overhead %.1f%% exceeds "
+                    "tolerance %.0f%%\n",
+                    prof_off_overhead * 100.0, o.attrOverheadPct);
+        return 1;
     }
     return 0;
 }

@@ -69,18 +69,23 @@ runExperiment(const std::string &workload_name,
     if (xcfg.tweak)
         xcfg.tweak(cfg);
 
-    // Telemetry is fully inert unless a directory was configured:
-    // the optional stays empty and the run is bit-identical to an
-    // unobserved one.
+    const std::string label = xcfg.telemetryLabel.empty()
+        ? workload_name
+        : xcfg.telemetryLabel;
+
+    // Telemetry and attribution are fully inert unless a directory
+    // was configured: the optional/pointer stays empty and the run
+    // is bit-identical to an unobserved one.
     std::optional<RunTelemetry> telemetry;
     if (xcfg.telemetry.enabled()) {
-        telemetry.emplace(xcfg.telemetry,
-                          xcfg.telemetryLabel.empty()
-                              ? workload_name
-                              : xcfg.telemetryLabel);
+        telemetry.emplace(xcfg.telemetry, label);
         telemetry->manifest().set("workload", Json(workload_name));
         telemetry->manifest().beginPhase("build");
     }
+    std::unique_ptr<AttributionProfiler> attrib;
+    if (xcfg.attribution.enabled())
+        attrib = std::make_unique<AttributionProfiler>(
+            xcfg.attribution);
 
     CmpSystem sys(cfg);
     if (xcfg.prepare)
@@ -92,10 +97,25 @@ runExperiment(const std::string &workload_name,
             cfg.numCores, xcfg.recordMissTargets);
         res.trace->attach(sys);
     }
+    if (telemetry && attrib) {
+        // Cross-wire before attaching: attr.* counters join the
+        // sampled series and every closed epoch gets an attribution
+        // annotation + per-sync-point counter tracks.
+        AttributionProfiler *p = attrib.get();
+        telemetry->setExtraMetrics(
+            [p](MetricRegistry &reg) { p->registerMetrics(reg); });
+        telemetry->setEpochAnnotator(
+            [p](CoreId core) { return p->epochArgs(core); });
+    }
     if (telemetry) {
         telemetry->attach(sys);
         telemetry->manifest().beginPhase("run");
     }
+    // After telemetry: the epoch recorder must observe a closing
+    // epoch's snapshot before the profiler's listener resets it
+    // (sync listeners run in registration order).
+    if (attrib)
+        attrib->attach(sys);
 
     WorkloadParams params;
     params.scale = xcfg.scale;
@@ -119,6 +139,10 @@ runExperiment(const std::string &workload_name,
                                      res.run.mem.snoopLookups.value());
     if (telemetry)
         telemetry->finish(res.run);
+    if (attrib) {
+        attrib->writeArtifacts(label);
+        res.attribution = std::move(attrib);
+    }
     return res;
 }
 

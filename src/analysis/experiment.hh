@@ -12,6 +12,7 @@
 #include <optional>
 #include <string>
 
+#include "analysis/attribution.hh"
 #include "analysis/energy.hh"
 #include "analysis/trace.hh"
 #include "common/config.hh"
@@ -37,8 +38,12 @@ struct ExperimentConfig
     /** Telemetry sidecars (time series, Chrome trace, manifest);
      * disabled unless telemetry.dir is set. */
     TelemetryOptions telemetry;
-    /** File stem of this run's sidecars; defaults to the workload
-     * name (the sweep engine assigns unique per-job labels). */
+    /** Per-sync-point attribution profiling (attribution.{json,txt}
+     * artifacts); disabled unless attribution.dir is set. */
+    AttributionOptions attribution;
+    /** File stem of this run's sidecars (telemetry and attribution);
+     * defaults to the workload name (the sweep engine assigns unique
+     * per-job labels). */
     std::string telemetryLabel;
 
     /** Per-cell Config edits applied to a copy of `config` just
@@ -59,6 +64,9 @@ struct ExperimentResult
     RunResult run;
     double energy = 0.0;            ///< NoC + snoop energy (model).
     std::unique_ptr<CommTrace> trace; ///< When collectTrace was set.
+    /** When attribution was enabled: the profiler with the run's
+     * full attribution store (artifacts are already written). */
+    std::unique_ptr<AttributionProfiler> attribution;
 
     // Convenience metrics used across figures.
     double commMissFraction() const;

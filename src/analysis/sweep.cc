@@ -115,7 +115,8 @@ SweepRunner::run(const std::vector<SweepJob> &jobs) const
 
     forIndices(jobs.size(), [&](std::size_t i) {
         const Clock::time_point t0 = Clock::now();
-        if (jobs[i].config.telemetry.enabled() &&
+        if ((jobs[i].config.telemetry.enabled() ||
+             jobs[i].config.attribution.enabled()) &&
             jobs[i].config.telemetryLabel.empty()) {
             // Give every job a unique file stem; two cells of a
             // matrix often share the workload name.
@@ -139,14 +140,24 @@ SweepRunner::run(const std::vector<SweepJob> &jobs) const
                 std::chrono::duration<double, std::milli>(
                     Clock::now() - sweep_start)
                     .count();
+            // Simulated-event throughput of the finished job, and a
+            // completion-rate ETA for the rest of the sweep.
+            const double mev_s = wall_ms[i] > 0.0
+                ? static_cast<double>(
+                      results[i].run.eventsExecuted) /
+                    (wall_ms[i] * 1e3)
+                : 0.0;
+            const double eta_ms = elapsed_ms /
+                static_cast<double>(finished) *
+                static_cast<double>(jobs.size() - finished);
             std::lock_guard<std::mutex> lock(io_mutex);
             // lint: allow(std-io) — opt-in progress meter on stderr.
             std::fprintf(stderr,
-                         "sweep [%zu/%zu] %s %.0fms "
-                         "(elapsed %.0fms)\n",
+                         "sweep [%zu/%zu] %s %.0fms %.2f Mev/s "
+                         "(elapsed %.0fms, eta %.0fms)\n",
                          finished, jobs.size(),
                          jobLabel(jobs[i]).c_str(), wall_ms[i],
-                         elapsed_ms);
+                         mev_s, elapsed_ms, eta_ms);
         }
     });
 

@@ -2,10 +2,12 @@
 
 #include <algorithm>
 #include <array>
+#include <optional>
 
 #include "analysis/event_trace.hh"
 #include "common/format.hh"
 #include "common/logging.hh"
+#include "telemetry/telemetry.hh"
 
 namespace spp {
 
@@ -51,6 +53,17 @@ runFuzzCase(const FuzzCase &c)
     if (!c.tracePath.empty())
         trace.attach(sys);
 
+    std::optional<RunTelemetry> telemetry;
+    if (c.telemetry.enabled()) {
+        telemetry.emplace(c.telemetry, c.telemetryLabel.empty()
+                                           ? std::string("fuzz")
+                                           : c.telemetryLabel);
+        telemetry->manifest().set("kind", Json("fuzz"));
+        telemetry->manifest().set("case",
+                                  Json(describeFuzzCase(c)));
+        telemetry->attach(sys);
+    }
+
     const wl::FuzzWorkloadParams wl = c.workload;
     RunResult rr;
     FuzzResult res;
@@ -70,6 +83,13 @@ runFuzzCase(const FuzzCase &c)
         if (!c.tracePath.empty())
             trace.save(c.tracePath);
     }
+    if (telemetry) {
+        telemetry->manifest().set("status",
+                                  Json(toString(res.status)));
+        telemetry->manifest().set(
+            "violations", Json(res.violations.size()));
+        telemetry->finish(rr);
+    }
     return res;
 }
 
@@ -77,7 +97,8 @@ FuzzCase
 shrinkFuzzCase(const FuzzCase &failing, unsigned budget)
 {
     FuzzCase best = failing;
-    best.tracePath.clear(); // No trace I/O during shrinking.
+    best.tracePath.clear();       // No trace I/O during shrinking.
+    best.telemetry = TelemetryOptions{}; // No sidecars either.
 
     // Greedy halving: the candidate order puts the knobs with the
     // biggest run-time payoff first so a small budget still helps.
@@ -106,6 +127,7 @@ shrinkFuzzCase(const FuzzCase &failing, unsigned budget)
         }
     }
     best.tracePath = failing.tracePath;
+    best.telemetry = failing.telemetry;
     return best;
 }
 

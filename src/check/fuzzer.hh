@@ -20,6 +20,7 @@
 #include "check/protocol_checker.hh"
 #include "common/config.hh"
 #include "sim/cmp_system.hh"
+#include "telemetry/options.hh"
 #include "workload/fuzz.hh"
 
 namespace spp {
@@ -37,6 +38,12 @@ struct FuzzCase
 
     /** Optional access-level trace capture for offline replay. */
     std::string tracePath;      ///< Non-empty: save on failure.
+
+    /** Optional telemetry sidecars (series/trace/manifest) per case;
+     * disabled unless telemetry.dir is set. Shrinking suppresses
+     * them the same way it suppresses trace I/O. */
+    TelemetryOptions telemetry;
+    std::string telemetryLabel; ///< File stem; default "fuzz".
 };
 
 /** Outcome of one fuzz run. */

@@ -171,6 +171,8 @@ MemSys::accessL2(CoreId core, Addr addr, bool is_write, Pc pc,
                     // prediction action (Section 5.3 filtering).
                     ++stats_.predictionsSuppressed;
                 } else {
+                    SelfProfiler::Scope prof(self_prof_,
+                                             ProfScope::predictor);
                     PredictionQuery q;
                     q.core = core;
                     q.line = line;
@@ -383,6 +385,7 @@ MemSys::trainExternalAt(CoreId observer, Addr line, CoreId requester,
     PeerView v = peerView(observer, line);
     if (!v.valid)
         return;
+    SelfProfiler::Scope prof(self_prof_, ProfScope::predictor);
     predictor_->trainExternal(observer, line, map_.macroBlock(line),
                               v.lastPc, requester, is_write);
 }
@@ -477,6 +480,7 @@ MemSys::finishOutcome(Mshr &m)
 
     // Prediction sufficiency (Section 5.2: the predicted set must be
     // a superset of the targets that had to be contacted).
+    std::uint64_t waste_bytes = 0;
     if (out.pred.valid()) {
         bool sufficient = false;
         if (out.communicating) {
@@ -498,8 +502,7 @@ MemSys::finishOutcome(Mshr &m)
         const unsigned wasted = out.communicating
             ? (out.pred.targets - out.servicedBy).count()
             : out.pred.targets.count();
-        const std::uint64_t waste_bytes =
-            static_cast<std::uint64_t>(wasted) *
+        waste_bytes = static_cast<std::uint64_t>(wasted) *
             (2ull * cfg_.ctrlPacketBytes);
         if (out.communicating)
             stats_.predWasteBytesComm += waste_bytes;
@@ -538,6 +541,7 @@ MemSys::finishOutcome(Mshr &m)
 
     // Predictor training and feedback.
     if (predictor_) {
+        SelfProfiler::Scope prof(self_prof_, ProfScope::predictor);
         PredictionQuery q;
         q.core = m.core;
         q.line = m.line;
@@ -549,6 +553,9 @@ MemSys::finishOutcome(Mshr &m)
         predictor_->feedback(m.core, out.pred, out.communicating,
                              out.predSufficient);
     }
+
+    if (attribution_ != nullptr) [[unlikely]]
+        attribution_->onMissResolved(m.core, m.line, out, waste_bytes);
 }
 
 // ---------------------------------------------------------------------
@@ -616,6 +623,15 @@ MemSys::sendPooled(Msg *slot)
     pkt.dst = slot->dst;
     pkt.bytes = msgBytes(*slot);
     pkt.cls = msgClass(*slot);
+    if (attribution_ != nullptr) [[unlikely]] {
+        // Attribute traffic to the core whose request caused it;
+        // messages without a requester (e.g. evictions) fall back to
+        // the sender.
+        attribution_->onMessageSent(
+            slot->requester != invalidCore ? slot->requester
+                                           : slot->src,
+            slot->line, pkt.bytes);
+    }
     // The delivery closure carries only the slot pointer, so it fits
     // any action inline. The slot is released after the handler
     // returns: handlers receive a const reference into the slot and
@@ -627,7 +643,11 @@ MemSys::sendPooled(Msg *slot)
     Mesh::DeliverFn deliver = [this, slot]() {
         if (checker_) [[unlikely]]
             checker_->onDeliver(*slot);
-        handleMsg(*slot);
+        {
+            SelfProfiler::Scope prof(self_prof_,
+                                     ProfScope::protocol);
+            handleMsg(*slot);
+        }
         msg_pool_.release(slot);
     };
     if (delivery_scheduler_ != nullptr) [[unlikely]] {

@@ -42,6 +42,7 @@
 #include "noc/mesh.hh"
 #include "predict/predictor.hh"
 #include "predict/sharing_filter.hh"
+#include "telemetry/self_profile.hh"
 
 namespace spp {
 
@@ -70,6 +71,39 @@ class DeliveryScheduler
      */
     virtual void onMessage(Tick arrive, const Msg &m,
                            EventQueue::Action deliver) = 0;
+};
+
+struct AccessOutcome;
+
+/**
+ * Observer of resolved predictor decisions and injected coherence
+ * traffic (the attribution profiler). Purely observational: a sink
+ * never changes protocol behavior, timing or statistics, so a run
+ * with one attached is event-for-event identical to an unobserved
+ * run. Detached (the default) each hook site is one untaken branch.
+ */
+class AttributionSink
+{
+  public:
+    virtual ~AttributionSink() = default;
+
+    /**
+     * A miss finished and its outcome is final. @p wasted_bytes is
+     * the predicted-request waste this resolution charged to the
+     * predWasteBytes counters (0 when no prediction was attempted).
+     */
+    virtual void onMissResolved(CoreId core, Addr line,
+                                const AccessOutcome &out,
+                                std::uint64_t wasted_bytes) = 0;
+
+    /**
+     * A protocol message entered the NoC. @p requester is the core
+     * whose transaction the message belongs to (the message's
+     * requester field, falling back to the sender for traffic that
+     * carries none, e.g. writebacks).
+     */
+    virtual void onMessageSent(CoreId requester, Addr line,
+                               unsigned bytes) = 0;
 };
 
 /** Everything a caller learns about one finished memory access. */
@@ -242,6 +276,21 @@ class MemSys
     {
         delivery_scheduler_ = s;
     }
+
+    /**
+     * Attach (or detach, with nullptr) an attribution sink observing
+     * every resolved miss and injected message. At most one; the
+     * caller keeps ownership and must outlive the attachment.
+     */
+    void setAttributionSink(AttributionSink *s) { attribution_ = s; }
+    AttributionSink *attributionSink() const { return attribution_; }
+
+    /**
+     * Attach (or detach, with nullptr) the self-profiler timing the
+     * protocol-handler and predictor scopes. The caller (CmpSystem)
+     * keeps ownership.
+     */
+    void setSelfProfiler(SelfProfiler *p) { self_prof_ = p; }
 
     /**
      * Fold every behavior-relevant piece of coherence state into
@@ -451,6 +500,8 @@ class MemSys
     std::uint64_t outstanding_wb_ = 0;
     ProtocolChecker *checker_ = nullptr;
     DeliveryScheduler *delivery_scheduler_ = nullptr;
+    AttributionSink *attribution_ = nullptr;
+    SelfProfiler *self_prof_ = nullptr;
 
     /**
      * Freelist of in-flight coherence messages. A message occupies a

@@ -73,6 +73,14 @@ CmpSystem::CmpSystem(const Config &cfg) : cfg_(cfg)
 
 CmpSystem::~CmpSystem() = default;
 
+void
+CmpSystem::enableSelfProfiling()
+{
+    self_prof_.enable();
+    mem_->setSelfProfiler(&self_prof_);
+    mesh_->setSelfProfiler(&self_prof_);
+}
+
 DirectoryMemSys *
 CmpSystem::directory()
 {
@@ -118,7 +126,11 @@ CmpSystem::tryRun(const ThreadFn &thread_fn, RunResult &result)
         });
     }
 
-    const bool drained_queue = eq_.run(cfg_.maxTicks);
+    bool drained_queue;
+    {
+        SelfProfiler::Scope prof(selfProfiler(), ProfScope::kernel);
+        drained_queue = eq_.run(cfg_.maxTicks);
+    }
 
     RunResult &r = result;
     r.ticks = eq_.curTick();

@@ -25,6 +25,7 @@
 #include "sim/task.hh"
 #include "sim/thread_context.hh"
 #include "sync/sync_manager.hh"
+#include "telemetry/self_profile.hh"
 
 namespace spp {
 
@@ -102,6 +103,19 @@ class CmpSystem
         return access_observer_;
     }
 
+    /**
+     * Turn on wall-clock self-profiling: distributes the profiler
+     * to the memory system and the mesh and wraps the event loop in
+     * the kernel scope. Idempotent; call before run(). Off by
+     * default so timed runs see only null-pointer checks.
+     */
+    void enableSelfProfiling();
+    /** The profiler, or nullptr when self-profiling is off. */
+    SelfProfiler *selfProfiler()
+    {
+        return self_prof_.enabled() ? &self_prof_ : nullptr;
+    }
+
   private:
     Config cfg_;
     EventQueue eq_;
@@ -114,6 +128,7 @@ class CmpSystem
     std::vector<Task> tasks_;
     unsigned finished_ = 0;
     AccessObserver access_observer_;
+    SelfProfiler self_prof_;
 
     friend class ThreadContext;
 };

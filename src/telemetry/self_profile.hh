@@ -1,0 +1,132 @@
+/**
+ * @file
+ * Scoped wall-clock self-profiling of the simulator itself.
+ *
+ * Four coarse scopes cover where a run spends host time: the event
+ * kernel (the whole event loop), protocol handlers (message
+ * dispatch), the destination predictor (predict/train/feedback) and
+ * the NoC (routing + link reservation). Each hook site constructs a
+ * Scope guard; when the profiler is detached (the default) the guard
+ * is a null-pointer check and nothing else, so timed runs pay no
+ * measurable cost. When enabled, every scope costs two steady_clock
+ * reads.
+ *
+ * Scopes nest (protocol handlers run inside the kernel scope and
+ * call into the predictor and the NoC), so the per-scope totals
+ * overlap rather than partition: kernel ns is the whole loop,
+ * protocol/predictor/noc ns are the slices attributable to those
+ * subsystems. The numbers are host wall clock and therefore
+ * nondeterministic; they feed the MetricRegistry and the run
+ * manifest, never any result file that must be byte-stable.
+ */
+
+#ifndef SPP_TELEMETRY_SELF_PROFILE_HH
+#define SPP_TELEMETRY_SELF_PROFILE_HH
+
+#include <array>
+#include <chrono>
+#include <cstdint>
+
+#include "telemetry/json.hh"
+
+namespace spp {
+
+/** The instrumented simulator subsystems. */
+enum class ProfScope : unsigned
+{
+    kernel,     ///< The whole event loop (EventQueue::run).
+    protocol,   ///< Coherence message handlers.
+    predictor,  ///< Destination-predictor predict/train/feedback.
+    noc,        ///< Mesh routing and link reservation.
+};
+
+inline constexpr unsigned numProfScopes = 4;
+
+const char *toString(ProfScope s);
+
+class SelfProfiler
+{
+  public:
+    bool enabled() const { return enabled_; }
+    void enable() { enabled_ = true; }
+
+    std::uint64_t
+    ns(ProfScope s) const
+    {
+        return ns_[static_cast<unsigned>(s)];
+    }
+    std::uint64_t
+    calls(ProfScope s) const
+    {
+        return calls_[static_cast<unsigned>(s)];
+    }
+
+    /** RAII guard accumulating one scope's elapsed time. Pass a null
+     * profiler (the detached state) for a free no-op. */
+    class Scope
+    {
+      public:
+        Scope(SelfProfiler *p, ProfScope s) : p_(p), s_(s)
+        {
+            if (p_ != nullptr)
+                t0_ = std::chrono::steady_clock::now();
+        }
+        ~Scope()
+        {
+            if (p_ != nullptr)
+                p_->add(s_, std::chrono::steady_clock::now() - t0_);
+        }
+        Scope(const Scope &) = delete;
+        Scope &operator=(const Scope &) = delete;
+
+      private:
+        SelfProfiler *p_;
+        ProfScope s_;
+        std::chrono::steady_clock::time_point t0_{};
+    };
+
+    /** {"kernel": {"ns": N, "calls": N}, ...} for the manifest. */
+    Json
+    toJson() const
+    {
+        Json doc = Json::object();
+        for (unsigned i = 0; i < numProfScopes; ++i) {
+            Json s = Json::object();
+            s["ns"] = Json(ns_[i]);
+            s["calls"] = Json(calls_[i]);
+            doc[toString(static_cast<ProfScope>(i))] = std::move(s);
+        }
+        return doc;
+    }
+
+  private:
+    void
+    add(ProfScope s, std::chrono::steady_clock::duration d)
+    {
+        const unsigned i = static_cast<unsigned>(s);
+        ns_[i] += static_cast<std::uint64_t>(
+            std::chrono::duration_cast<std::chrono::nanoseconds>(d)
+                .count());
+        ++calls_[i];
+    }
+
+    bool enabled_ = false;
+    std::array<std::uint64_t, numProfScopes> ns_{};
+    std::array<std::uint64_t, numProfScopes> calls_{};
+};
+
+inline const char *
+toString(ProfScope s)
+{
+    switch (s) {
+      case ProfScope::kernel: return "kernel";
+      case ProfScope::protocol: return "protocol";
+      case ProfScope::predictor: return "predictor";
+      case ProfScope::noc: return "noc";
+    }
+    return "?";
+}
+
+} // namespace spp
+
+#endif // SPP_TELEMETRY_SELF_PROFILE_HH

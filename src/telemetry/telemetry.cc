@@ -4,6 +4,7 @@
 #include <cstdlib>
 #include <filesystem>
 #include <fstream>
+#include <set>
 
 #include "common/format.hh"
 #include "common/logging.hh"
@@ -40,6 +41,8 @@ TelemetryOptions::fromEnv()
         else
             warn("ignoring invalid SPP_TELEMETRY_PERIOD='{}'", period);
     }
+    if (const char *sp = std::getenv("SPP_SELF_PROFILE"))
+        opts.selfProfile = std::string_view(sp) != "0";
     return opts;
 }
 
@@ -67,11 +70,24 @@ sanitizeFileLabel(const std::string &label)
  * duration events: each epoch [sync-point, next sync-point) becomes
  * one "X" event on the core's track, named by the sync type and
  * static ID that *began* it (the paper's epoch naming).
+ *
+ * With an epoch annotator installed, every closed epoch additionally
+ * carries an "attr" args object, and its wasted_bytes / noc_bytes
+ * fields become per-sync-point counter series (one pair of tracks
+ * per distinct sync-point name, capped so a pathological workload
+ * cannot drown the timeline; drops are counted in the manifest).
  */
 struct RunTelemetry::EpochRecorder : SyncListener
 {
     ChromeTraceWriter *trace = nullptr;
     const EventQueue *eq = nullptr;
+    const EpochAnnotator *annotator = nullptr;
+
+    /** Per-sync-point counter-track cap (each name costs two
+     * tracks). */
+    static constexpr std::size_t maxAttrTracks = 64;
+    std::set<std::string> attrTracks;
+    std::uint64_t attrTracksDropped = 0;
 
     struct Open
     {
@@ -104,13 +120,42 @@ struct RunTelemetry::EpochRecorder : SyncListener
         Open &o = open[core];
         if (!o.valid)
             return;
+        const std::string name =
+            strfmt("{}#{}", toString(o.type), o.staticId);
         Json args = Json::object();
         args["staticId"] = Json(o.staticId);
         args["dynamicId"] = Json(o.dynamicId);
-        trace->duration(strfmt("{}#{}", toString(o.type), o.staticId),
-                        "epoch", core, o.begin, now, std::move(args));
+        if (annotator != nullptr && *annotator) {
+            Json attr = (*annotator)(core);
+            emitAttrCounters(name, attr, now);
+            args["attr"] = std::move(attr);
+        }
+        trace->duration(name, "epoch", core, o.begin, now,
+                        std::move(args));
         ++epochsClosed;
         o.valid = false;
+    }
+
+    /** Per-sync-point cost series: the closing epoch's wasted and
+     * NoC bytes, plotted at the close tick under the epoch name. */
+    void
+    emitAttrCounters(const std::string &name, const Json &attr,
+                     Tick now)
+    {
+        if (attrTracks.find(name) == attrTracks.end()) {
+            if (attrTracks.size() >= maxAttrTracks) {
+                ++attrTracksDropped;
+                return;
+            }
+            attrTracks.insert(name);
+        }
+        for (const char *field : {"wasted_bytes", "noc_bytes"}) {
+            const Json *v = attr.find(field);
+            if (v != nullptr && v->isNumber()) {
+                trace->counter(strfmt("attr.{}.{}", name, field),
+                               now, v->asNumber());
+            }
+        }
     }
 };
 
@@ -222,6 +267,24 @@ RunTelemetry::registerMetrics(CmpSystem &sys)
     for (std::size_t i = 0; i < links.size(); ++i)
         reg.addCell(strfmt("noc.link{}.busy_ticks", i), links[i]);
 
+    // Simulator self-profiling: host milliseconds per instrumented
+    // scope. Wall-clock gauges, so the series is only deterministic
+    // with self-profiling off (it is off by default).
+    if (const SelfProfiler *prof = sys.selfProfiler()) {
+        for (unsigned i = 0; i < numProfScopes; ++i) {
+            const auto scope = static_cast<ProfScope>(i);
+            reg.addGauge(strfmt("prof.{}.ms", toString(scope)),
+                         [prof, scope] {
+                             return static_cast<double>(
+                                        prof->ns(scope)) /
+                                 1e6;
+                         });
+        }
+    }
+
+    if (extra_metrics_)
+        extra_metrics_(reg);
+
     sampler_ = std::make_unique<Sampler>(std::move(reg),
                                          opts_.samplePeriod);
     sampler_->attach(sys.eventQueue());
@@ -242,6 +305,9 @@ RunTelemetry::attach(CmpSystem &sys)
                   opts_.dir, ec.message());
     }
 
+    if (opts_.selfProfile)
+        sys.enableSelfProfiling();
+
     registerMetrics(sys);
 
     if (opts_.emitTrace) {
@@ -254,6 +320,7 @@ RunTelemetry::attach(CmpSystem &sys)
         epochs_ = std::make_unique<EpochRecorder>();
         epochs_->trace = trace_.get();
         epochs_->eq = &sys.eventQueue();
+        epochs_->annotator = &epoch_annotator_;
         epochs_->open.resize(sys.config().numCores);
         sys.syncManager().addListener(epochs_.get());
 
@@ -371,10 +438,17 @@ RunTelemetry::finish(const RunResult &result)
         if (trace_) {
             files["trace_events"] = Json(trace_->events());
             files["trace_dropped"] = Json(trace_->dropped());
-            if (epochs_)
+            if (epochs_) {
                 files["epochs"] = Json(epochs_->epochsClosed);
+                if (epochs_->attrTracksDropped > 0) {
+                    files["attr_tracks_dropped"] =
+                        Json(epochs_->attrTracksDropped);
+                }
+            }
         }
         manifest_.set("telemetry", std::move(files));
+        if (const SelfProfiler *prof = sys_->selfProfiler())
+            manifest_.set("self_profile", prof->toJson());
         manifest_.write(manifestPath());
     }
 }

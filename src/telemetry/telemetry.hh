@@ -25,6 +25,7 @@
 #ifndef SPP_TELEMETRY_TELEMETRY_HH
 #define SPP_TELEMETRY_TELEMETRY_HH
 
+#include <functional>
 #include <memory>
 #include <string>
 
@@ -39,6 +40,18 @@ namespace spp {
 class RunTelemetry
 {
   public:
+    /** Extension hook: register additional metrics (the attribution
+     * profiler's attr.* counters) into the sampled set. */
+    // lint: allow(std-function) — setup-time binding, not per-event.
+    using ExtraMetrics = std::function<void(MetricRegistry &)>;
+
+    /** Extension hook: annotate each closing sync-epoch with a JSON
+     * snapshot (per-sync-point attribution). Called once per closed
+     * epoch; the result rides the trace event's args and feeds the
+     * per-sync-point counter series. */
+    // lint: allow(std-function) — per-epoch, not per-event.
+    using EpochAnnotator = std::function<Json(CoreId)>;
+
     RunTelemetry(TelemetryOptions opts, std::string label);
     ~RunTelemetry();
 
@@ -55,6 +68,22 @@ class RunTelemetry
 
     /** The manifest, for callers adding fields before finish(). */
     RunManifest &manifest() { return manifest_; }
+
+    /** Install the extra-metrics hook; call before attach(). */
+    void setExtraMetrics(ExtraMetrics fn)
+    {
+        extra_metrics_ = std::move(fn);
+    }
+
+    /** Install the epoch annotator; call before attach(). When the
+     * annotator reads state that the annotated sync-point also
+     * resets (the attribution profiler's per-epoch snapshot), attach
+     * this telemetry *before* the resetting listener so the closing
+     * epoch is observed first. */
+    void setEpochAnnotator(EpochAnnotator fn)
+    {
+        epoch_annotator_ = std::move(fn);
+    }
 
     const Sampler *sampler() const { return sampler_.get(); }
     const ChromeTraceWriter *trace() const { return trace_.get(); }
@@ -85,6 +114,8 @@ class RunTelemetry
     std::unique_ptr<ChromeTraceWriter> trace_;
     std::unique_ptr<EpochRecorder> epochs_;
     RunManifest manifest_;
+    ExtraMetrics extra_metrics_;
+    EpochAnnotator epoch_annotator_;
 };
 
 } // namespace spp

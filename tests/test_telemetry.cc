@@ -364,6 +364,76 @@ TEST(ChromeTrace, CountsDropsPastTheCap)
     EXPECT_EQ(other->find("droppedEvents")->asNumber(), 2.0);
 }
 
+TEST(ChromeTrace, ZeroEventRunIsStillWellFormed)
+{
+    // A run that terminates before anything is recorded must still
+    // produce a document every viewer opens.
+    ChromeTraceWriter w;
+    std::ostringstream os;
+    w.write(os);
+    const auto doc = Json::parse(os.str());
+    ASSERT_TRUE(doc.has_value());
+    const Json *events = doc->find("traceEvents");
+    ASSERT_TRUE(events != nullptr);
+    ASSERT_TRUE(events->isArray());
+    EXPECT_EQ(events->size(), 0u);
+    EXPECT_EQ(w.events(), 0u);
+    EXPECT_EQ(w.dropped(), 0u);
+}
+
+TEST(ChromeTrace, CounterOnlyRunRoundTrips)
+{
+    // Counter tracks alone (no duration/instant events) — the shape
+    // the attribution epoch-annotator produces on runs whose event
+    // tracks are disabled.
+    ChromeTraceWriter w;
+    w.counter("attr.barrier#0x40.wasted_bytes", 100, 128.0);
+    w.counter("attr.barrier#0x40.wasted_bytes", 200, 0.0);
+    w.counter("attr.barrier#0x40.noc_bytes", 200, 4096.0);
+
+    std::ostringstream os;
+    w.write(os);
+    const auto doc = Json::parse(os.str());
+    ASSERT_TRUE(doc.has_value());
+    const Json *events = doc->find("traceEvents");
+    ASSERT_TRUE(events != nullptr);
+    ASSERT_EQ(events->size(), 3u);
+    for (const Json &e : events->items()) {
+        EXPECT_EQ(e.find("ph")->asString(), "C");
+        const Json *args = e.find("args");
+        ASSERT_TRUE(args != nullptr);
+        ASSERT_TRUE(args->find("value") != nullptr);
+    }
+    // Zero-valued samples survive the round-trip (they terminate a
+    // spike in the viewer; dropping them would hold the last value).
+    bool saw_zero = false;
+    for (const Json &e : events->items())
+        saw_zero |= e.find("args")->find("value")->asNumber() == 0.0;
+    EXPECT_TRUE(saw_zero);
+}
+
+TEST(ChromeTrace, ZeroWidthDurationRoundTrips)
+{
+    // An epoch opened and closed on the same tick (back-to-back sync
+    // points) must emit dur = 0, not vanish and not go negative.
+    ChromeTraceWriter w;
+    w.duration("lock#0x9", "epoch", 3, 500, 500);
+    w.duration("lock#0x9", "epoch", 3, 500, 501);
+
+    std::ostringstream os;
+    w.write(os);
+    const auto doc = Json::parse(os.str());
+    ASSERT_TRUE(doc.has_value());
+    const Json *events = doc->find("traceEvents");
+    ASSERT_TRUE(events != nullptr);
+    ASSERT_EQ(events->size(), 2u);
+    const Json &zero = events->items()[0];
+    EXPECT_EQ(zero.find("ph")->asString(), "X");
+    EXPECT_EQ(zero.find("ts")->asNumber(), 500.0);
+    EXPECT_EQ(zero.find("dur")->asNumber(), 0.0);
+    EXPECT_EQ(events->items()[1].find("dur")->asNumber(), 1.0);
+}
+
 // ---------------------------------------------------------------------
 // Manifest
 // ---------------------------------------------------------------------

@@ -1,0 +1,312 @@
+#!/usr/bin/env python3
+"""Render a performance/accuracy trajectory dashboard from committed
+benchmark artifacts, and validate attribution artifacts for CI.
+
+Two modes:
+
+  bench_dashboard.py [--out dashboard.html] [--manifests DIR]
+      Walks the git history of every committed BENCH_*.json at the
+      repository root (git log + git show, no checkout needed), builds
+      a per-file trajectory of throughput/wall-time across commits,
+      and renders both a text table (stdout) and a self-contained HTML
+      artifact with inline SVG sparklines. When --manifests points at
+      a directory of telemetry *.manifest.json sidecars, the current
+      run's per-label results and phase timings are appended as an
+      extra section so a CI run can publish "history + this run" in
+      one artifact.
+
+  bench_dashboard.py --validate-attribution FILE
+      Structural schema check for spp.attribution.v1 documents
+      (emitted by --attribution runs): required fields, rank ordering,
+      score consistency, totals vs. per-entry accounting. Exits
+      non-zero with a message on the first violation; prints a one-
+      line summary on success. Used by the CI attribution-smoke job.
+
+Stdlib only; no third-party dependencies.
+"""
+
+import argparse
+import glob
+import html
+import json
+import os
+import subprocess
+import sys
+
+# --------------------------------------------------------------------
+# Attribution schema validation
+# --------------------------------------------------------------------
+
+ATTR_SCHEMA = "spp.attribution.v1"
+STAT_FIELDS = (
+    "correct", "over", "under", "unpredicted", "wasted_bytes",
+    "under_ticks", "messages", "noc_bytes", "score",
+)
+ENTRY_FIELDS = (
+    "rank", "sync", "sync_type", "sync_static", "sync_epoch",
+    "region", "core", "stats",
+)
+
+
+def fail(msg):
+    print(f"bench_dashboard: FAIL: {msg}", file=sys.stderr)
+    sys.exit(1)
+
+
+def check_stats(stats, where):
+    for f in STAT_FIELDS:
+        if f not in stats:
+            fail(f"{where}: missing stats field '{f}'")
+        if not isinstance(stats[f], (int, float)) or stats[f] < 0:
+            fail(f"{where}: stats field '{f}' not a non-negative "
+                 f"number: {stats[f]!r}")
+    want = (stats["wasted_bytes"] + stats["noc_bytes"]
+            + stats["under_ticks"])
+    if stats["score"] != want:
+        fail(f"{where}: score {stats['score']} != wasted_bytes + "
+             f"noc_bytes + under_ticks = {want}")
+
+
+def validate_attribution(path):
+    with open(path, encoding="utf-8") as f:
+        doc = json.load(f)
+    if doc.get("schema") != ATTR_SCHEMA:
+        fail(f"schema is {doc.get('schema')!r}, want {ATTR_SCHEMA!r}")
+    opts = doc.get("options")
+    if not isinstance(opts, dict):
+        fail("missing 'options' object")
+    for k in ("top_k", "region_bytes"):
+        if not isinstance(opts.get(k), (int, float)) or opts[k] <= 0:
+            fail(f"options.{k} missing or non-positive")
+    entries = doc.get("entries")
+    if not isinstance(entries, list):
+        fail("missing 'entries' array")
+    if len(entries) > opts["top_k"]:
+        fail(f"{len(entries)} entries exceed top_k={opts['top_k']}")
+    prev_score = None
+    for i, e in enumerate(entries):
+        where = f"entries[{i}]"
+        for f in ENTRY_FIELDS:
+            if f not in e:
+                fail(f"{where}: missing field '{f}'")
+        if e["rank"] != i + 1:
+            fail(f"{where}: rank {e['rank']} != {i + 1}")
+        for f in ("region", "sync_static"):
+            if not str(e[f]).startswith("0x"):
+                fail(f"{where}: {f} not a hex string: {e[f]!r}")
+        check_stats(e["stats"], where)
+        score = e["stats"]["score"]
+        if prev_score is not None and score > prev_score:
+            fail(f"{where}: score {score} out of order "
+                 f"(previous {prev_score})")
+        prev_score = score
+    totals = doc.get("totals")
+    if not isinstance(totals, dict):
+        fail("missing 'totals' object")
+    check_stats(totals, "totals")
+    # Entries plus overflow must account for every decision and byte.
+    acc = {f: 0 for f in STAT_FIELDS}
+    for e in entries:
+        for f in STAT_FIELDS:
+            acc[f] += e["stats"][f]
+    overflow = doc.get("overflow")
+    if overflow is not None:
+        if not isinstance(overflow.get("keys"), (int, float)):
+            fail("overflow.keys missing")
+        check_stats(overflow["stats"], "overflow")
+        for f in STAT_FIELDS:
+            acc[f] += overflow["stats"][f]
+    for f in STAT_FIELDS:
+        if f == "score":
+            continue
+        if acc[f] != totals[f]:
+            fail(f"entries+overflow {f} = {acc[f]} != totals "
+                 f"{totals[f]}")
+    print(f"bench_dashboard: OK: {path}: {len(entries)} entries, "
+          f"{int(totals['messages'])} messages, "
+          f"{int(totals['wasted_bytes'])} wasted bytes")
+
+
+# --------------------------------------------------------------------
+# Git-history trajectory
+# --------------------------------------------------------------------
+
+def git(repo, *args):
+    out = subprocess.run(
+        ["git", "-C", repo, *args], capture_output=True, text=True)
+    if out.returncode != 0:
+        return None
+    return out.stdout
+
+
+def bench_files(repo):
+    out = git(repo, "ls-files", "BENCH_*.json")
+    return out.split() if out else []
+
+
+def history(repo, path):
+    """Oldest-first [(short_rev, date, subject, doc), ...] for one
+    committed benchmark file."""
+    log = git(repo, "log", "--follow", "--format=%h%x09%as%x09%s",
+              "--", path)
+    rows = []
+    for line in reversed((log or "").strip().splitlines()):
+        rev, date, subject = line.split("\t", 2)
+        blob = git(repo, "show", f"{rev}:{path}")
+        if blob is None:
+            continue                      # file absent at this rev
+        try:
+            doc = json.loads(blob)
+        except json.JSONDecodeError:
+            continue
+        rows.append((rev, date, subject, doc))
+    return rows
+
+
+def metric_of(doc):
+    """(events_per_sec, wall_ms, attr_overhead_pct|None) from one
+    BENCH_*.json document; tolerant of older schemas."""
+    totals = doc.get("totals", {})
+    return (totals.get("events_per_sec"), totals.get("wall_ms"),
+            doc.get("attr_overhead_pct"))
+
+
+def sparkline(values, width=220, height=36):
+    """Inline SVG sparkline; tolerates <2 points and flat series."""
+    pts = [v for v in values if v is not None]
+    if len(pts) < 2:
+        return "<svg width='%d' height='%d'></svg>" % (width, height)
+    lo, hi = min(pts), max(pts)
+    span = (hi - lo) or 1.0
+    step = width / (len(pts) - 1)
+    coords = []
+    for i, v in enumerate(pts):
+        x = i * step
+        y = height - 4 - (v - lo) / span * (height - 8)
+        coords.append(f"{x:.1f},{y:.1f}")
+    return ("<svg width='%d' height='%d'>"
+            "<polyline fill='none' stroke='#2a7' stroke-width='2' "
+            "points='%s'/></svg>" % (width, height, " ".join(coords)))
+
+
+def fmt(v, unit=""):
+    if v is None:
+        return "-"
+    if isinstance(v, float):
+        return f"{v:,.1f}{unit}"
+    return f"{v}{unit}"
+
+
+def load_manifests(mdir):
+    rows = []
+    for path in sorted(glob.glob(os.path.join(mdir,
+                                              "*.manifest.json"))):
+        try:
+            with open(path, encoding="utf-8") as f:
+                doc = json.load(f)
+        except (OSError, json.JSONDecodeError):
+            continue
+        rows.append(doc)
+    return rows
+
+
+def render(repo, out_path, manifest_dir):
+    sections = []
+    text_lines = []
+    for path in bench_files(repo):
+        rows = history(repo, path)
+        if not rows:
+            continue
+        eps = [metric_of(d)[0] for _, _, _, d in rows]
+        text_lines.append(f"\n== {path} ==")
+        text_lines.append(f"{'rev':<10}{'date':<12}"
+                          f"{'events/sec':>14}{'wall ms':>10}"
+                          f"{'attr ov%':>9}  subject")
+        trs = []
+        for rev, date, subject, doc in rows:
+            e, w, a = metric_of(doc)
+            text_lines.append(
+                f"{rev:<10}{date:<12}{fmt(e):>14}{fmt(w):>10}"
+                f"{fmt(a):>9}  {subject[:50]}")
+            trs.append(
+                "<tr><td><code>%s</code></td><td>%s</td>"
+                "<td class='n'>%s</td><td class='n'>%s</td>"
+                "<td class='n'>%s</td><td>%s</td></tr>"
+                % (rev, date, fmt(e), fmt(w), fmt(a),
+                   html.escape(subject)))
+        sections.append(
+            "<h2>%s</h2><p>events/sec trajectory: %s</p>"
+            "<table><tr><th>rev</th><th>date</th>"
+            "<th>events/sec</th><th>wall ms</th>"
+            "<th>attr&nbsp;ov%%</th><th>commit</th></tr>%s</table>"
+            % (html.escape(path), sparkline(eps), "".join(trs)))
+
+    if manifest_dir:
+        mrows = load_manifests(manifest_dir)
+        if mrows:
+            text_lines.append(f"\n== run manifests "
+                              f"({manifest_dir}) ==")
+            trs = []
+            for m in mrows:
+                res = m.get("result", {})
+                phases = m.get("phases", {})
+                run_ms = phases.get("run")
+                label = m.get("label", "?")
+                text_lines.append(
+                    f"{label:<34}{fmt(res.get('events')):>12}"
+                    f"{fmt(res.get('ticks')):>12}"
+                    f"{fmt(run_ms, ' ms'):>12}")
+                trs.append(
+                    "<tr><td>%s</td><td class='n'>%s</td>"
+                    "<td class='n'>%s</td><td class='n'>%s</td></tr>"
+                    % (html.escape(label), fmt(res.get("events")),
+                       fmt(res.get("ticks")), fmt(run_ms, " ms")))
+            sections.append(
+                "<h2>Run manifests (%s)</h2><table><tr>"
+                "<th>label</th><th>events</th><th>ticks</th>"
+                "<th>run</th></tr>%s</table>"
+                % (html.escape(manifest_dir), "".join(trs)))
+
+    print("\n".join(text_lines) if text_lines
+          else "bench_dashboard: no committed BENCH_*.json found")
+    if out_path:
+        head = git(repo, "rev-parse", "--short", "HEAD") or "?"
+        page = ("<!DOCTYPE html><html><head><meta charset='utf-8'>"
+                "<title>spp bench dashboard</title><style>"
+                "body{font:14px sans-serif;margin:2em;}"
+                "table{border-collapse:collapse;}"
+                "td,th{border:1px solid #ccc;padding:4px 8px;}"
+                "td.n{text-align:right;font-variant-numeric:"
+                "tabular-nums;}</style></head><body>"
+                "<h1>spp bench dashboard</h1>"
+                "<p>generated at HEAD <code>%s</code></p>%s"
+                "</body></html>"
+                % (head.strip(), "".join(sections)))
+        with open(out_path, "w", encoding="utf-8") as f:
+            f.write(page)
+        print(f"bench_dashboard: wrote {out_path}")
+
+
+def main():
+    ap = argparse.ArgumentParser(
+        description="benchmark trajectory dashboard / attribution "
+                    "artifact validator")
+    ap.add_argument("--repo", default=".",
+                    help="repository root (default: cwd)")
+    ap.add_argument("--out", default=None,
+                    help="write an HTML dashboard to this path")
+    ap.add_argument("--manifests", default=None,
+                    help="directory of telemetry *.manifest.json to "
+                         "append as a current-run section")
+    ap.add_argument("--validate-attribution", metavar="FILE",
+                    default=None,
+                    help="validate one attribution.json and exit")
+    args = ap.parse_args()
+    if args.validate_attribution:
+        validate_attribution(args.validate_attribution)
+        return
+    render(args.repo, args.out, args.manifests)
+
+
+if __name__ == "__main__":
+    main()
