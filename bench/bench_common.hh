@@ -24,14 +24,26 @@
  * misprediction and traffic accounting — into DIR;
  * SPP_ATTRIBUTION_TOPK / SPP_ATTRIBUTION_REGION tune the store.
  * Off by default at zero cost.
+ *
+ * Traces: pass --trace-dir DIR (or SPP_TRACE_DIR=DIR) to back the
+ * sweep with a content-addressed trace store: before the matrix
+ * runs, every distinct workload key missing from DIR is recorded
+ * once, then all cells replay from the store (generator coroutines
+ * never run in the timed jobs). --record (SPP_TRACE_RECORD=1)
+ * forces re-recording; --replay FILE (SPP_TRACE_REPLAY=FILE) drives
+ * every job from one explicit .spptrace file, e.g. an imported
+ * mcsim trace.
  */
 
 #ifndef SPP_BENCH_BENCH_COMMON_HH
 #define SPP_BENCH_BENCH_COMMON_HH
 
+#include <cerrno>
+#include <cstdint>
 #include <cstdio>
 #include <cstdlib>
 #include <cstring>
+#include <set>
 #include <string>
 #include <vector>
 
@@ -43,6 +55,8 @@
 #include "analysis/sweep.hh"
 #include "common/logging.hh"
 #include "telemetry/options.hh"
+#include "trace/options.hh"
+#include "trace/store.hh"
 #include "workload/workload.hh"
 
 namespace spp {
@@ -69,6 +83,11 @@ inline TelemetryOptions g_telemetry;
  * unless --attribution or SPP_ATTRIBUTION names a directory. */
 inline AttributionOptions g_attribution;
 
+/** Trace capture/replay knobs shared by every config factory below;
+ * disabled unless --trace-dir/--replay (or their env twins) are
+ * set. */
+inline TraceOptions g_trace;
+
 /** Most-square mesh factorization of @p n (x >= y). */
 inline void
 meshFor(unsigned n, unsigned &x, unsigned &y)
@@ -80,6 +99,51 @@ meshFor(unsigned n, unsigned &x, unsigned &y)
     x = n / y;
 }
 
+/**
+ * Strictly parse @p text as a base-10 unsigned integer in
+ * [@p lo, @p hi]; fatal (naming @p flag) on empty input, any
+ * non-digit — including a sign, so "-1" is rejected instead of
+ * wrapping to a huge unsigned — overflow, or an out-of-range value.
+ */
+inline std::uint64_t
+parseUnsigned(const char *flag, const char *text, std::uint64_t lo,
+              std::uint64_t hi)
+{
+    bool digits = text != nullptr && *text != '\0';
+    for (const char *p = text; digits && *p != '\0'; ++p)
+        digits = *p >= '0' && *p <= '9';
+    if (!digits)
+        SPP_FATAL("{} expects an unsigned integer, got '{}'", flag,
+                  text ? text : "");
+    errno = 0;
+    char *end = nullptr;
+    const unsigned long long value = std::strtoull(text, &end, 10);
+    if (errno != 0 || *end != '\0' || value < lo || value > hi)
+        SPP_FATAL("{} must be in [{}, {}], got '{}'", flag, lo, hi,
+                  text);
+    return value;
+}
+
+/**
+ * Validate a --cores / --mesh combination (0 = flag not given).
+ * Returns "" when consistent, else the complaint to die with —
+ * separated from initBench so the tests can probe it without
+ * forking.
+ */
+inline std::string
+geometryError(unsigned cores, unsigned mesh_x, unsigned mesh_y)
+{
+    if (mesh_x != 0 && mesh_x * mesh_y > maxCores)
+        return "--mesh " + std::to_string(mesh_x) + "x" +
+            std::to_string(mesh_y) + " exceeds the " +
+            std::to_string(maxCores) + "-core build limit";
+    if (cores != 0 && mesh_x != 0 && mesh_x * mesh_y != cores)
+        return "--mesh " + std::to_string(mesh_x) + "x" +
+            std::to_string(mesh_y) + " does not cover --cores " +
+            std::to_string(cores);
+    return "";
+}
+
 /** Parse the shared bench flags; call first thing in every driver's
  * main(). */
 inline void
@@ -87,19 +151,26 @@ initBench(int argc, char **argv)
 {
     g_telemetry = TelemetryOptions::fromEnv();
     g_attribution = AttributionOptions::fromEnv();
+    g_trace = TraceOptions::fromEnv();
+    const auto parse = [](const char *flag,
+                          const char *text, std::uint64_t lo,
+                          std::uint64_t hi) {
+        return static_cast<unsigned>(
+            parseUnsigned(flag, text, lo, hi));
+    };
     for (int i = 1; i < argc; ++i) {
         const char *arg = argv[i];
         if (std::strcmp(arg, "--jobs") == 0 && i + 1 < argc) {
-            g_jobs = static_cast<unsigned>(std::atoi(argv[++i]));
+            g_jobs = parse("--jobs", argv[++i], 1, 65536);
         } else if (std::strncmp(arg, "--jobs=", 7) == 0) {
-            g_jobs = static_cast<unsigned>(std::atoi(arg + 7));
+            g_jobs = parse("--jobs", arg + 7, 1, 65536);
         } else if (std::strcmp(arg, "--cores") == 0 && i + 1 < argc) {
-            g_cores = static_cast<unsigned>(std::atoi(argv[++i]));
+            g_cores = parse("--cores", argv[++i], 1, maxCores);
         } else if (std::strncmp(arg, "--cores=", 8) == 0) {
-            g_cores = static_cast<unsigned>(std::atoi(arg + 8));
+            g_cores = parse("--cores", arg + 8, 1, maxCores);
         } else if (std::strcmp(arg, "--mesh") == 0 && i + 2 < argc) {
-            g_mesh_x = static_cast<unsigned>(std::atoi(argv[++i]));
-            g_mesh_y = static_cast<unsigned>(std::atoi(argv[++i]));
+            g_mesh_x = parse("--mesh", argv[++i], 1, maxCores);
+            g_mesh_y = parse("--mesh", argv[++i], 1, maxCores);
         } else if (std::strcmp(arg, "--format") == 0 && i + 1 < argc) {
             g_format = sharerFormatFromString(argv[++i]);
         } else if (std::strncmp(arg, "--format=", 9) == 0) {
@@ -114,24 +185,40 @@ initBench(int argc, char **argv)
             g_attribution.dir = argv[++i];
         } else if (std::strncmp(arg, "--attribution=", 14) == 0) {
             g_attribution.dir = arg + 14;
+        } else if (std::strcmp(arg, "--trace-dir") == 0 &&
+                   i + 1 < argc) {
+            g_trace.dir = argv[++i];
+        } else if (std::strncmp(arg, "--trace-dir=", 12) == 0) {
+            g_trace.dir = arg + 12;
+        } else if (std::strcmp(arg, "--record") == 0) {
+            g_trace.record = true;
+        } else if (std::strcmp(arg, "--replay") == 0 &&
+                   i + 1 < argc) {
+            g_trace.replayFile = argv[++i];
+        } else if (std::strncmp(arg, "--replay=", 9) == 0) {
+            g_trace.replayFile = arg + 9;
         } else {
             std::fprintf(stderr,
                          "usage: %s [--jobs N] [--cores N] "
                          "[--mesh X Y] [--format full|coarse|limited] "
-                         "[--telemetry DIR] [--attribution DIR]   "
+                         "[--telemetry DIR] [--attribution DIR] "
+                         "[--trace-dir DIR] [--record] "
+                         "[--replay FILE]   "
                          "(also: SPP_JOBS, SPP_BENCH_SCALE, "
                          "SPP_PROGRESS, SPP_TELEMETRY, "
-                         "SPP_TELEMETRY_PERIOD, SPP_ATTRIBUTION)\n",
+                         "SPP_TELEMETRY_PERIOD, SPP_ATTRIBUTION, "
+                         "SPP_TRACE_DIR, SPP_TRACE_RECORD, "
+                         "SPP_TRACE_REPLAY)\n",
                          argv[0]);
             std::exit(2);
         }
     }
-    if (g_cores != 0 && g_mesh_x != 0 &&
-        g_mesh_x * g_mesh_y != g_cores) {
-        std::fprintf(stderr, "--mesh %ux%u does not cover %u cores\n",
-                     g_mesh_x, g_mesh_y, g_cores);
-        std::exit(2);
-    }
+    const std::string geo_err =
+        geometryError(g_cores, g_mesh_x, g_mesh_y);
+    if (!geo_err.empty())
+        SPP_FATAL("{}", geo_err);
+    if (g_trace.record && g_trace.dir.empty())
+        SPP_FATAL("--record needs --trace-dir (or SPP_TRACE_DIR)");
 }
 
 /** Apply the --cores / --mesh / --format overrides to @p cfg. */
@@ -149,10 +236,53 @@ applyGeometry(Config &cfg)
     cfg.sharerFormat = g_format;
 }
 
-/** Run a job list on the configured worker count. */
+/**
+ * Trace-store pre-pass: with --trace-dir, record every distinct
+ * workload key the job list needs but the store lacks (once each,
+ * on the worker pool, with sidecars off), then point all jobs at
+ * replay. Without it, two cells sharing a key would both pay the
+ * recording run — harmless (writes are atomic and byte-identical)
+ * but slower than recording once.
+ */
+inline void
+prepareTraceStore(std::vector<SweepJob> &jobs)
+{
+    if (g_trace.dir.empty() || !g_trace.replayFile.empty())
+        return;
+    std::vector<SweepJob> recorders;
+    std::set<std::uint64_t> seen;
+    for (SweepJob &job : jobs) {
+        Config cfg = job.config.config;
+        if (job.config.tweak)
+            job.config.tweak(cfg);
+        const std::uint64_t key =
+            traceKeyHash(job.workload, cfg, job.config.scale);
+        const std::string path =
+            tracePath(g_trace.dir, job.workload, key);
+        if ((g_trace.record || !traceFileExists(path)) &&
+            seen.insert(key).second) {
+            SweepJob rec = job;
+            rec.config.trace = g_trace;
+            rec.config.trace.record = true;
+            rec.config.collectTrace = false;
+            rec.config.telemetry = TelemetryOptions{};
+            rec.config.attribution = AttributionOptions{};
+            rec.label = job.workload + "/trace-record";
+            recorders.push_back(std::move(rec));
+        }
+        job.config.trace = g_trace;
+        job.config.trace.record = false;
+    }
+    if (!recorders.empty())
+        runSweep(recorders, g_jobs);
+}
+
+/** Run a job list on the configured worker count (after the trace
+ * store pre-pass, when one is configured). */
 inline std::vector<ExperimentResult>
 sweep(std::vector<SweepJob> jobs)
 {
+    prepareTraceStore(jobs);
     return runSweep(jobs, g_jobs);
 }
 
@@ -192,6 +322,7 @@ directoryConfig()
     c.scale = defaultBenchScale();
     c.telemetry = g_telemetry;
     c.attribution = g_attribution;
+    c.trace = g_trace;
     return c;
 }
 
@@ -205,6 +336,7 @@ broadcastConfig()
     c.scale = defaultBenchScale();
     c.telemetry = g_telemetry;
     c.attribution = g_attribution;
+    c.trace = g_trace;
     return c;
 }
 
@@ -219,6 +351,7 @@ predictedConfig(PredictorKind kind)
     c.scale = defaultBenchScale();
     c.telemetry = g_telemetry;
     c.attribution = g_attribution;
+    c.trace = g_trace;
     return c;
 }
 

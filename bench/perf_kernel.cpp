@@ -29,6 +29,13 @@
  * profiler is an opt-in diagnostic; its cost is inherent virtual
  * dispatch per message, not a regression signal).
  *
+ * A seventh cell replays the ocean/directory cell from an op trace
+ * recorded once (untimed) instead of running the live generator
+ * coroutine: it times the trace frontend's replay path and reports
+ * the replay-vs-live delta against its live twin. Like the profiler
+ * cells it is excluded from the aggregate and asserted to reproduce
+ * the twin's exact event and tick counts.
+ *
  * Each cell runs `--reps` times and reports the best wall clock (the
  * least-noise estimate of kernel cost; event/miss counts are
  * deterministic across reps and are asserted to be so). The summary
@@ -52,6 +59,8 @@
 #include <cstdlib>
 #include <cstring>
 #include <fstream>
+#include <map>
+#include <memory>
 #include <sstream>
 #include <string>
 #include <vector>
@@ -61,6 +70,8 @@
 #include "common/logging.hh"
 #include "sim/cmp_system.hh"
 #include "telemetry/json.hh"
+#include "trace/format.hh"
+#include "trace/replay.hh"
 #include "workload/workload.hh"
 
 using namespace spp;
@@ -95,6 +106,10 @@ struct Cell
     PredictorKind predictor;
     unsigned cores;
     AttrMode attr;
+    /** Drive the cell from a pre-recorded in-memory op trace
+     * instead of the live generator coroutine (the trace frontend's
+     * replay path). Compared against its live twin intra-run. */
+    bool replay = false;
 };
 
 constexpr Cell kCells[] = {
@@ -116,12 +131,22 @@ constexpr Cell kCells[] = {
      AttrMode::disabled},
     {"radiosity", Protocol::predicted, PredictorKind::sp, 16,
      AttrMode::attached},
+    // Replay cell: the ocean/directory cell driven from a recorded
+    // op trace instead of the live generator — times the trace
+    // frontend's replay path and measures generator overhead.
+    // Excluded from totals (like the profiler cells) and asserted
+    // event-identical to its live twin.
+    {"ocean", Protocol::directory, PredictorKind::none, 16,
+     AttrMode::off, true},
 };
 
 // Cell indices the profiler-overhead comparisons use.
 constexpr std::size_t kPlainRadiosityCell = 2;
 constexpr std::size_t kProfOffCell = 4;
 constexpr std::size_t kAttrCell = 5;
+// Replay-speedup comparison: replay cell vs its live twin.
+constexpr std::size_t kPlainOceanCell = 0;
+constexpr std::size_t kReplayCell = 6;
 
 struct CellResult
 {
@@ -200,14 +225,9 @@ parseArgs(int argc, char **argv)
     return o;
 }
 
-/** One timed execution of @p cell, folded into @p r (best-of). */
-void
-runCellOnce(const Cell &cell, const Options &o, CellResult &r)
+Config
+configFor(const Cell &cell)
 {
-    const WorkloadSpec *spec = findWorkload(cell.workload);
-    if (!spec)
-        SPP_FATAL("unknown workload '{}'", cell.workload);
-
     Config cfg;
     cfg.protocol = cell.protocol;
     cfg.predictor = cell.predictor;
@@ -218,9 +238,59 @@ runCellOnce(const Cell &cell, const Options &o, CellResult &r)
             y = d;
     cfg.meshY = y;
     cfg.meshX = cell.cores / y;
+    return cfg;
+}
 
+/**
+ * The recorded op trace a replay cell runs from, captured once
+ * (outside any timed region) on first use and reused across reps.
+ */
+std::shared_ptr<const TraceData>
+replayTraceFor(const Cell &cell, const Options &o)
+{
+    static std::map<const Cell *,
+                    std::shared_ptr<const TraceData>> cache;
+    auto &slot = cache[&cell];
+    if (slot)
+        return slot;
+
+    const WorkloadSpec *spec = findWorkload(cell.workload);
+    if (!spec)
+        SPP_FATAL("unknown workload '{}'", cell.workload);
     WorkloadParams params;
     params.scale = o.scale;
+
+    CmpSystem sys(configFor(cell));
+    TraceRecorder recorder(cell.cores);
+    sys.setTraceSink(&recorder);
+    sys.run([spec, params](ThreadContext &ctx) {
+        return spec->run(ctx, params);
+    });
+    slot = std::make_shared<TraceData>(std::move(recorder.data));
+    return slot;
+}
+
+/** One timed execution of @p cell, folded into @p r (best-of). */
+void
+runCellOnce(const Cell &cell, const Options &o, CellResult &r)
+{
+    const Config cfg = configFor(cell);
+
+    // Build the thread function before the clock starts: for a
+    // replay cell the first rep records the trace here, untimed.
+    CmpSystem::ThreadFn fn;
+    if (cell.replay) {
+        fn = replayThreadFn(replayTraceFor(cell, o));
+    } else {
+        const WorkloadSpec *spec = findWorkload(cell.workload);
+        if (!spec)
+            SPP_FATAL("unknown workload '{}'", cell.workload);
+        WorkloadParams params;
+        params.scale = o.scale;
+        fn = [spec, params](ThreadContext &ctx) {
+            return spec->run(ctx, params);
+        };
+    }
 
     CmpSystem sys(cfg);
     // AttrMode::disabled constructs the profiler but never attaches
@@ -230,9 +300,7 @@ runCellOnce(const Cell &cell, const Options &o, CellResult &r)
     if (cell.attr == AttrMode::attached)
         attrib.attach(sys);
     const auto t0 = std::chrono::steady_clock::now();
-    const RunResult run = sys.run([spec, params](ThreadContext &ctx) {
-        return spec->run(ctx, params);
-    });
+    const RunResult run = sys.run(fn);
     const auto t1 = std::chrono::steady_clock::now();
     const double ms =
         std::chrono::duration<double, std::milli>(t1 - t0).count();
@@ -297,7 +365,8 @@ main(int argc, char **argv)
     for (std::size_t i = 0; i < kNumCells; ++i) {
         const Cell &cell = kCells[i];
         const CellResult &r = cells[i];
-        const char *tag = cell.attr == AttrMode::attached ? "+attr "
+        const char *tag = cell.replay                      ? "+rply "
+            : cell.attr == AttrMode::attached              ? "+attr "
             : cell.attr == AttrMode::disabled              ? "+prof0"
                                                            : "      ";
         std::printf("%-13s %-9s %-4s c%-4u%s events %9llu  "
@@ -309,9 +378,10 @@ main(int argc, char **argv)
                     static_cast<unsigned long long>(r.misses),
                     static_cast<unsigned long long>(r.ticks),
                     r.wallMs, r.eventsPerSec() / 1e6);
-        // The profiler cells are overhead probes, not part of the
-        // aggregate: totals stay comparable to pre-v3 baselines.
-        if (cell.attr == AttrMode::off) {
+        // The profiler and replay cells are overhead probes, not
+        // part of the aggregate: totals stay comparable to pre-v3
+        // baselines.
+        if (cell.attr == AttrMode::off && !cell.replay) {
             total_events += r.events;
             total_misses += r.misses;
             total_ms += r.wallMs;
@@ -326,6 +396,14 @@ main(int argc, char **argv)
                        cells[idx].ticks ==
                            cells[kPlainRadiosityCell].ticks,
                    "attribution profiler perturbed the simulation");
+
+    // Replay must reproduce its live twin's simulation exactly: same
+    // op stream in, same event schedule out.
+    SPP_ASSERT(cells[kReplayCell].events ==
+                       cells[kPlainOceanCell].events &&
+                   cells[kReplayCell].ticks ==
+                       cells[kPlainOceanCell].ticks,
+               "trace replay diverged from its live twin");
 
     const double total_eps =
         static_cast<double>(total_events) / (total_ms / 1e3);
@@ -352,9 +430,17 @@ main(int argc, char **argv)
                 "(radiosity+attr %.2f ms vs %.2f ms, report-only)\n",
                 attr_overhead * 100.0, cells[kAttrCell].wallMs,
                 cells[kPlainRadiosityCell].wallMs);
+    const double replay_speedup =
+        cells[kPlainOceanCell].wallMs / cells[kReplayCell].wallMs -
+        1.0;
+    std::printf("trace-replay speedup: %+.1f%% "
+                "(ocean replay %.2f ms vs live %.2f ms, "
+                "report-only)\n",
+                replay_speedup * 100.0, cells[kReplayCell].wallMs,
+                cells[kPlainOceanCell].wallMs);
 
     Json doc = Json::object();
-    doc["schema"] = "spp.perf_kernel.v3";
+    doc["schema"] = "spp.perf_kernel.v4";
     doc["scale"] = o.scale;
     doc["reps"] = o.reps;
     Json arr = Json::array();
@@ -365,6 +451,7 @@ main(int argc, char **argv)
         c["predictor"] = toString(r.cell->predictor);
         c["cores"] = r.cell->cores;
         c["attr"] = toString(r.cell->attr);
+        c["replay"] = r.cell->replay;
         c["events"] = r.events;
         c["misses"] = r.misses;
         c["ticks"] = static_cast<std::uint64_t>(r.ticks);
@@ -383,6 +470,7 @@ main(int argc, char **argv)
     doc["totals"] = std::move(totals);
     doc["prof_off_overhead_pct"] = prof_off_overhead * 100.0;
     doc["attr_overhead_pct"] = attr_overhead * 100.0;
+    doc["replay_speedup_pct"] = replay_speedup * 100.0;
 
     std::ofstream out(o.out);
     if (!out) {

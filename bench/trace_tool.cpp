@@ -1,0 +1,393 @@
+/**
+ * @file
+ * Trace store utility: record, inspect, replay and import
+ * `.spptrace` workload traces outside the figure harnesses.
+ *
+ *   trace_tool record WORKLOAD OUT [--scale S] [--cores N]
+ *                                  [--seed N]
+ *       Run WORKLOAD's generator once (directory protocol) and
+ *       write its op stream to OUT.
+ *
+ *   trace_tool info FILE
+ *       Decode FILE and print its provenance and op histogram.
+ *
+ *   trace_tool replay FILE [--protocol directory|broadcast|
+ *                           predicted]
+ *       Drive a machine of the trace's geometry from FILE and
+ *       print the run summary.
+ *
+ *   trace_tool bench WORKLOAD [--scale S] [--cores N] [--seed N]
+ *                             [--only live|replay]
+ *       Run WORKLOAD live, then replay the same ops from an
+ *       in-memory trace, and report events/sec for both — the
+ *       generator-overhead measurement ROADMAP.md asks for.
+ *       --only restricts to one side (for external profilers).
+ *
+ *   trace_tool import-mcsim OUT THREAD0 [THREAD1 ...]
+ *                           [--sync-every N]
+ *       Convert per-thread mcsim TraceGen files into one
+ *       `.spptrace` (see trace/mcsim.hh for the record layout and
+ *       the barrier-injection rule).
+ */
+
+#include <algorithm>
+#include <chrono>
+#include <cstdio>
+#include <cstring>
+#include <string>
+#include <vector>
+
+#include "analysis/experiment.hh"
+#include "bench_common.hh"
+#include "trace/codec.hh"
+#include "trace/mcsim.hh"
+#include "trace/replay.hh"
+#include "trace/store.hh"
+
+using namespace spp;
+
+namespace {
+
+int
+usage()
+{
+    std::fprintf(stderr,
+                 "usage: trace_tool record WORKLOAD OUT [--scale S] "
+                 "[--cores N] [--seed N]\n"
+                 "       trace_tool info FILE\n"
+                 "       trace_tool replay FILE [--protocol "
+                 "directory|broadcast|predicted]\n"
+                 "       trace_tool bench WORKLOAD [--scale S] "
+                 "[--cores N] [--seed N]\n"
+                 "       trace_tool import-mcsim OUT THREAD0 "
+                 "[THREAD1 ...] [--sync-every N]\n");
+    return 2;
+}
+
+Protocol
+protocolFrom(const std::string &s)
+{
+    if (s == "directory")
+        return Protocol::directory;
+    if (s == "broadcast")
+        return Protocol::broadcast;
+    if (s == "predicted")
+        return Protocol::predicted;
+    SPP_FATAL("unknown protocol '{}' (directory|broadcast|"
+              "predicted)", s);
+}
+
+double
+wallSeconds()
+{
+    return std::chrono::duration<double>(
+               std::chrono::steady_clock::now()
+                   .time_since_epoch())
+        .count();
+}
+
+/** Shared record/bench option block. */
+struct RunArgs
+{
+    double scale = 1.0;
+    unsigned cores = 0; ///< 0 = Config default.
+    std::uint64_t seed = 0;
+    bool seedSet = false;
+    bool runLive = true;
+    bool runReplay = true;
+};
+
+bool
+parseRunArgs(int argc, char **argv, int first, RunArgs &out)
+{
+    for (int i = first; i < argc; ++i) {
+        if (std::strcmp(argv[i], "--scale") == 0 && i + 1 < argc) {
+            out.scale = std::atof(argv[++i]);
+        } else if (std::strcmp(argv[i], "--cores") == 0 &&
+                   i + 1 < argc) {
+            out.cores = static_cast<unsigned>(bench::parseUnsigned(
+                "--cores", argv[++i], 1, maxCores));
+        } else if (std::strcmp(argv[i], "--seed") == 0 &&
+                   i + 1 < argc) {
+            out.seed = bench::parseUnsigned("--seed", argv[++i], 0,
+                                            ~std::uint64_t{0});
+            out.seedSet = true;
+        } else if (std::strcmp(argv[i], "--only") == 0 &&
+                   i + 1 < argc) {
+            const std::string side = argv[++i];
+            out.runLive = side == "live";
+            out.runReplay = side == "replay";
+            if (!out.runLive && !out.runReplay)
+                return false;
+        } else {
+            return false;
+        }
+    }
+    return true;
+}
+
+Config
+configFor(const RunArgs &args)
+{
+    Config cfg;
+    if (args.cores != 0) {
+        cfg.numCores = args.cores;
+        bench::meshFor(args.cores, cfg.meshX, cfg.meshY);
+    }
+    if (args.seedSet)
+        cfg.seed = args.seed;
+    return cfg;
+}
+
+/** Run @p name's generator under @p cfg, capturing the op stream. */
+RunResult
+recordRun(const std::string &name, const Config &cfg, double scale,
+          TraceRecorder &rec)
+{
+    const WorkloadSpec *spec = findWorkload(name);
+    if (!spec)
+        SPP_FATAL("unknown workload '{}'", name);
+    CmpSystem sys(cfg);
+    sys.setTraceSink(&rec);
+    WorkloadParams params;
+    params.scale = scale;
+    return sys.run([spec, params](ThreadContext &ctx) {
+        return spec->run(ctx, params);
+    });
+}
+
+int
+cmdRecord(int argc, char **argv)
+{
+    if (argc < 4)
+        return usage();
+    RunArgs args;
+    args.scale = defaultBenchScale();
+    if (!parseRunArgs(argc, argv, 4, args))
+        return usage();
+    const std::string name = argv[2];
+    const std::string out = argv[3];
+    const Config cfg = configFor(args);
+
+    TraceRecorder rec(cfg.numCores);
+    recordRun(name, cfg, args.scale, rec);
+    rec.data.meta = traceMetaFor(name, cfg, args.scale);
+
+    std::string err;
+    const auto bytes = encodeTrace(rec.data);
+    if (!writeFileBytesAtomic(out, bytes, err))
+        SPP_FATAL("cannot write {}: {}", out, err);
+    std::printf("%s: %llu ops, %u threads, %zu bytes\n", out.c_str(),
+                static_cast<unsigned long long>(rec.data.totalOps()),
+                rec.data.meta.numThreads, bytes.size());
+    return 0;
+}
+
+int
+cmdInfo(int argc, char **argv)
+{
+    if (argc != 3)
+        return usage();
+    const TraceData trace = loadTraceOrFatal(argv[2]);
+    const TraceMeta &m = trace.meta;
+    std::printf("workload:   %s\n", m.workload.c_str());
+    std::printf("threads:    %u\n", m.numThreads);
+    std::printf("seed:       %llu\n",
+                static_cast<unsigned long long>(m.seed));
+    std::printf("lineBytes:  %u\n", m.lineBytes);
+    std::printf("scale:      %g\n", m.scale);
+    std::printf("keyHash:    %016llx\n",
+                static_cast<unsigned long long>(m.keyHash));
+    std::printf("totalOps:   %llu\n",
+                static_cast<unsigned long long>(trace.totalOps()));
+
+    std::uint64_t by_kind[traceOpKinds] = {};
+    for (const auto &ops : trace.threads)
+        for (const TraceOp &op : ops)
+            ++by_kind[static_cast<unsigned>(op.kind)];
+    for (unsigned k = 0; k < traceOpKinds; ++k)
+        if (by_kind[k] != 0)
+            std::printf("  %-13s %llu\n",
+                        toString(static_cast<TraceOpKind>(k)),
+                        static_cast<unsigned long long>(by_kind[k]));
+    return 0;
+}
+
+void
+printRun(const RunResult &run)
+{
+    std::printf("ticks:         %llu\n",
+                static_cast<unsigned long long>(run.ticks));
+    std::printf("events:        %llu\n",
+                static_cast<unsigned long long>(run.eventsExecuted));
+    std::printf("misses:        %llu\n",
+                static_cast<unsigned long long>(
+                    run.mem.misses.value()));
+    std::printf("comm misses:   %llu\n",
+                static_cast<unsigned long long>(
+                    run.mem.communicatingMisses.value()));
+    std::printf("flit bytes:    %llu\n",
+                static_cast<unsigned long long>(
+                    run.noc.flitBytes.value()));
+}
+
+int
+cmdReplay(int argc, char **argv)
+{
+    if (argc < 3)
+        return usage();
+    Protocol proto = Protocol::directory;
+    for (int i = 3; i < argc; ++i) {
+        if (std::strcmp(argv[i], "--protocol") == 0 && i + 1 < argc)
+            proto = protocolFrom(argv[++i]);
+        else
+            return usage();
+    }
+    auto trace = std::make_shared<TraceData>(
+        loadTraceOrFatal(argv[2]));
+
+    Config cfg;
+    cfg.protocol = proto;
+    cfg.numCores = trace->meta.numThreads;
+    cfg.lineBytes = trace->meta.lineBytes;
+    bench::meshFor(cfg.numCores, cfg.meshX, cfg.meshY);
+    const std::string err = traceReplayError(*trace, cfg);
+    if (!err.empty())
+        SPP_FATAL("cannot replay {}: {}", argv[2], err);
+
+    CmpSystem sys(cfg);
+    printRun(sys.run(replayThreadFn(trace)));
+    return 0;
+}
+
+int
+cmdBench(int argc, char **argv)
+{
+    if (argc < 3)
+        return usage();
+    RunArgs args;
+    args.scale = defaultBenchScale();
+    if (!parseRunArgs(argc, argv, 3, args))
+        return usage();
+    const std::string name = argv[2];
+    const Config cfg = configFor(args);
+
+    // Capture pass (untimed): freeze the generator's op stream.
+    TraceRecorder rec(cfg.numCores);
+    recordRun(name, cfg, args.scale, rec);
+    rec.data.meta = traceMetaFor(name, cfg, args.scale);
+    auto trace = std::make_shared<TraceData>(rec.data);
+
+    const WorkloadSpec *spec = findWorkload(name);
+    WorkloadParams params;
+    params.scale = args.scale;
+
+    // Alternate live/replay reps and keep the best of each, so
+    // first-touch and allocator effects don't bias either side.
+    constexpr int reps = 3;
+    RunResult live, replay;
+    double live_s = 0.0, replay_s = 0.0;
+    for (int r = 0; r < reps; ++r) {
+        if (args.runLive) {
+            const double t0 = wallSeconds();
+            CmpSystem live_sys(cfg);
+            live = live_sys.run([spec, params](ThreadContext &ctx) {
+                return spec->run(ctx, params);
+            });
+            const double ls = wallSeconds() - t0;
+            live_s = r == 0 ? ls : std::min(live_s, ls);
+        }
+        if (args.runReplay) {
+            const double t0 = wallSeconds();
+            CmpSystem replay_sys(cfg);
+            replay = replay_sys.run(replayThreadFn(trace));
+            const double rs = wallSeconds() - t0;
+            replay_s = r == 0 ? rs : std::min(replay_s, rs);
+        }
+    }
+
+    if (args.runLive && args.runReplay &&
+        (live.eventsExecuted != replay.eventsExecuted ||
+         live.ticks != replay.ticks))
+        SPP_FATAL("replay diverged: {} events / {} ticks live vs "
+                  "{} events / {} ticks replayed",
+                  live.eventsExecuted, live.ticks,
+                  replay.eventsExecuted, replay.ticks);
+
+    if (args.runLive)
+        std::printf("live:   %8.3f ms  %12.0f events/s\n",
+                    1e3 * live_s,
+                    static_cast<double>(live.eventsExecuted) /
+                        live_s);
+    if (args.runReplay)
+        std::printf("replay: %8.3f ms  %12.0f events/s%s\n",
+                    1e3 * replay_s,
+                    static_cast<double>(replay.eventsExecuted) /
+                        replay_s,
+                    "");
+    if (args.runLive && args.runReplay) {
+        const double live_eps =
+            static_cast<double>(live.eventsExecuted) / live_s;
+        const double replay_eps =
+            static_cast<double>(replay.eventsExecuted) / replay_s;
+        std::printf("replay speedup: %+.1f%% events/s (%llu events, "
+                    "identical live/replay)\n",
+                    100.0 * (replay_eps / live_eps - 1.0),
+                    static_cast<unsigned long long>(
+                        live.eventsExecuted));
+    }
+    return 0;
+}
+
+int
+cmdImportMcsim(int argc, char **argv)
+{
+    if (argc < 4)
+        return usage();
+    const std::string out = argv[2];
+    unsigned sync_every = 0;
+    std::vector<std::string> inputs;
+    for (int i = 3; i < argc; ++i) {
+        if (std::strcmp(argv[i], "--sync-every") == 0 &&
+            i + 1 < argc) {
+            sync_every = static_cast<unsigned>(bench::parseUnsigned(
+                "--sync-every", argv[++i], 1, 1u << 30));
+        } else {
+            inputs.push_back(argv[i]);
+        }
+    }
+    TraceData trace;
+    std::string err;
+    if (!importMcsimTrace(inputs, sync_every, trace, err))
+        SPP_FATAL("mcsim import failed: {}", err);
+    const auto bytes = encodeTrace(trace);
+    if (!writeFileBytesAtomic(out, bytes, err))
+        SPP_FATAL("cannot write {}: {}", out, err);
+    std::printf("%s: %llu ops from %zu threads, %zu bytes\n",
+                out.c_str(),
+                static_cast<unsigned long long>(trace.totalOps()),
+                trace.threads.size(), bytes.size());
+    return 0;
+}
+
+} // namespace
+
+int
+main(int argc, char **argv)
+{
+    if (argc < 2)
+        return usage();
+    setQuiet(true);
+    const std::string cmd = argv[1];
+    if (cmd == "record")
+        return cmdRecord(argc, argv);
+    if (cmd == "info")
+        return cmdInfo(argc, argv);
+    if (cmd == "replay")
+        return cmdReplay(argc, argv);
+    if (cmd == "bench")
+        return cmdBench(argc, argv);
+    if (cmd == "import-mcsim")
+        return cmdImportMcsim(argc, argv);
+    return usage();
+}

@@ -5,6 +5,9 @@
 
 #include "common/logging.hh"
 #include "telemetry/telemetry.hh"
+#include "trace/codec.hh"
+#include "trace/replay.hh"
+#include "trace/store.hh"
 
 namespace spp {
 
@@ -57,17 +60,56 @@ ExperimentResult::indirectionFraction() const
             static_cast<double>(misses);
 }
 
+namespace {
+
+enum class TraceMode { off, record, replay };
+
+} // namespace
+
 ExperimentResult
 runExperiment(const std::string &workload_name,
               const ExperimentConfig &xcfg)
 {
-    const WorkloadSpec *spec = findWorkload(workload_name);
-    if (!spec)
-        SPP_FATAL("unknown workload '{}'", workload_name);
-
     Config cfg = xcfg.config;
     if (xcfg.tweak)
         xcfg.tweak(cfg);
+
+    // Resolve the trace mode against the *tweaked* config — a sweep
+    // tweak may change the seed or geometry, which are part of the
+    // store key.
+    TraceMode tmode = TraceMode::off;
+    std::string trace_file;
+    if (!xcfg.trace.replayFile.empty()) {
+        tmode = TraceMode::replay;
+        trace_file = xcfg.trace.replayFile;
+    } else if (!xcfg.trace.dir.empty()) {
+        trace_file = tracePath(
+            xcfg.trace.dir, workload_name,
+            traceKeyHash(workload_name, cfg, xcfg.scale));
+        tmode = !xcfg.trace.record && traceFileExists(trace_file)
+            ? TraceMode::replay
+            : TraceMode::record;
+    }
+
+    // A replayed run never consults the generator registry: the op
+    // stream on disk is the workload (imported traces have no
+    // registered generator at all).
+    const WorkloadSpec *spec = nullptr;
+    if (tmode != TraceMode::replay) {
+        spec = findWorkload(workload_name);
+        if (!spec)
+            SPP_FATAL("unknown workload '{}'", workload_name);
+    }
+
+    std::shared_ptr<const TraceData> replay_data;
+    if (tmode == TraceMode::replay) {
+        auto data = std::make_shared<TraceData>(
+            loadTraceOrFatal(trace_file));
+        const std::string err = traceReplayError(*data, cfg);
+        if (!err.empty())
+            SPP_FATAL("cannot replay {}: {}", trace_file, err);
+        replay_data = std::move(data);
+    }
 
     const std::string label = xcfg.telemetryLabel.empty()
         ? workload_name
@@ -80,6 +122,18 @@ runExperiment(const std::string &workload_name,
     if (xcfg.telemetry.enabled()) {
         telemetry.emplace(xcfg.telemetry, label);
         telemetry->manifest().set("workload", Json(workload_name));
+        if (tmode != TraceMode::off) {
+            telemetry->manifest().set(
+                "trace_mode",
+                Json(tmode == TraceMode::record ? "record"
+                                                : "replay"));
+            telemetry->manifest().set("trace_file",
+                                      Json(trace_file));
+            telemetry->manifest().set(
+                "trace_key",
+                Json(traceKeyDescribe(workload_name, cfg,
+                                      xcfg.scale)));
+        }
         telemetry->manifest().beginPhase("build");
     }
     std::unique_ptr<AttributionProfiler> attrib;
@@ -90,6 +144,12 @@ runExperiment(const std::string &workload_name,
     CmpSystem sys(cfg);
     if (xcfg.prepare)
         xcfg.prepare(sys);
+
+    std::unique_ptr<TraceRecorder> recorder;
+    if (tmode == TraceMode::record) {
+        recorder = std::make_unique<TraceRecorder>(cfg.numCores);
+        sys.setTraceSink(recorder.get());
+    }
 
     ExperimentResult res;
     if (xcfg.collectTrace) {
@@ -117,11 +177,25 @@ runExperiment(const std::string &workload_name,
     if (attrib)
         attrib->attach(sys);
 
-    WorkloadParams params;
-    params.scale = xcfg.scale;
-    res.run = sys.run([spec, params](ThreadContext &ctx) {
-        return spec->run(ctx, params);
-    });
+    if (replay_data) {
+        res.run = sys.run(replayThreadFn(replay_data));
+    } else {
+        WorkloadParams params;
+        params.scale = xcfg.scale;
+        res.run = sys.run([spec, params](ThreadContext &ctx) {
+            return spec->run(ctx, params);
+        });
+    }
+
+    if (recorder) {
+        recorder->data.meta =
+            traceMetaFor(workload_name, cfg, xcfg.scale);
+        std::string err;
+        if (!writeFileBytesAtomic(trace_file,
+                                  encodeTrace(recorder->data), err))
+            SPP_FATAL("failed to write trace {}: {}", trace_file,
+                      err);
+    }
 
     if (telemetry)
         telemetry->manifest().beginPhase("finalize");

@@ -18,6 +18,7 @@
 #include "common/config.hh"
 #include "sim/cmp_system.hh"
 #include "telemetry/options.hh"
+#include "trace/options.hh"
 #include "workload/workload.hh"
 
 namespace spp {
@@ -41,6 +42,12 @@ struct ExperimentConfig
     /** Per-sync-point attribution profiling (attribution.{json,txt}
      * artifacts); disabled unless attribution.dir is set. */
     AttributionOptions attribution;
+    /** Trace capture/replay (see trace/options.hh): with a store
+     * dir, runs replay a previously recorded op stream when one
+     * matches the workload key and record one otherwise; with a
+     * replay file, that exact trace drives the machine. Off unless
+     * one of the two is set. */
+    TraceOptions trace;
     /** File stem of this run's sidecars (telemetry and attribution);
      * defaults to the workload name (the sweep engine assigns unique
      * per-job labels). */

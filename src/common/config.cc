@@ -6,6 +6,7 @@
 #include <string>
 #include <utility>
 
+#include "common/hash.hh"
 #include "common/logging.hh"
 
 namespace spp {
@@ -198,12 +199,7 @@ std::uint64_t
 configHash(const Config &cfg)
 {
     // FNV-1a over the canonical description.
-    std::uint64_t h = 14695981039346656037ull;
-    for (unsigned char byte : configDescribe(cfg)) {
-        h ^= byte;
-        h *= 1099511628211ull;
-    }
-    return h;
+    return fnv1a64(configDescribe(cfg));
 }
 
 } // namespace spp

@@ -25,9 +25,35 @@
 #ifndef SPP_COMMON_HASH_HH
 #define SPP_COMMON_HASH_HH
 
+#include <cstddef>
 #include <cstdint>
+#include <string_view>
 
 namespace spp {
+
+/**
+ * FNV-1a over a byte range: the content hash used for config
+ * identity (configHash), run manifests, and the trace store's
+ * workload keys. Stable across hosts and builds by construction.
+ */
+inline std::uint64_t
+fnv1a64(const unsigned char *data, std::size_t n,
+        std::uint64_t h = 14695981039346656037ull)
+{
+    for (std::size_t i = 0; i < n; ++i) {
+        h ^= data[i];
+        h *= 1099511628211ull;
+    }
+    return h;
+}
+
+inline std::uint64_t
+fnv1a64(std::string_view s, std::uint64_t h = 14695981039346656037ull)
+{
+    return fnv1a64(
+        reinterpret_cast<const unsigned char *>(s.data()), s.size(),
+        h);
+}
 
 /** Accumulates a 64-bit digest of a stream of words. */
 class StateHasher

@@ -29,6 +29,8 @@
 
 namespace spp {
 
+class TraceSink;
+
 /** How a tryRun() attempt ended. */
 enum class RunStatus
 {
@@ -104,6 +106,15 @@ class CmpSystem
     }
 
     /**
+     * Attach a trace recorder: every semantic op a thread issues
+     * (memory access, compute burst, sync primitive) is reported at
+     * issue time. Observational only; nullptr (the default) turns
+     * recording off, leaving one pointer check per issued op.
+     */
+    void setTraceSink(TraceSink *sink) { trace_sink_ = sink; }
+    TraceSink *traceSink() const { return trace_sink_; }
+
+    /**
      * Turn on wall-clock self-profiling: distributes the profiler
      * to the memory system and the mesh and wraps the event loop in
      * the kernel scope. Idempotent; call before run(). Off by
@@ -128,6 +139,7 @@ class CmpSystem
     std::vector<Task> tasks_;
     unsigned finished_ = 0;
     AccessObserver access_observer_;
+    TraceSink *trace_sink_ = nullptr;
     SelfProfiler self_prof_;
 
     friend class ThreadContext;

@@ -1,8 +1,26 @@
 #include "sim/thread_context.hh"
 
 #include "sim/cmp_system.hh"
+#include "trace/format.hh"
 
 namespace spp {
+
+namespace {
+
+/**
+ * Report one semantic op to the attached trace sink, if any. Ops are
+ * recorded at factory-call time — i.e. in per-thread program order,
+ * before any of the op's internal memory traffic — which is exactly
+ * the order a replay must re-issue them in.
+ */
+void
+recordOp(CmpSystem &sys, CoreId core, const TraceOp &op)
+{
+    if (TraceSink *sink = sys.traceSink())
+        sink->record(core, op);
+}
+
+} // namespace
 
 ThreadContext::ThreadContext(CmpSystem &sys, CoreId core,
                              unsigned n_threads, std::uint64_t seed)
@@ -47,6 +65,7 @@ ThreadContext::mem(Addr addr, bool is_write, Pc pc, Action done)
 ThreadContext::Op
 ThreadContext::read(Addr addr, Pc pc)
 {
+    recordOp(sys_, core_, {TraceOpKind::read, addr, pc, 0});
     return Op{this, [this, addr, pc](Action resume) {
         mem(addr, false, pc, std::move(resume));
     }};
@@ -55,148 +74,273 @@ ThreadContext::read(Addr addr, Pc pc)
 ThreadContext::Op
 ThreadContext::write(Addr addr, Pc pc)
 {
+    recordOp(sys_, core_, {TraceOpKind::write, addr, pc, 0});
     return Op{this, [this, addr, pc](Action resume) {
         mem(addr, true, pc, std::move(resume));
     }};
 }
 
-ThreadContext::Op
-ThreadContext::compute(std::uint64_t instructions)
+void
+ThreadContext::doCompute(std::uint64_t instructions, Action done)
 {
     // 2-issue in-order core: IPC of 2 on compute bursts.
     const Tick delay = (instructions + 1) / 2;
-    return Op{this, [this, delay](Action resume) {
-        sys_.eventQueue().scheduleAfter(delay > 0 ? delay : 1,
-                                        std::move(resume));
+    sys_.eventQueue().scheduleAfter(delay > 0 ? delay : 1,
+                                    std::move(done));
+}
+
+ThreadContext::Op
+ThreadContext::compute(std::uint64_t instructions)
+{
+    recordOp(sys_, core_,
+             {TraceOpKind::compute, 0, 0, instructions});
+    return Op{this, [this, instructions](Action resume) {
+        doCompute(instructions, std::move(resume));
     }};
+}
+
+void
+ThreadContext::doBarrier(unsigned id, Pc sid, Action done)
+{
+    SyncManager &mgr = sys_.syncManager();
+    // Arrival: write the barrier counter line (contended), then
+    // block; on release read the generation flag written by the
+    // last arriver, then continue into the new epoch.
+    mem(mgr.barrierAddr(id), true, layout::syncPcBase + id,
+        [this, id, sid, done = std::move(done)]() {
+            SyncManager &m = sys_.syncManager();
+            m.barrierArrive(core_, id, n_threads_, sid,
+                [this, id, done = std::move(done)]() {
+                    SyncManager &mm = sys_.syncManager();
+                    mem(mm.barrierGenAddr(id), false,
+                        layout::syncPcBase + 0x1000 + id,
+                        std::move(done));
+                });
+        });
 }
 
 ThreadContext::Op
 ThreadContext::barrier(unsigned id, Pc sid)
 {
+    recordOp(sys_, core_, {TraceOpKind::barrier, 0, sid, id});
     return Op{this, [this, id, sid](Action resume) {
-        SyncManager &mgr = sys_.syncManager();
-        // Arrival: write the barrier counter line (contended), then
-        // block; on release read the generation flag written by the
-        // last arriver, then continue into the new epoch.
-        mem(mgr.barrierAddr(id), true, layout::syncPcBase + id,
-            [this, id, sid, resume = std::move(resume)]() {
-                SyncManager &m = sys_.syncManager();
-                m.barrierArrive(core_, id, n_threads_, sid,
-                    [this, id, resume = std::move(resume)]() {
-                        SyncManager &mm = sys_.syncManager();
-                        mem(mm.barrierGenAddr(id), false,
-                            layout::syncPcBase + 0x1000 + id,
-                            std::move(resume));
-                    });
-            });
+        doBarrier(id, sid, std::move(resume));
     }};
+}
+
+void
+ThreadContext::doLock(unsigned id, Action done)
+{
+    sys_.syncManager().lockAcquire(core_, id,
+        [this, id, done = std::move(done)]() {
+            // Lock-word read-modify-write: communicates with the
+            // previous holder (migratory pattern).
+            mem(sys_.syncManager().lockAddr(id), true,
+                layout::syncPcBase + 0x2000 + id,
+                std::move(done));
+        });
 }
 
 ThreadContext::Op
 ThreadContext::lock(unsigned id)
 {
+    recordOp(sys_, core_, {TraceOpKind::lock, 0, 0, id});
     return Op{this, [this, id](Action resume) {
-        SyncManager &mgr = sys_.syncManager();
-        mgr.lockAcquire(core_, id,
-            [this, id, resume = std::move(resume)]() {
-                // Lock-word read-modify-write: communicates with the
-                // previous holder (migratory pattern).
-                mem(sys_.syncManager().lockAddr(id), true,
-                    layout::syncPcBase + 0x2000 + id,
-                    std::move(resume));
-            });
+        doLock(id, std::move(resume));
     }};
+}
+
+void
+ThreadContext::doUnlock(unsigned id, Action done)
+{
+    // Release store on the lock word, then hand the lock over.
+    mem(sys_.syncManager().lockAddr(id), true,
+        layout::syncPcBase + 0x3000 + id,
+        [this, id, done = std::move(done)]() {
+            sys_.syncManager().lockRelease(core_, id);
+            done();
+        });
 }
 
 ThreadContext::Op
 ThreadContext::unlock(unsigned id)
 {
+    recordOp(sys_, core_, {TraceOpKind::unlock, 0, 0, id});
     return Op{this, [this, id](Action resume) {
-        // Release store on the lock word, then hand the lock over.
-        mem(sys_.syncManager().lockAddr(id), true,
-            layout::syncPcBase + 0x3000 + id,
-            [this, id, resume = std::move(resume)]() {
-                sys_.syncManager().lockRelease(core_, id);
-                resume();
-            });
+        doUnlock(id, std::move(resume));
     }};
+}
+
+void
+ThreadContext::doCondWait(unsigned id, Pc sid, Action done)
+{
+    sys_.syncManager().condWait(core_, id, sid,
+        [this, id, done = std::move(done)]() {
+            // Read the state the signaller published.
+            mem(sys_.syncManager().condAddr(id), false,
+                layout::syncPcBase + 0x4000 + id,
+                std::move(done));
+        });
 }
 
 ThreadContext::Op
 ThreadContext::condWait(unsigned id, Pc sid)
 {
+    recordOp(sys_, core_, {TraceOpKind::condWait, 0, sid, id});
     return Op{this, [this, id, sid](Action resume) {
-        sys_.syncManager().condWait(core_, id, sid,
-            [this, id, resume = std::move(resume)]() {
-                // Read the state the signaller published.
-                mem(sys_.syncManager().condAddr(id), false,
-                    layout::syncPcBase + 0x4000 + id,
-                    std::move(resume));
-            });
+        doCondWait(id, sid, std::move(resume));
     }};
+}
+
+void
+ThreadContext::doCondSignal(unsigned id, Pc sid, Action done)
+{
+    mem(sys_.syncManager().condAddr(id), true,
+        layout::syncPcBase + 0x5000 + id,
+        [this, id, sid, done = std::move(done)]() {
+            sys_.syncManager().condSignal(core_, id, sid);
+            done();
+        });
 }
 
 ThreadContext::Op
 ThreadContext::condSignal(unsigned id, Pc sid)
 {
+    recordOp(sys_, core_, {TraceOpKind::condSignal, 0, sid, id});
     return Op{this, [this, id, sid](Action resume) {
-        mem(sys_.syncManager().condAddr(id), true,
-            layout::syncPcBase + 0x5000 + id,
-            [this, id, sid, resume = std::move(resume)]() {
-                sys_.syncManager().condSignal(core_, id, sid);
-                resume();
-            });
+        doCondSignal(id, sid, std::move(resume));
     }};
+}
+
+void
+ThreadContext::doCondBroadcast(unsigned id, Pc sid, Action done)
+{
+    mem(sys_.syncManager().condAddr(id), true,
+        layout::syncPcBase + 0x6000 + id,
+        [this, id, sid, done = std::move(done)]() {
+            sys_.syncManager().condBroadcast(core_, id, sid);
+            done();
+        });
 }
 
 ThreadContext::Op
 ThreadContext::condBroadcast(unsigned id, Pc sid)
 {
+    recordOp(sys_, core_,
+             {TraceOpKind::condBroadcast, 0, sid, id});
     return Op{this, [this, id, sid](Action resume) {
-        mem(sys_.syncManager().condAddr(id), true,
-            layout::syncPcBase + 0x6000 + id,
-            [this, id, sid, resume = std::move(resume)]() {
-                sys_.syncManager().condBroadcast(core_, id, sid);
-                resume();
-            });
+        doCondBroadcast(id, sid, std::move(resume));
     }};
+}
+
+void
+ThreadContext::doSemPost(unsigned id, Pc sid, Action done)
+{
+    // Publish the produced state, then post the token.
+    mem(sys_.syncManager().condAddr(id), true,
+        layout::syncPcBase + 0x7000 + id,
+        [this, id, sid, done = std::move(done)]() {
+            sys_.syncManager().semPost(core_, id, sid);
+            done();
+        });
 }
 
 ThreadContext::Op
 ThreadContext::semPost(unsigned id, Pc sid)
 {
+    recordOp(sys_, core_, {TraceOpKind::semPost, 0, sid, id});
     return Op{this, [this, id, sid](Action resume) {
-        // Publish the produced state, then post the token.
-        mem(sys_.syncManager().condAddr(id), true,
-            layout::syncPcBase + 0x7000 + id,
-            [this, id, sid, resume = std::move(resume)]() {
-                sys_.syncManager().semPost(core_, id, sid);
-                resume();
-            });
+        doSemPost(id, sid, std::move(resume));
     }};
+}
+
+void
+ThreadContext::doSemWait(unsigned id, Pc sid, Action done)
+{
+    sys_.syncManager().semWait(core_, id, sid,
+        [this, id, done = std::move(done)]() {
+            // Consume: read the state the producer published.
+            mem(sys_.syncManager().condAddr(id), false,
+                layout::syncPcBase + 0x8000 + id,
+                std::move(done));
+        });
 }
 
 ThreadContext::Op
 ThreadContext::semWait(unsigned id, Pc sid)
 {
+    recordOp(sys_, core_, {TraceOpKind::semWait, 0, sid, id});
     return Op{this, [this, id, sid](Action resume) {
-        sys_.syncManager().semWait(core_, id, sid,
-            [this, id, resume = std::move(resume)]() {
-                // Consume: read the state the producer published.
-                mem(sys_.syncManager().condAddr(id), false,
-                    layout::syncPcBase + 0x8000 + id,
-                    std::move(resume));
-            });
+        doSemWait(id, sid, std::move(resume));
     }};
+}
+
+void
+ThreadContext::doJoin(Pc sid, Action done)
+{
+    sys_.syncManager().joinAll(core_, sid, std::move(done));
 }
 
 ThreadContext::Op
 ThreadContext::join(Pc sid)
 {
+    recordOp(sys_, core_, {TraceOpKind::join, 0, sid, 0});
     return Op{this, [this, sid](Action resume) {
-        sys_.syncManager().joinAll(core_, sid, std::move(resume));
+        doJoin(sid, std::move(resume));
     }};
+}
+
+void
+ThreadContext::issueTraceOp(const TraceOp &op, Action done)
+{
+    // Memory and compute ops dominate every trace; test for them
+    // with predictable branches before the sync-op switch.
+    if (op.kind == TraceOpKind::read) {
+        mem(op.addr, false, op.pc, std::move(done));
+        return;
+    }
+    if (op.kind == TraceOpKind::write) {
+        mem(op.addr, true, op.pc, std::move(done));
+        return;
+    }
+    if (op.kind == TraceOpKind::compute) {
+        doCompute(op.arg, std::move(done));
+        return;
+    }
+    const auto id = static_cast<unsigned>(op.arg);
+    switch (op.kind) {
+      case TraceOpKind::read:
+      case TraceOpKind::write:
+      case TraceOpKind::compute:
+        break;
+      case TraceOpKind::barrier:
+        doBarrier(id, op.pc, std::move(done));
+        break;
+      case TraceOpKind::lock:
+        doLock(id, std::move(done));
+        break;
+      case TraceOpKind::unlock:
+        doUnlock(id, std::move(done));
+        break;
+      case TraceOpKind::condWait:
+        doCondWait(id, op.pc, std::move(done));
+        break;
+      case TraceOpKind::condSignal:
+        doCondSignal(id, op.pc, std::move(done));
+        break;
+      case TraceOpKind::condBroadcast:
+        doCondBroadcast(id, op.pc, std::move(done));
+        break;
+      case TraceOpKind::semPost:
+        doSemPost(id, op.pc, std::move(done));
+        break;
+      case TraceOpKind::semWait:
+        doSemWait(id, op.pc, std::move(done));
+        break;
+      case TraceOpKind::join:
+        doJoin(op.pc, std::move(done));
+        break;
+    }
 }
 
 } // namespace spp

@@ -25,6 +25,7 @@
 namespace spp {
 
 class CmpSystem;
+struct TraceOp;
 
 /** Shared-memory layout constants used by workloads. */
 namespace layout {
@@ -109,7 +110,30 @@ class ThreadContext
     /** Callback-style memory access (used by the Op wrappers). */
     void mem(Addr addr, bool is_write, Pc pc, Action done);
 
+    /**
+     * Issue a recorded op's underlying machine operations and run
+     * @p done at completion: the trace-replay entry point,
+     * equivalent to awaiting the corresponding factory Op but
+     * without the awaitable wrapper (and without reporting to the
+     * trace sink — a replay is not re-recorded).
+     */
+    void issueTraceOp(const TraceOp &op, Action done);
+
   private:
+    // Callback bodies of the sync-primitive Ops; the factories wrap
+    // them in awaitables (and record them), issueTraceOp() calls
+    // them directly.
+    void doCompute(std::uint64_t instructions, Action done);
+    void doBarrier(unsigned id, Pc sid, Action done);
+    void doLock(unsigned id, Action done);
+    void doUnlock(unsigned id, Action done);
+    void doCondWait(unsigned id, Pc sid, Action done);
+    void doCondSignal(unsigned id, Pc sid, Action done);
+    void doCondBroadcast(unsigned id, Pc sid, Action done);
+    void doSemPost(unsigned id, Pc sid, Action done);
+    void doSemWait(unsigned id, Pc sid, Action done);
+    void doJoin(Pc sid, Action done);
+
     CmpSystem &sys_;
     CoreId core_;
     unsigned n_threads_;

@@ -1,0 +1,443 @@
+#include "trace/codec.hh"
+
+#include <atomic>
+#include <bit>
+#include <cstdio>
+#include <cstring>
+#include <filesystem>
+#include <fstream>
+
+#include <unistd.h>
+
+#include "common/hash.hh"
+#include "common/logging.hh"
+
+namespace spp {
+
+const char *
+toString(TraceOpKind k)
+{
+    switch (k) {
+      case TraceOpKind::read: return "read";
+      case TraceOpKind::write: return "write";
+      case TraceOpKind::compute: return "compute";
+      case TraceOpKind::barrier: return "barrier";
+      case TraceOpKind::lock: return "lock";
+      case TraceOpKind::unlock: return "unlock";
+      case TraceOpKind::condWait: return "cond_wait";
+      case TraceOpKind::condSignal: return "cond_signal";
+      case TraceOpKind::condBroadcast: return "cond_broadcast";
+      case TraceOpKind::semPost: return "sem_post";
+      case TraceOpKind::semWait: return "sem_wait";
+      case TraceOpKind::join: return "join";
+    }
+    return "?";
+}
+
+namespace {
+
+constexpr char kMagic[8] = {'S', 'P', 'P', 'T', 'R', 'A', 'C', 'E'};
+
+// ------------------------------------------------------------------
+// Primitive writers (explicit little-endian byte order).
+// ------------------------------------------------------------------
+
+void
+put8(std::vector<std::uint8_t> &b, std::uint8_t v)
+{
+    b.push_back(v);
+}
+
+void
+put32(std::vector<std::uint8_t> &b, std::uint32_t v)
+{
+    for (unsigned i = 0; i < 4; ++i)
+        b.push_back(static_cast<std::uint8_t>(v >> (8 * i)));
+}
+
+void
+put64(std::vector<std::uint8_t> &b, std::uint64_t v)
+{
+    for (unsigned i = 0; i < 8; ++i)
+        b.push_back(static_cast<std::uint8_t>(v >> (8 * i)));
+}
+
+void
+putVarint(std::vector<std::uint8_t> &b, std::uint64_t v)
+{
+    while (v >= 0x80) {
+        b.push_back(static_cast<std::uint8_t>(v) | 0x80u);
+        v >>= 7;
+    }
+    b.push_back(static_cast<std::uint8_t>(v));
+}
+
+std::uint64_t
+zigzag(std::uint64_t cur, std::uint64_t prev)
+{
+    // Two's-complement difference, zigzag-folded to keep small
+    // forward and backward steps small on disk.
+    const auto d = static_cast<std::int64_t>(cur - prev);
+    return (static_cast<std::uint64_t>(d) << 1) ^
+        static_cast<std::uint64_t>(d >> 63);
+}
+
+std::uint64_t
+unzigzag(std::uint64_t z, std::uint64_t prev)
+{
+    const std::uint64_t d = (z >> 1) ^ (~(z & 1) + 1);
+    return prev + d;
+}
+
+/** Does @p kind carry a call-site / instruction PC field? */
+bool
+hasPc(TraceOpKind k)
+{
+    return k != TraceOpKind::compute && k != TraceOpKind::lock &&
+        k != TraceOpKind::unlock;
+}
+
+/** Does @p kind carry an id/instructions argument? */
+bool
+hasArg(TraceOpKind k)
+{
+    return k != TraceOpKind::read && k != TraceOpKind::write &&
+        k != TraceOpKind::join;
+}
+
+bool
+hasAddr(TraceOpKind k)
+{
+    return k == TraceOpKind::read || k == TraceOpKind::write;
+}
+
+// ------------------------------------------------------------------
+// Bounded reader.
+// ------------------------------------------------------------------
+
+struct Cursor
+{
+    const std::uint8_t *data;
+    std::size_t size;
+    std::size_t pos = 0;
+    std::string err;
+
+    bool failed() const { return !err.empty(); }
+
+    bool
+    fail(const std::string &what)
+    {
+        if (err.empty())
+            err = what + " at offset " + std::to_string(pos);
+        return false;
+    }
+
+    bool
+    need(std::size_t n, const char *what)
+    {
+        if (failed())
+            return false;
+        if (size - pos < n)
+            return fail(std::string("truncated ") + what);
+        return true;
+    }
+
+    std::uint8_t
+    get8(const char *what)
+    {
+        if (!need(1, what))
+            return 0;
+        return data[pos++];
+    }
+
+    std::uint32_t
+    get32(const char *what)
+    {
+        if (!need(4, what))
+            return 0;
+        std::uint32_t v = 0;
+        for (unsigned i = 0; i < 4; ++i)
+            v |= static_cast<std::uint32_t>(data[pos++]) << (8 * i);
+        return v;
+    }
+
+    std::uint64_t
+    get64(const char *what)
+    {
+        if (!need(8, what))
+            return 0;
+        std::uint64_t v = 0;
+        for (unsigned i = 0; i < 8; ++i)
+            v |= static_cast<std::uint64_t>(data[pos++]) << (8 * i);
+        return v;
+    }
+
+    std::uint64_t
+    getVarint(const char *what)
+    {
+        std::uint64_t v = 0;
+        for (unsigned shift = 0; shift < 64; shift += 7) {
+            if (!need(1, what))
+                return 0;
+            const std::uint8_t byte = data[pos++];
+            v |= static_cast<std::uint64_t>(byte & 0x7f) << shift;
+            if ((byte & 0x80) == 0) {
+                if (shift == 63 && (byte & 0x7e) != 0) {
+                    fail(std::string("overflowing varint ") + what);
+                    return 0;
+                }
+                return v;
+            }
+        }
+        fail(std::string("overlong varint ") + what);
+        return 0;
+    }
+};
+
+} // namespace
+
+std::vector<std::uint8_t>
+encodeTrace(const TraceData &trace)
+{
+    std::vector<std::uint8_t> b;
+    b.reserve(64 + trace.totalOps() * 4);
+
+    for (char c : kMagic)
+        put8(b, static_cast<std::uint8_t>(c));
+    put32(b, traceFormatVersion);
+    put32(b, static_cast<std::uint32_t>(trace.threads.size()));
+    put64(b, trace.meta.seed);
+    put32(b, trace.meta.lineBytes);
+    put32(b, 0); // flags (reserved)
+    put64(b, std::bit_cast<std::uint64_t>(trace.meta.scale));
+    put64(b, trace.meta.keyHash);
+    put32(b, static_cast<std::uint32_t>(trace.meta.workload.size()));
+    for (char c : trace.meta.workload)
+        put8(b, static_cast<std::uint8_t>(c));
+    put64(b, trace.totalOps());
+
+    for (const std::vector<TraceOp> &ops : trace.threads) {
+        put64(b, ops.size());
+        std::uint64_t prev_addr = 0;
+        std::uint64_t prev_pc = 0;
+        for (const TraceOp &op : ops) {
+            put8(b, static_cast<std::uint8_t>(op.kind));
+            if (hasArg(op.kind))
+                putVarint(b, op.arg);
+            if (hasPc(op.kind)) {
+                putVarint(b, zigzag(op.pc, prev_pc));
+                prev_pc = op.pc;
+            }
+            if (hasAddr(op.kind)) {
+                putVarint(b, zigzag(op.addr, prev_addr));
+                prev_addr = op.addr;
+            }
+        }
+    }
+
+    put64(b, fnv1a64(b.data(), b.size()));
+    return b;
+}
+
+bool
+decodeTrace(const std::vector<std::uint8_t> &bytes, TraceData &out,
+            std::string &err)
+{
+    Cursor c{bytes.data(), bytes.size()};
+
+    char magic[8];
+    for (char &m : magic)
+        m = static_cast<char>(c.get8("magic"));
+    if (c.failed() || std::memcmp(magic, kMagic, sizeof(kMagic)) != 0) {
+        err = c.failed() ? c.err : "bad magic (not a .spptrace file)";
+        return false;
+    }
+
+    const std::uint32_t version = c.get32("version");
+    if (!c.failed() && version != traceFormatVersion) {
+        err = "unsupported trace format version " +
+            std::to_string(version) + " (this build reads version " +
+            std::to_string(traceFormatVersion) + ")";
+        return false;
+    }
+
+    out = TraceData{};
+    const std::uint32_t n_threads = c.get32("thread count");
+    if (!c.failed() && (n_threads == 0 || n_threads > 65536)) {
+        err = "implausible thread count " + std::to_string(n_threads);
+        return false;
+    }
+    out.meta.numThreads = n_threads;
+    out.meta.seed = c.get64("seed");
+    out.meta.lineBytes = c.get32("line bytes");
+    const std::uint32_t flags = c.get32("flags");
+    if (!c.failed() && flags != 0) {
+        err = "unknown header flags " + std::to_string(flags);
+        return false;
+    }
+    out.meta.scale = std::bit_cast<double>(c.get64("scale"));
+    out.meta.keyHash = c.get64("key hash");
+    const std::uint32_t name_len = c.get32("name length");
+    if (!c.failed() && name_len > 4096) {
+        err = "implausible workload-name length " +
+            std::to_string(name_len);
+        return false;
+    }
+    if (c.need(name_len, "workload name")) {
+        out.meta.workload.assign(
+            reinterpret_cast<const char *>(c.data + c.pos), name_len);
+        c.pos += name_len;
+    }
+    const std::uint64_t total_ops = c.get64("total op count");
+    if (c.failed()) {
+        err = c.err;
+        return false;
+    }
+
+    out.threads.resize(n_threads);
+    std::uint64_t decoded_ops = 0;
+    for (std::uint32_t t = 0; t < n_threads && !c.failed(); ++t) {
+        const std::uint64_t op_count = c.get64("thread op count");
+        if (c.failed())
+            break;
+        // Every encoded op is at least one byte, so a count larger
+        // than the file is corrupt (and would otherwise drive a
+        // giant allocation before the truncation check fired).
+        if (op_count > bytes.size()) {
+            c.fail("implausible op count " + std::to_string(op_count));
+            break;
+        }
+        std::vector<TraceOp> &ops = out.threads[t];
+        ops.reserve(op_count);
+        std::uint64_t prev_addr = 0;
+        std::uint64_t prev_pc = 0;
+        for (std::uint64_t i = 0; i < op_count && !c.failed(); ++i) {
+            TraceOp op;
+            const std::uint8_t opcode = c.get8("opcode");
+            if (c.failed())
+                break;
+            if (opcode >= traceOpKinds) {
+                c.fail("unknown opcode " + std::to_string(opcode));
+                break;
+            }
+            op.kind = static_cast<TraceOpKind>(opcode);
+            if (hasArg(op.kind))
+                op.arg = c.getVarint("op arg");
+            if (hasPc(op.kind)) {
+                op.pc = unzigzag(c.getVarint("op pc"), prev_pc);
+                prev_pc = op.pc;
+            }
+            if (hasAddr(op.kind)) {
+                op.addr = unzigzag(c.getVarint("op addr"), prev_addr);
+                prev_addr = op.addr;
+            }
+            if (!c.failed())
+                ops.push_back(op);
+        }
+        decoded_ops += ops.size();
+    }
+
+    if (!c.failed() && decoded_ops != total_ops)
+        c.fail("op count mismatch: header promises " +
+               std::to_string(total_ops) + ", streams hold " +
+               std::to_string(decoded_ops));
+
+    const std::size_t payload_end = c.pos;
+    const std::uint64_t stored_sum = c.get64("checksum");
+    if (!c.failed() && c.pos != bytes.size())
+        c.fail("trailing garbage (" +
+               std::to_string(bytes.size() - c.pos) + " bytes)");
+    if (!c.failed() &&
+        stored_sum != fnv1a64(bytes.data(), payload_end))
+        c.fail("checksum mismatch (corrupt trace)");
+
+    if (c.failed()) {
+        err = c.err;
+        return false;
+    }
+    return true;
+}
+
+bool
+readFileBytes(const std::string &path, std::vector<std::uint8_t> &out,
+              std::string &err)
+{
+    std::ifstream in(path, std::ios::binary);
+    if (!in) {
+        err = "cannot open " + path;
+        return false;
+    }
+    in.seekg(0, std::ios::end);
+    const std::streamoff size = in.tellg();
+    in.seekg(0, std::ios::beg);
+    out.resize(static_cast<std::size_t>(size));
+    if (size > 0)
+        in.read(reinterpret_cast<char *>(out.data()), size);
+    if (!in) {
+        err = "short read from " + path;
+        return false;
+    }
+    return true;
+}
+
+bool
+writeFileBytesAtomic(const std::string &path,
+                     const std::vector<std::uint8_t> &bytes,
+                     std::string &err)
+{
+    // A fresh store directory (--trace-dir pointing somewhere new)
+    // is created on first write rather than up front, so read-only
+    // replay runs never touch the filesystem.
+    const auto parent =
+        std::filesystem::path(path).parent_path();
+    if (!parent.empty()) {
+        std::error_code ec;
+        std::filesystem::create_directories(parent, ec);
+        if (ec) {
+            err = "cannot create directory " + parent.string() +
+                ": " + ec.message();
+            return false;
+        }
+    }
+    // Unique temp name per process *and* call: concurrent sweep
+    // workers recording the same deterministic trace never share a
+    // partially written file, and the final rename is atomic.
+    static std::atomic<unsigned> seq{0};
+    const std::string tmp = path + ".tmp." +
+        std::to_string(::getpid()) + "." +
+        std::to_string(seq.fetch_add(1, std::memory_order_relaxed));
+    {
+        std::ofstream of(tmp, std::ios::binary | std::ios::trunc);
+        if (!of) {
+            err = "cannot create " + tmp;
+            return false;
+        }
+        of.write(reinterpret_cast<const char *>(bytes.data()),
+                 static_cast<std::streamsize>(bytes.size()));
+        if (!of) {
+            err = "short write to " + tmp;
+            return false;
+        }
+    }
+    if (std::rename(tmp.c_str(), path.c_str()) != 0) {
+        std::remove(tmp.c_str());
+        err = "cannot rename " + tmp + " to " + path;
+        return false;
+    }
+    return true;
+}
+
+TraceData
+loadTraceOrFatal(const std::string &path)
+{
+    std::vector<std::uint8_t> bytes;
+    std::string err;
+    if (!readFileBytes(path, bytes, err))
+        SPP_FATAL("trace replay: {}", err);
+    TraceData trace;
+    if (!decodeTrace(bytes, trace, err))
+        SPP_FATAL("trace replay: {}: {}", path, err);
+    return trace;
+}
+
+} // namespace spp

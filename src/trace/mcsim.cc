@@ -1,0 +1,159 @@
+#include "trace/mcsim.hh"
+
+#include <algorithm>
+#include <cstddef>
+#include <sstream>
+
+#include "trace/codec.hh"
+
+namespace spp {
+
+namespace {
+
+/** On-disk stride of one PTSInstrTrace record (LP64 tail padding). */
+constexpr std::size_t recordBytes = 40;
+
+std::uint64_t
+readU64(const std::vector<std::uint8_t> &b, std::size_t off)
+{
+    std::uint64_t v = 0;
+    for (int i = 7; i >= 0; --i)
+        v = (v << 8) | b[off + static_cast<std::size_t>(i)];
+    return v;
+}
+
+/** Flush a pending run of access-free instructions as one compute. */
+void
+flushCompute(std::vector<TraceOp> &ops, std::uint64_t &pending)
+{
+    if (pending == 0)
+        return;
+    ops.push_back({TraceOpKind::compute, 0, 0, pending});
+    pending = 0;
+}
+
+bool
+importThread(const std::string &path, std::vector<TraceOp> &ops,
+             std::string &err)
+{
+    std::vector<std::uint8_t> bytes;
+    if (!readFileBytes(path, bytes, err))
+        return false;
+    if (bytes.size() % recordBytes != 0) {
+        std::ostringstream os;
+        os << path << ": size " << bytes.size() << " is not a "
+           << "multiple of the " << recordBytes
+           << "-byte PTSInstrTrace record (snappy-compressed input?)";
+        err = os.str();
+        return false;
+    }
+
+    std::uint64_t pending = 0;
+    for (std::size_t off = 0; off < bytes.size();
+         off += recordBytes) {
+        const std::uint64_t waddr = readU64(bytes, off);
+        const std::uint64_t raddr = readU64(bytes, off + 8);
+        const std::uint64_t raddr2 = readU64(bytes, off + 16);
+        const std::uint64_t ip = readU64(bytes, off + 24);
+        if (raddr == 0 && raddr2 == 0 && waddr == 0) {
+            ++pending;
+            continue;
+        }
+        flushCompute(ops, pending);
+        if (raddr != 0)
+            ops.push_back({TraceOpKind::read, raddr, ip, 0});
+        if (raddr2 != 0)
+            ops.push_back({TraceOpKind::read, raddr2, ip, 0});
+        if (waddr != 0)
+            ops.push_back({TraceOpKind::write, waddr, ip, 0});
+    }
+    flushCompute(ops, pending);
+    return true;
+}
+
+bool
+isMemOp(const TraceOp &op)
+{
+    return op.kind == TraceOpKind::read ||
+        op.kind == TraceOpKind::write;
+}
+
+std::uint64_t
+memOpCount(const std::vector<TraceOp> &ops)
+{
+    std::uint64_t n = 0;
+    for (const TraceOp &op : ops)
+        n += isMemOp(op) ? 1 : 0;
+    return n;
+}
+
+/**
+ * Rebuild @p ops with a global barrier after every @p sync_every-th
+ * memory op, stopping after @p max_barriers so every thread reaches
+ * the same barrier count.
+ */
+void
+injectBarriers(std::vector<TraceOp> &ops, unsigned sync_every,
+               std::uint64_t max_barriers)
+{
+    std::vector<TraceOp> out;
+    out.reserve(ops.size() +
+                static_cast<std::size_t>(max_barriers));
+    std::uint64_t mem_ops = 0;
+    std::uint64_t barriers = 0;
+    for (const TraceOp &op : ops) {
+        out.push_back(op);
+        if (isMemOp(op) && ++mem_ops % sync_every == 0 &&
+            barriers < max_barriers) {
+            out.push_back({TraceOpKind::barrier, 0, 0, 0});
+            ++barriers;
+        }
+    }
+    // Threads shorter than max_barriers * sync_every still have to
+    // show up at the remaining barriers or the rest would hang.
+    while (barriers < max_barriers) {
+        out.push_back({TraceOpKind::barrier, 0, 0, 0});
+        ++barriers;
+    }
+    ops = std::move(out);
+}
+
+} // namespace
+
+bool
+importMcsimTrace(const std::vector<std::string> &thread_files,
+                 unsigned sync_every, TraceData &out, std::string &err)
+{
+    if (thread_files.empty()) {
+        err = "mcsim import needs at least one per-thread trace file";
+        return false;
+    }
+
+    out = TraceData{};
+    out.meta.workload = "mcsim-import";
+    out.meta.numThreads =
+        static_cast<std::uint32_t>(thread_files.size());
+    out.meta.seed = 0;
+    out.meta.scale = 1.0;
+    out.meta.keyHash = 0;
+    out.threads.resize(thread_files.size());
+
+    for (std::size_t t = 0; t < thread_files.size(); ++t) {
+        if (!importThread(thread_files[t], out.threads[t], err))
+            return false;
+    }
+
+    if (sync_every > 0) {
+        std::uint64_t min_mem = memOpCount(out.threads[0]);
+        for (const auto &ops : out.threads)
+            min_mem = std::min(min_mem, memOpCount(ops));
+        const std::uint64_t max_barriers = min_mem / sync_every;
+        if (max_barriers > 0) {
+            for (auto &ops : out.threads)
+                injectBarriers(ops, sync_every, max_barriers);
+        }
+    }
+    return true;
+}
+
+} // namespace spp

@@ -1,0 +1,54 @@
+/**
+ * @file
+ * Import adapter for mcsim (McSimA+) TraceGen traces.
+ *
+ * mcsim's Pin-based TraceGen emits one binary file per thread of
+ * fixed-size PTSInstrTrace records:
+ *
+ *   struct PTSInstrTrace {          // 40 bytes on disk (LP64,
+ *       uint64_t waddr;             //  4 B tail padding included)
+ *       uint64_t raddr;
+ *       uint64_t raddr2;
+ *       uint64_t ip;
+ *       uint32_t category;
+ *   };
+ *
+ * Each record is one retired instruction: up to two loads (raddr,
+ * raddr2), one store (waddr) — zero meaning "no access" — and the
+ * instruction pointer. We map loads/stores to trace read/write ops
+ * keyed by ip, and fold runs of access-free records into a single
+ * compute op, preserving per-thread instruction counts. mcsim
+ * production traces are snappy-compressed in chunks; decompress
+ * them first (this repo takes no third-party dependencies).
+ *
+ * mcsim traces carry no synchronization events (pthreads run in
+ * mcsim's frontend), so an imported trace has no epoch boundaries
+ * for SP-prediction to latch onto. The optional @p sync_every knob
+ * injects a global barrier every N memory ops per thread — capped
+ * at the count the *shortest* thread reaches, so no thread blocks
+ * on a barrier its peers never arrive at — giving the predictor a
+ * uniform epoch structure to train against.
+ */
+
+#ifndef SPP_TRACE_MCSIM_HH
+#define SPP_TRACE_MCSIM_HH
+
+#include <string>
+#include <vector>
+
+#include "trace/format.hh"
+
+namespace spp {
+
+/**
+ * Import one TraceGen file per thread into @p out. Returns false and
+ * sets @p err on unreadable or malformed (non-multiple-of-record)
+ * input. @p sync_every 0 = no barrier injection.
+ */
+bool importMcsimTrace(const std::vector<std::string> &thread_files,
+                      unsigned sync_every, TraceData &out,
+                      std::string &err);
+
+} // namespace spp
+
+#endif // SPP_TRACE_MCSIM_HH

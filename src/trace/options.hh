@@ -1,0 +1,46 @@
+/**
+ * @file
+ * Trace capture/replay knobs. A leaf header (strings only) so
+ * ExperimentConfig can embed the options without pulling the trace
+ * subsystem into every translation unit.
+ */
+
+#ifndef SPP_TRACE_OPTIONS_HH
+#define SPP_TRACE_OPTIONS_HH
+
+#include <string>
+
+namespace spp {
+
+struct TraceOptions
+{
+    /**
+     * Content-addressed trace store directory. When set, every
+     * runExperiment() call resolves its workload key (see
+     * traceKeyHash): replay-if-present, record-if-missing. Empty =
+     * trace capture/replay is off and the run pays one null-pointer
+     * check per issued op.
+     */
+    std::string dir;
+
+    /** Force re-recording even when the store already holds the
+     * trace (requires dir). */
+    bool record = false;
+
+    /**
+     * Replay this exact `.spptrace` file for every workload instead
+     * of consulting the store — the entry point for imported
+     * (mcsim) traces. Takes precedence over dir.
+     */
+    std::string replayFile;
+
+    bool enabled() const { return !dir.empty() || !replayFile.empty(); }
+
+    /** SPP_TRACE_DIR (store directory), SPP_TRACE_RECORD (any value
+     * but "0"), SPP_TRACE_REPLAY (file). */
+    static TraceOptions fromEnv();
+};
+
+} // namespace spp
+
+#endif // SPP_TRACE_OPTIONS_HH

@@ -1,0 +1,39 @@
+/**
+ * @file
+ * Trace replay: drive a CmpSystem from a recorded `.spptrace` op
+ * stream instead of a live generator coroutine.
+ *
+ * Replay preserves per-thread program order exactly — each thread
+ * awaits its recorded ops one at a time through the ordinary
+ * ThreadContext API — and sync ops execute through the live
+ * SyncManager, so inter-thread ordering (lock handoff, barrier
+ * release, condition wakeup) is re-derived from the replayed
+ * machine's timing, exactly as in a live run. Under the recording
+ * Config this reproduces the original simulation event-for-event
+ * (the determinism contract DESIGN.md §13 documents and the
+ * record/replay tests enforce); under any other Config it replays
+ * the same sharing pattern against different hardware.
+ */
+
+#ifndef SPP_TRACE_REPLAY_HH
+#define SPP_TRACE_REPLAY_HH
+
+#include <memory>
+
+#include "sim/cmp_system.hh"
+#include "trace/format.hh"
+
+namespace spp {
+
+/**
+ * Per-thread program that replays @p trace; pass to CmpSystem::run.
+ * The trace is shared, not copied, by the per-core closures.
+ * Call traceReplayError() first — a thread-count mismatch is fatal
+ * inside the returned function.
+ */
+CmpSystem::ThreadFn
+replayThreadFn(std::shared_ptr<const TraceData> trace);
+
+} // namespace spp
+
+#endif // SPP_TRACE_REPLAY_HH

@@ -1,0 +1,102 @@
+#include "trace/store.hh"
+
+#include <cctype>
+#include <cstdlib>
+#include <fstream>
+#include <sstream>
+
+#include "common/hash.hh"
+#include "trace/options.hh"
+
+namespace spp {
+
+TraceOptions
+TraceOptions::fromEnv()
+{
+    TraceOptions o;
+    if (const char *dir = std::getenv("SPP_TRACE_DIR"))
+        o.dir = dir;
+    if (const char *rec = std::getenv("SPP_TRACE_RECORD"))
+        o.record = rec[0] != '\0' &&
+            !(rec[0] == '0' && rec[1] == '\0');
+    if (const char *file = std::getenv("SPP_TRACE_REPLAY"))
+        o.replayFile = file;
+    return o;
+}
+
+std::string
+traceKeyDescribe(const std::string &workload, const Config &cfg,
+                 double scale)
+{
+    std::ostringstream os;
+    os << "trace_v" << 1 << " workload=" << workload
+       << " scale=" << scale << " seed=" << cfg.seed
+       << " cores=" << cfg.numCores
+       << " lineBytes=" << cfg.lineBytes;
+    return os.str();
+}
+
+std::uint64_t
+traceKeyHash(const std::string &workload, const Config &cfg,
+             double scale)
+{
+    return fnv1a64(traceKeyDescribe(workload, cfg, scale));
+}
+
+std::string
+tracePath(const std::string &dir, const std::string &workload,
+          std::uint64_t key_hash)
+{
+    static const char *hex = "0123456789abcdef";
+    std::string name;
+    for (char c : workload)
+        name += (std::isalnum(static_cast<unsigned char>(c)) ||
+                 c == '.' || c == '_' || c == '-')
+            ? c
+            : '_';
+    std::string digits(16, '0');
+    for (int i = 15; i >= 0; --i) {
+        digits[static_cast<std::size_t>(i)] = hex[key_hash & 0xf];
+        key_hash >>= 4;
+    }
+    return dir + "/" + name + "-" + digits + ".spptrace";
+}
+
+bool
+traceFileExists(const std::string &path)
+{
+    std::ifstream in(path, std::ios::binary);
+    return static_cast<bool>(in);
+}
+
+TraceMeta
+traceMetaFor(const std::string &workload, const Config &cfg,
+             double scale)
+{
+    TraceMeta m;
+    m.workload = workload;
+    m.numThreads = cfg.numCores;
+    m.seed = cfg.seed;
+    m.lineBytes = cfg.lineBytes;
+    m.scale = scale;
+    m.keyHash = traceKeyHash(workload, cfg, scale);
+    return m;
+}
+
+std::string
+traceReplayError(const TraceData &trace, const Config &cfg)
+{
+    if (trace.meta.numThreads != cfg.numCores) {
+        std::ostringstream os;
+        os << "trace holds " << trace.meta.numThreads
+           << " thread streams but the machine has " << cfg.numCores
+           << " cores; re-record with --cores "
+           << trace.meta.numThreads << " or match the geometry";
+        return os.str();
+    }
+    if (trace.threads.size() != trace.meta.numThreads)
+        return "trace stream count disagrees with its header";
+    return "";
+}
+
+} // namespace spp

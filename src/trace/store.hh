@@ -1,0 +1,61 @@
+/**
+ * @file
+ * Content-addressed trace store.
+ *
+ * A workload's op stream is a deterministic function of the
+ * generator, its iteration scale, the RNG seed, the thread/core
+ * count, and the line size (addresses are line-indexed) — and of
+ * nothing else: protocol, predictor, sharer format, latencies and
+ * topology only shape *when* ops complete, never *which* ops a
+ * thread issues. The store therefore keys each trace by an FNV-1a
+ * hash (the same hash family that stamps run manifests) of exactly
+ * those fields, so one recorded generator run is shared by every
+ * protocol/predictor/format cell of a sweep: record-if-missing,
+ * replay-if-present.
+ */
+
+#ifndef SPP_TRACE_STORE_HH
+#define SPP_TRACE_STORE_HH
+
+#include <cstdint>
+#include <string>
+
+#include "common/config.hh"
+#include "trace/format.hh"
+
+namespace spp {
+
+/** Canonical "key=value ..." description of a trace key (the FNV-1a
+ * preimage; also recorded in run manifests for auditability). */
+std::string traceKeyDescribe(const std::string &workload,
+                             const Config &cfg, double scale);
+
+/** FNV-1a hash of traceKeyDescribe(). */
+std::uint64_t traceKeyHash(const std::string &workload,
+                           const Config &cfg, double scale);
+
+/** Store path of a trace: dir/<workload>-<hex key>.spptrace. */
+std::string tracePath(const std::string &dir,
+                      const std::string &workload,
+                      std::uint64_t key_hash);
+
+/** Does @p path exist (and is readable)? */
+bool traceFileExists(const std::string &path);
+
+/** Fill @p meta from the run parameters (store bookkeeping). */
+TraceMeta traceMetaFor(const std::string &workload, const Config &cfg,
+                       double scale);
+
+/**
+ * Validate that @p trace can drive a machine configured as @p cfg:
+ * the thread count must match cfg.numCores exactly. Returns an
+ * error message, or "" when compatible. A differing lineBytes is
+ * legal (addresses are absolute) but changes sharing granularity;
+ * the caller may warn.
+ */
+std::string traceReplayError(const TraceData &trace,
+                             const Config &cfg);
+
+} // namespace spp
+
+#endif // SPP_TRACE_STORE_HH

@@ -1,0 +1,166 @@
+/**
+ * @file
+ * Bench CLI frontend tests: strict numeric flag parsing (the
+ * std::atoi replacement), mesh factorization for awkward core
+ * counts, --mesh/--cores consistency validation, and initBench
+ * death tests proving bad input dies at the flag site with exit
+ * code 1 instead of wrapping or silently misconfiguring a sweep.
+ */
+
+#include <gtest/gtest.h>
+
+#include <string>
+#include <vector>
+
+#include "bench_common.hh"
+
+using namespace spp;
+using namespace spp::bench;
+
+namespace {
+
+/** Run initBench on a crafted argv (death-test child only). */
+void
+initBenchWith(std::vector<const char *> args)
+{
+    args.insert(args.begin(), "bench");
+    initBench(static_cast<int>(args.size()),
+              const_cast<char **>(args.data()));
+}
+
+} // namespace
+
+TEST(ParseUnsigned, AcceptsPlainDecimal)
+{
+    EXPECT_EQ(parseUnsigned("--x", "42", 1, 100), 42u);
+    EXPECT_EQ(parseUnsigned("--x", "1", 1, 100), 1u);
+    EXPECT_EQ(parseUnsigned("--x", "100", 1, 100), 100u);
+    EXPECT_EQ(parseUnsigned("--x", "0", 0, 0), 0u);
+    EXPECT_EQ(parseUnsigned("--x", "007", 1, 100), 7u);
+}
+
+TEST(ParseUnsignedDeathTest, RejectsNonNumericInput)
+{
+    testing::GTEST_FLAG(death_test_style) = "threadsafe";
+    EXPECT_EXIT(parseUnsigned("--cores", "abc", 1, 1024),
+                testing::ExitedWithCode(1), "--cores");
+    EXPECT_EXIT(parseUnsigned("--cores", "", 1, 1024),
+                testing::ExitedWithCode(1), "--cores");
+    EXPECT_EXIT(parseUnsigned("--cores", "16x", 1, 1024),
+                testing::ExitedWithCode(1), "--cores");
+    EXPECT_EXIT(parseUnsigned("--cores", " 16", 1, 1024),
+                testing::ExitedWithCode(1), "--cores");
+    EXPECT_EXIT(parseUnsigned("--cores", "1.5", 1, 1024),
+                testing::ExitedWithCode(1), "--cores");
+    EXPECT_EXIT(parseUnsigned("--cores", nullptr, 1, 1024),
+                testing::ExitedWithCode(1), "--cores");
+}
+
+TEST(ParseUnsignedDeathTest, RejectsSignsInsteadOfWrapping)
+{
+    testing::GTEST_FLAG(death_test_style) = "threadsafe";
+    // std::atoi would have turned "-1" into a huge unsigned.
+    EXPECT_EXIT(parseUnsigned("--jobs", "-1", 1, 65536),
+                testing::ExitedWithCode(1), "--jobs");
+    EXPECT_EXIT(parseUnsigned("--jobs", "+4", 1, 65536),
+                testing::ExitedWithCode(1), "--jobs");
+}
+
+TEST(ParseUnsignedDeathTest, RejectsOverflowAndOutOfRange)
+{
+    testing::GTEST_FLAG(death_test_style) = "threadsafe";
+    EXPECT_EXIT(parseUnsigned("--cores", "99999999999999999999999",
+                              1, 1024),
+                testing::ExitedWithCode(1), "--cores");
+    EXPECT_EXIT(parseUnsigned("--cores", "0", 1, 1024),
+                testing::ExitedWithCode(1), "--cores");
+    EXPECT_EXIT(parseUnsigned("--cores", "1025", 1, 1024),
+                testing::ExitedWithCode(1), "--cores");
+}
+
+TEST(MeshFor, FactorsTowardSquare)
+{
+    unsigned x = 0, y = 0;
+    meshFor(16, x, y);
+    EXPECT_EQ(x, 4u);
+    EXPECT_EQ(y, 4u);
+    meshFor(12, x, y);
+    EXPECT_EQ(x, 4u);
+    EXPECT_EQ(y, 3u);
+    meshFor(64, x, y);
+    EXPECT_EQ(x, 8u);
+    EXPECT_EQ(y, 8u);
+    meshFor(1, x, y);
+    EXPECT_EQ(x, 1u);
+    EXPECT_EQ(y, 1u);
+}
+
+TEST(MeshFor, PrimeCoreCountsDegradeToRow)
+{
+    // Regression: a prime core count must yield an Nx1 mesh (and
+    // cover all N cores), not a rounded-down square.
+    for (unsigned n : {2u, 3u, 5u, 7u, 61u, 127u, 1021u}) {
+        unsigned x = 0, y = 0;
+        meshFor(n, x, y);
+        EXPECT_EQ(x, n) << n;
+        EXPECT_EQ(y, 1u) << n;
+        EXPECT_EQ(x * y, n) << n;
+    }
+}
+
+TEST(MeshFor, AlwaysCoversAllCores)
+{
+    for (unsigned n = 1; n <= 256; ++n) {
+        unsigned x = 0, y = 0;
+        meshFor(n, x, y);
+        EXPECT_EQ(x * y, n) << n;
+        EXPECT_GE(x, y) << n;
+    }
+}
+
+TEST(GeometryError, AcceptsConsistentCombinations)
+{
+    EXPECT_EQ(geometryError(0, 0, 0), "");     // neither flag
+    EXPECT_EQ(geometryError(16, 0, 0), "");    // cores only
+    EXPECT_EQ(geometryError(0, 4, 4), "");     // mesh only
+    EXPECT_EQ(geometryError(16, 4, 4), "");
+    EXPECT_EQ(geometryError(61, 61, 1), "");   // prime row mesh
+}
+
+TEST(GeometryError, RejectsMismatchAndOversize)
+{
+    EXPECT_NE(geometryError(16, 5, 5), "");
+    EXPECT_NE(geometryError(61, 8, 8), "");
+    // 64x64 = 4096 exceeds the 1024-core build limit even though
+    // each dimension alone is legal.
+    EXPECT_NE(geometryError(0, 64, 64), "");
+    EXPECT_NE(geometryError(4096, 64, 64), "");
+}
+
+TEST(InitBenchDeathTest, DiesAtTheFlagSite)
+{
+    testing::GTEST_FLAG(death_test_style) = "threadsafe";
+    EXPECT_EXIT(initBenchWith({"--cores", "sixteen"}),
+                testing::ExitedWithCode(1), "--cores");
+    EXPECT_EXIT(initBenchWith({"--jobs", "-2"}),
+                testing::ExitedWithCode(1), "--jobs");
+    EXPECT_EXIT(initBenchWith({"--mesh", "4", "four"}),
+                testing::ExitedWithCode(1), "--mesh");
+    EXPECT_EXIT(initBenchWith({"--cores", "16", "--mesh", "5", "5"}),
+                testing::ExitedWithCode(1), "--mesh 5x5");
+    EXPECT_EXIT(initBenchWith({"--record"}),
+                testing::ExitedWithCode(1), "--record");
+}
+
+TEST(InitBench, AcceptsValidGeometry)
+{
+    // Parsing side effects land in globals; restore them after.
+    const unsigned cores = g_cores, mx = g_mesh_x, my = g_mesh_y;
+    initBenchWith({"--cores", "61", "--mesh", "61", "1"});
+    EXPECT_EQ(g_cores, 61u);
+    EXPECT_EQ(g_mesh_x, 61u);
+    EXPECT_EQ(g_mesh_y, 1u);
+    g_cores = cores;
+    g_mesh_x = mx;
+    g_mesh_y = my;
+}

@@ -22,6 +22,22 @@ Two modes:
       non-zero with a message on the first violation; prints a one-
       line summary on success. Used by the CI attribution-smoke job.
 
+  bench_dashboard.py --self-test
+      Runs the trajectory extractor over a synthetic history covering
+      every BENCH_kernel.json schema generation (v1 through v4) plus
+      malformed documents, asserting that every revision yields a row
+      (metrics or an explicit note — never a crash, never a silent
+      drop). Registered in ctest next to the lint self-test.
+
+The history walk is schema-tolerant by construction: committed
+BENCH_*.json files span schema generations (v1 had bare totals, v2
+added per-cell arrays, v3 added the profiler cells and overhead
+ratios, v4 the replay cell and replay_speedup_pct), and old
+revisions are immutable, so the extractor takes what each document
+has and renders '-' for what it lacks. A revision whose blob does
+not parse, or parses to something other than an object, still gets a
+row with an explanatory note.
+
 Stdlib only; no third-party dependencies.
 """
 
@@ -144,9 +160,24 @@ def bench_files(repo):
     return out.split() if out else []
 
 
+def parse_blob(blob):
+    """(doc|None, note) for one revision's file content. A blob that
+    does not parse — or parses to a non-object — yields a note
+    instead of a document, so the revision still appears in the
+    trajectory rather than silently vanishing."""
+    try:
+        doc = json.loads(blob)
+    except json.JSONDecodeError as e:
+        return None, f"unparseable JSON ({e.msg} at line {e.lineno})"
+    if not isinstance(doc, dict):
+        return None, (f"not a JSON object "
+                      f"({type(doc).__name__} at top level)")
+    return doc, ""
+
+
 def history(repo, path):
-    """Oldest-first [(short_rev, date, subject, doc), ...] for one
-    committed benchmark file."""
+    """Oldest-first [(short_rev, date, subject, doc|None, note), ...]
+    for one committed benchmark file."""
     log = git(repo, "log", "--follow", "--format=%h%x09%as%x09%s",
               "--", path)
     rows = []
@@ -155,20 +186,27 @@ def history(repo, path):
         blob = git(repo, "show", f"{rev}:{path}")
         if blob is None:
             continue                      # file absent at this rev
-        try:
-            doc = json.loads(blob)
-        except json.JSONDecodeError:
-            continue
-        rows.append((rev, date, subject, doc))
+        doc, note = parse_blob(blob)
+        rows.append((rev, date, subject, doc, note))
     return rows
 
 
 def metric_of(doc):
-    """(events_per_sec, wall_ms, attr_overhead_pct|None) from one
-    BENCH_*.json document; tolerant of older schemas."""
-    totals = doc.get("totals", {})
-    return (totals.get("events_per_sec"), totals.get("wall_ms"),
-            doc.get("attr_overhead_pct"))
+    """(schema, events_per_sec, wall_ms, attr_overhead_pct|None)
+    from one BENCH_*.json document; tolerant of every committed
+    schema generation (v1: bare totals, no schema tag; v4: replay
+    cell + replay_speedup_pct) and of malformed field types."""
+    schema = doc.get("schema")
+    if not isinstance(schema, str):
+        schema = "v1"                     # pre-tag generation
+    totals = doc.get("totals")
+    if not isinstance(totals, dict):
+        totals = {}
+    def num(v):
+        return v if isinstance(v, (int, float)) else None
+    return (schema, num(totals.get("events_per_sec")),
+            num(totals.get("wall_ms")),
+            num(doc.get("attr_overhead_pct")))
 
 
 def sparkline(values, width=220, height=36):
@@ -206,7 +244,8 @@ def load_manifests(mdir):
                 doc = json.load(f)
         except (OSError, json.JSONDecodeError):
             continue
-        rows.append(doc)
+        if isinstance(doc, dict):
+            rows.append(doc)
     return rows
 
 
@@ -217,26 +256,38 @@ def render(repo, out_path, manifest_dir):
         rows = history(repo, path)
         if not rows:
             continue
-        eps = [metric_of(d)[0] for _, _, _, d in rows]
+        eps = [metric_of(d)[1] if d is not None else None
+               for _, _, _, d, _ in rows]
         text_lines.append(f"\n== {path} ==")
-        text_lines.append(f"{'rev':<10}{'date':<12}"
+        text_lines.append(f"{'rev':<10}{'date':<12}{'schema':<20}"
                           f"{'events/sec':>14}{'wall ms':>10}"
                           f"{'attr ov%':>9}  subject")
         trs = []
-        for rev, date, subject, doc in rows:
-            e, w, a = metric_of(doc)
+        for rev, date, subject, doc, note in rows:
+            if doc is None:
+                text_lines.append(
+                    f"{rev:<10}{date:<12}[{note}]  {subject[:40]}")
+                trs.append(
+                    "<tr><td><code>%s</code></td><td>%s</td>"
+                    "<td colspan='4'><em>%s</em></td><td>%s</td>"
+                    "</tr>"
+                    % (rev, date, html.escape(note),
+                       html.escape(subject)))
+                continue
+            s, e, w, a = metric_of(doc)
             text_lines.append(
-                f"{rev:<10}{date:<12}{fmt(e):>14}{fmt(w):>10}"
-                f"{fmt(a):>9}  {subject[:50]}")
+                f"{rev:<10}{date:<12}{s:<20}{fmt(e):>14}"
+                f"{fmt(w):>10}{fmt(a):>9}  {subject[:50]}")
             trs.append(
                 "<tr><td><code>%s</code></td><td>%s</td>"
-                "<td class='n'>%s</td><td class='n'>%s</td>"
+                "<td>%s</td><td class='n'>%s</td>"
+                "<td class='n'>%s</td>"
                 "<td class='n'>%s</td><td>%s</td></tr>"
-                % (rev, date, fmt(e), fmt(w), fmt(a),
-                   html.escape(subject)))
+                % (rev, date, html.escape(s), fmt(e), fmt(w),
+                   fmt(a), html.escape(subject)))
         sections.append(
             "<h2>%s</h2><p>events/sec trajectory: %s</p>"
-            "<table><tr><th>rev</th><th>date</th>"
+            "<table><tr><th>rev</th><th>date</th><th>schema</th>"
             "<th>events/sec</th><th>wall ms</th>"
             "<th>attr&nbsp;ov%%</th><th>commit</th></tr>%s</table>"
             % (html.escape(path), sparkline(eps), "".join(trs)))
@@ -248,8 +299,12 @@ def render(repo, out_path, manifest_dir):
                               f"({manifest_dir}) ==")
             trs = []
             for m in mrows:
-                res = m.get("result", {})
-                phases = m.get("phases", {})
+                res = m.get("result")
+                if not isinstance(res, dict):
+                    res = {}
+                phases = m.get("phases")
+                if not isinstance(phases, dict):
+                    phases = {}
                 run_ms = phases.get("run")
                 label = m.get("label", "?")
                 text_lines.append(
@@ -287,6 +342,75 @@ def render(repo, out_path, manifest_dir):
         print(f"bench_dashboard: wrote {out_path}")
 
 
+# --------------------------------------------------------------------
+# Self-test
+# --------------------------------------------------------------------
+
+def self_test():
+    """Walk a synthetic blob history spanning every schema
+    generation plus malformed inputs; every revision must yield
+    either metrics or a note, never an exception or a dropped row."""
+    v1 = json.dumps({"totals": {"events_per_sec": 1e6,
+                                "wall_ms": 100.0}})
+    v2 = json.dumps({"schema": "spp.perf_kernel.v2",
+                     "cells": [{"workload": "ocean"}],
+                     "totals": {"events_per_sec": 2e6,
+                                "wall_ms": 90.0}})
+    v3 = json.dumps({"schema": "spp.perf_kernel.v3",
+                     "cells": [], "attr_overhead_pct": 7.5,
+                     "prof_off_overhead_pct": 0.5,
+                     "totals": {"events_per_sec": 3e6,
+                                "wall_ms": 80.0}})
+    v4 = json.dumps({"schema": "spp.perf_kernel.v4",
+                     "cells": [{"workload": "ocean",
+                                "replay": True}],
+                     "attr_overhead_pct": 7.0,
+                     "replay_speedup_pct": 1.2,
+                     "totals": {"events_per_sec": 4e6,
+                                "wall_ms": 70.0}})
+    blobs = [
+        ("v1-no-schema-tag", v1, True),
+        ("v2", v2, True),
+        ("v3", v3, True),
+        ("v4-replay-cell", v4, True),
+        ("truncated", v4[: len(v4) // 2], False),
+        ("top-level-array", "[1, 2, 3]", False),
+        ("top-level-string", '"oops"', False),
+        ("empty-object", "{}", True),
+        ("totals-not-a-dict", '{"totals": 42}', True),
+        ("metrics-wrong-type",
+         '{"totals": {"events_per_sec": "fast"}}', True),
+    ]
+    rows = 0
+    eps = []
+    for name, blob, want_doc in blobs:
+        doc, note = parse_blob(blob)
+        if (doc is not None) != want_doc:
+            fail(f"self-test: {name}: parse_blob returned "
+                 f"{'doc' if doc is not None else f'note {note!r}'}")
+        if doc is None:
+            if not note:
+                fail(f"self-test: {name}: dropped without a note")
+            rows += 1
+            continue
+        schema, e, w, a = metric_of(doc)
+        eps.append(e)
+        rows += 1
+        fmt(e), fmt(w), fmt(a)            # render formatting
+    if rows != len(blobs):
+        fail(f"self-test: {rows} rows for {len(blobs)} revisions")
+    if eps[:4] != [1e6, 2e6, 3e6, 4e6]:
+        fail(f"self-test: trajectory metrics wrong: {eps[:4]}")
+    schemas = [metric_of(json.loads(blob))[0]
+               for _, blob, _ in blobs[:4]]
+    if schemas != ["v1", "spp.perf_kernel.v2",
+                   "spp.perf_kernel.v3", "spp.perf_kernel.v4"]:
+        fail(f"self-test: schema tags wrong: {schemas}")
+    sparkline(eps)                        # tolerates None gaps
+    print(f"bench_dashboard: self-test OK: {rows} synthetic "
+          f"revisions, every one rendered")
+
+
 def main():
     ap = argparse.ArgumentParser(
         description="benchmark trajectory dashboard / attribution "
@@ -301,7 +425,13 @@ def main():
     ap.add_argument("--validate-attribution", metavar="FILE",
                     default=None,
                     help="validate one attribution.json and exit")
+    ap.add_argument("--self-test", action="store_true",
+                    help="run the mixed-schema extractor self-test "
+                         "and exit")
     args = ap.parse_args()
+    if args.self_test:
+        self_test()
+        return
     if args.validate_attribution:
         validate_attribution(args.validate_attribution)
         return
