@@ -13,7 +13,8 @@ using namespace spp::bench;
 int
 main(int argc, char **argv)
 {
-    initBench(argc, argv);
+    initBench(argc, argv,
+              "Ablation: SP-table history depth d in {1, 2, 4}");
     QuietScope quiet;
     banner("Ablation: history depth d (averages over all benchmarks)");
     Table t({"depth d", "accuracy %", "+bandwidth/miss %",

@@ -14,7 +14,8 @@ using namespace spp::bench;
 int
 main(int argc, char **argv)
 {
-    initBench(argc, argv);
+    initBench(argc, argv,
+              "Ablation: fixed 150-cycle memory vs the banked open-row DRAM model");
     QuietScope quiet;
     banner("Ablation: fixed-latency memory vs banked DRAM "
            "(averages over all benchmarks)");

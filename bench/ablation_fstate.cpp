@@ -14,7 +14,8 @@ using namespace spp::bench;
 int
 main(int argc, char **argv)
 {
-    initBench(argc, argv);
+    initBench(argc, argv,
+              "Ablation: MESIF vs plain MESI (no Forwarding state)");
     QuietScope quiet;
     banner("Ablation: MESIF vs MESI (averages over all benchmarks)");
     Table t({"protocol variant", "miss latency", "comm ratio",

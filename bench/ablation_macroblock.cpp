@@ -13,7 +13,8 @@ using namespace spp::bench;
 int
 main(int argc, char **argv)
 {
-    initBench(argc, argv);
+    initBench(argc, argv,
+              "Ablation: ADDR-predictor indexing granularity, 64 B to 1 KB");
     QuietScope quiet;
     banner("Ablation: ADDR macroblock size "
            "(averages over all benchmarks)");

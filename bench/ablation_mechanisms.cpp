@@ -24,7 +24,8 @@ struct Variant
 int
 main(int argc, char **argv)
 {
-    initBench(argc, argv);
+    initBench(argc, argv,
+              "Ablation: SP-prediction mechanisms toggled one at a time");
     QuietScope quiet;
     banner("Ablation: SP-prediction mechanisms "
            "(averages over all benchmarks)");

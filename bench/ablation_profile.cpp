@@ -15,7 +15,8 @@ using namespace spp::bench;
 int
 main(int argc, char **argv)
 {
-    initBench(argc, argv);
+    initBench(argc, argv,
+              "Ablation: profile-guided SP-table seeding (Section 5.2)");
     QuietScope quiet;
     banner("Ablation: profile-guided SP-table seeding");
     Table t({"benchmark", "cold accuracy %", "seeded accuracy %",

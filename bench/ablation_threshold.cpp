@@ -13,7 +13,8 @@ using namespace spp::bench;
 int
 main(int argc, char **argv)
 {
-    initBench(argc, argv);
+    initBench(argc, argv,
+              "Ablation: hot-communication-set threshold sweep");
     QuietScope quiet;
     banner("Ablation: hot-set threshold "
            "(averages over all benchmarks)");

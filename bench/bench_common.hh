@@ -33,18 +33,34 @@
  * forces re-recording; --replay FILE (SPP_TRACE_REPLAY=FILE) drives
  * every job from one explicit .spptrace file, e.g. an imported
  * mcsim trace.
+ *
+ * Results: pass --result-store DIR (or SPP_RESULT_STORE=DIR) to back
+ * the sweep with a content-addressed result cache: cells whose
+ * (config, workload, scale, git) key already has an entry skip
+ * simulation entirely and deserialize the stored result —
+ * byte-identical output, seconds instead of minutes. Cold cells
+ * simulate and populate the store atomically. --result-refresh
+ * re-simulates and overwrites. A summary of store traffic prints to
+ * stderr after each sweep, keeping stdout byte-identical to an
+ * uncached run.
+ *
+ * Config overrides: --set FIELD=VALUE (repeatable) edits any Config
+ * field by the name configDescribe() prints — the same vocabulary
+ * the result-store keys, the run manifests and the sweep server's
+ * "set" objects use.
+ *
+ * All flags are declared through FlagSet (flag_set.hh), which also
+ * generates --help.
  */
 
 #ifndef SPP_BENCH_BENCH_COMMON_HH
 #define SPP_BENCH_BENCH_COMMON_HH
 
-#include <cerrno>
 #include <cstdint>
 #include <cstdio>
-#include <cstdlib>
-#include <cstring>
 #include <set>
 #include <string>
+#include <utility>
 #include <vector>
 
 #include "analysis/epoch_stats.hh"
@@ -54,6 +70,8 @@
 #include "analysis/report.hh"
 #include "analysis/sweep.hh"
 #include "common/logging.hh"
+#include "flag_set.hh"
+#include "service/result_store.hh"
 #include "telemetry/options.hh"
 #include "trace/options.hh"
 #include "trace/store.hh"
@@ -88,6 +106,15 @@ inline AttributionOptions g_attribution;
  * set. */
 inline TraceOptions g_trace;
 
+/** Result-cache knobs shared by every config factory below;
+ * disabled unless --result-store or SPP_RESULT_STORE names a
+ * directory. */
+inline ResultStoreOptions g_result_store;
+
+/** --set FIELD=VALUE overrides, applied by the config factories in
+ * command-line order (later values win). */
+inline std::vector<std::pair<std::string, std::string>> g_settings;
+
 /** Most-square mesh factorization of @p n (x >= y). */
 inline void
 meshFor(unsigned n, unsigned &x, unsigned &y)
@@ -97,31 +124,6 @@ meshFor(unsigned n, unsigned &x, unsigned &y)
         if (n % d == 0)
             y = d;
     x = n / y;
-}
-
-/**
- * Strictly parse @p text as a base-10 unsigned integer in
- * [@p lo, @p hi]; fatal (naming @p flag) on empty input, any
- * non-digit — including a sign, so "-1" is rejected instead of
- * wrapping to a huge unsigned — overflow, or an out-of-range value.
- */
-inline std::uint64_t
-parseUnsigned(const char *flag, const char *text, std::uint64_t lo,
-              std::uint64_t hi)
-{
-    bool digits = text != nullptr && *text != '\0';
-    for (const char *p = text; digits && *p != '\0'; ++p)
-        digits = *p >= '0' && *p <= '9';
-    if (!digits)
-        SPP_FATAL("{} expects an unsigned integer, got '{}'", flag,
-                  text ? text : "");
-    errno = 0;
-    char *end = nullptr;
-    const unsigned long long value = std::strtoull(text, &end, 10);
-    if (errno != 0 || *end != '\0' || value < lo || value > hi)
-        SPP_FATAL("{} must be in [{}, {}], got '{}'", flag, lo, hi,
-                  text);
-    return value;
 }
 
 /**
@@ -144,84 +146,84 @@ geometryError(unsigned cores, unsigned mesh_x, unsigned mesh_y)
     return "";
 }
 
-/** Parse the shared bench flags; call first thing in every driver's
- * main(). */
-inline void
-initBench(int argc, char **argv)
+/** The environment variables every driver reads (for --help). */
+inline const char *
+benchEnvNote()
 {
-    g_telemetry = TelemetryOptions::fromEnv();
-    g_attribution = AttributionOptions::fromEnv();
-    g_trace = TraceOptions::fromEnv();
-    const auto parse = [](const char *flag,
-                          const char *text, std::uint64_t lo,
-                          std::uint64_t hi) {
-        return static_cast<unsigned>(
-            parseUnsigned(flag, text, lo, hi));
-    };
-    for (int i = 1; i < argc; ++i) {
-        const char *arg = argv[i];
-        if (std::strcmp(arg, "--jobs") == 0 && i + 1 < argc) {
-            g_jobs = parse("--jobs", argv[++i], 1, 65536);
-        } else if (std::strncmp(arg, "--jobs=", 7) == 0) {
-            g_jobs = parse("--jobs", arg + 7, 1, 65536);
-        } else if (std::strcmp(arg, "--cores") == 0 && i + 1 < argc) {
-            g_cores = parse("--cores", argv[++i], 1, maxCores);
-        } else if (std::strncmp(arg, "--cores=", 8) == 0) {
-            g_cores = parse("--cores", arg + 8, 1, maxCores);
-        } else if (std::strcmp(arg, "--mesh") == 0 && i + 2 < argc) {
-            g_mesh_x = parse("--mesh", argv[++i], 1, maxCores);
-            g_mesh_y = parse("--mesh", argv[++i], 1, maxCores);
-        } else if (std::strcmp(arg, "--format") == 0 && i + 1 < argc) {
-            g_format = sharerFormatFromString(argv[++i]);
-        } else if (std::strncmp(arg, "--format=", 9) == 0) {
-            g_format = sharerFormatFromString(arg + 9);
-        } else if (std::strcmp(arg, "--telemetry") == 0 &&
-                   i + 1 < argc) {
-            g_telemetry.dir = argv[++i];
-        } else if (std::strncmp(arg, "--telemetry=", 12) == 0) {
-            g_telemetry.dir = arg + 12;
-        } else if (std::strcmp(arg, "--attribution") == 0 &&
-                   i + 1 < argc) {
-            g_attribution.dir = argv[++i];
-        } else if (std::strncmp(arg, "--attribution=", 14) == 0) {
-            g_attribution.dir = arg + 14;
-        } else if (std::strcmp(arg, "--trace-dir") == 0 &&
-                   i + 1 < argc) {
-            g_trace.dir = argv[++i];
-        } else if (std::strncmp(arg, "--trace-dir=", 12) == 0) {
-            g_trace.dir = arg + 12;
-        } else if (std::strcmp(arg, "--record") == 0) {
-            g_trace.record = true;
-        } else if (std::strcmp(arg, "--replay") == 0 &&
-                   i + 1 < argc) {
-            g_trace.replayFile = argv[++i];
-        } else if (std::strncmp(arg, "--replay=", 9) == 0) {
-            g_trace.replayFile = arg + 9;
-        } else {
-            std::fprintf(stderr,
-                         "usage: %s [--jobs N] [--cores N] "
-                         "[--mesh X Y] [--format full|coarse|limited] "
-                         "[--telemetry DIR] [--attribution DIR] "
-                         "[--trace-dir DIR] [--record] "
-                         "[--replay FILE]   "
-                         "(also: SPP_JOBS, SPP_BENCH_SCALE, "
-                         "SPP_PROGRESS, SPP_TELEMETRY, "
-                         "SPP_TELEMETRY_PERIOD, SPP_ATTRIBUTION, "
-                         "SPP_TRACE_DIR, SPP_TRACE_RECORD, "
-                         "SPP_TRACE_REPLAY)\n",
-                         argv[0]);
-            std::exit(2);
-        }
-    }
-    const std::string geo_err =
-        geometryError(g_cores, g_mesh_x, g_mesh_y);
-    if (!geo_err.empty())
-        SPP_FATAL("{}", geo_err);
-    if (g_trace.record && g_trace.dir.empty())
-        SPP_FATAL("--record needs --trace-dir (or SPP_TRACE_DIR)");
+    return "SPP_JOBS, SPP_BENCH_SCALE, SPP_PROGRESS, SPP_TELEMETRY, "
+           "SPP_TELEMETRY_PERIOD, SPP_ATTRIBUTION, SPP_TRACE_DIR, "
+           "SPP_TRACE_RECORD, SPP_TRACE_REPLAY, SPP_RESULT_STORE";
 }
 
-/** Apply the --cores / --mesh / --format overrides to @p cfg. */
+/** Register the flags every figure/table driver shares. */
+inline void
+addBenchFlags(FlagSet &fs)
+{
+    fs.onUnsigned("--jobs", "N", 1, 65536,
+                  "sweep worker threads (default SPP_JOBS, else all "
+                  "hardware threads)",
+                  [](std::uint64_t v) {
+                      g_jobs = static_cast<unsigned>(v);
+                  });
+    fs.onUnsigned("--cores", "N", 1, maxCores,
+                  "core count; picks the most-square mesh",
+                  [](std::uint64_t v) {
+                      g_cores = static_cast<unsigned>(v);
+                  });
+    fs.add("--mesh", "X Y", "mesh geometry (rectangles allowed)",
+           [](const std::vector<std::string> &v) {
+               g_mesh_x = static_cast<unsigned>(parseUnsigned(
+                   "--mesh", v[0].c_str(), 1, maxCores));
+               g_mesh_y = static_cast<unsigned>(parseUnsigned(
+                   "--mesh", v[1].c_str(), 1, maxCores));
+           });
+    fs.onValue("--format", "FMT",
+               "directory sharer-set format: full|coarse|limited",
+               [](const std::string &v) {
+                   g_format = sharerFormatFromString(v);
+               });
+    fs.onValue("--telemetry", "DIR",
+               "write per-job time series / Chrome traces / "
+               "manifests into DIR",
+               [](const std::string &v) { g_telemetry.dir = v; });
+    fs.onValue("--attribution", "DIR",
+               "write per-job sync-point attribution artifacts "
+               "into DIR",
+               [](const std::string &v) { g_attribution.dir = v; });
+    fs.onValue("--trace-dir", "DIR",
+               "content-addressed trace store: record missing "
+               "workload keys once, replay everywhere",
+               [](const std::string &v) { g_trace.dir = v; });
+    fs.onSwitch("--record", "force trace re-recording",
+                [] { g_trace.record = true; });
+    fs.onValue("--replay", "FILE",
+               "drive every job from one explicit .spptrace file",
+               [](const std::string &v) { g_trace.replayFile = v; });
+    fs.onValue("--result-store", "DIR",
+               "content-addressed result cache: warm cells skip "
+               "simulation, cold cells populate",
+               [](const std::string &v) { g_result_store.dir = v; });
+    fs.onSwitch("--result-refresh",
+                "re-simulate cached cells and overwrite their "
+                "entries",
+                [] { g_result_store.refresh = true; });
+    fs.onValue("--set", "FIELD=VALUE",
+               "override a config field by its configDescribe() "
+               "name (repeatable)",
+               [](const std::string &v) {
+                   const std::size_t eq = v.find('=');
+                   if (eq == std::string::npos || eq == 0)
+                       SPP_FATAL("--set expects FIELD=VALUE, got "
+                                 "'{}'",
+                                 v);
+                   g_settings.emplace_back(v.substr(0, eq),
+                                           v.substr(eq + 1));
+               });
+}
+
+/** Apply the --cores / --mesh / --format / --set overrides to
+ * @p cfg. A --set that changes numCores without fixing the mesh
+ * gets the most-square factorization automatically. */
 inline void
 applyGeometry(Config &cfg)
 {
@@ -234,6 +236,49 @@ applyGeometry(Config &cfg)
         meshFor(g_cores, cfg.meshX, cfg.meshY);
     }
     cfg.sharerFormat = g_format;
+    for (const auto &[field, value] : g_settings) {
+        const std::string err = configSetField(cfg, field, value);
+        if (!err.empty())
+            SPP_FATAL("--set: {}", err);
+    }
+    if (cfg.meshX * cfg.meshY != cfg.numCores)
+        meshFor(cfg.numCores, cfg.meshX, cfg.meshY);
+}
+
+/** Cross-flag validation; runs after parsing, fatal on conflict. */
+inline void
+finishBenchInit()
+{
+    const std::string geo_err =
+        geometryError(g_cores, g_mesh_x, g_mesh_y);
+    if (!geo_err.empty())
+        SPP_FATAL("{}", geo_err);
+    if (g_trace.record && g_trace.dir.empty())
+        SPP_FATAL("--record needs --trace-dir (or SPP_TRACE_DIR)");
+    // Probe the --set overrides now so a typo dies at startup, not
+    // in a worker thread mid-sweep.
+    Config probe;
+    applyGeometry(probe);
+    const std::string cfg_err = configValidate(probe);
+    if (!cfg_err.empty())
+        SPP_FATAL("--set: {}", cfg_err);
+}
+
+/** Parse the shared bench flags; call first thing in every driver's
+ * main(). @p description is the one-line purpose --help shows. */
+inline void
+initBench(int argc, char **argv,
+          const char *description = "paper figure/table harness")
+{
+    g_telemetry = TelemetryOptions::fromEnv();
+    g_attribution = AttributionOptions::fromEnv();
+    g_trace = TraceOptions::fromEnv();
+    g_result_store = ResultStoreOptions::fromEnv();
+    g_settings.clear();
+    FlagSet fs(description, benchEnvNote());
+    addBenchFlags(fs);
+    fs.parse(argc, argv);
+    finishBenchInit();
 }
 
 /**
@@ -267,6 +312,7 @@ prepareTraceStore(std::vector<SweepJob> &jobs)
             rec.config.collectTrace = false;
             rec.config.telemetry = TelemetryOptions{};
             rec.config.attribution = AttributionOptions{};
+            rec.config.resultStore = ResultStoreOptions{};
             rec.label = job.workload + "/trace-record";
             recorders.push_back(std::move(rec));
         }
@@ -278,12 +324,29 @@ prepareTraceStore(std::vector<SweepJob> &jobs)
 }
 
 /** Run a job list on the configured worker count (after the trace
- * store pre-pass, when one is configured). */
+ * store pre-pass, when one is configured). With a result store the
+ * cumulative store traffic prints to stderr afterwards — stdout
+ * stays byte-identical to an uncached run. */
 inline std::vector<ExperimentResult>
 sweep(std::vector<SweepJob> jobs)
 {
     prepareTraceStore(jobs);
-    return runSweep(jobs, g_jobs);
+    std::vector<ExperimentResult> results = runSweep(jobs, g_jobs);
+    if (g_result_store.enabled()) {
+        const ResultStoreStats &s = resultStoreStats();
+        std::fprintf(stderr,
+                     "result store %s: %llu hits, %llu misses, "
+                     "%llu bypasses, %llu corrupt\n",
+                     g_result_store.dir.c_str(),
+                     static_cast<unsigned long long>(s.hits.load()),
+                     static_cast<unsigned long long>(
+                         s.misses.load()),
+                     static_cast<unsigned long long>(
+                         s.bypasses.load()),
+                     static_cast<unsigned long long>(
+                         s.corrupt.load()));
+    }
+    return results;
 }
 
 /**
@@ -323,6 +386,7 @@ directoryConfig()
     c.telemetry = g_telemetry;
     c.attribution = g_attribution;
     c.trace = g_trace;
+    c.resultStore = g_result_store;
     return c;
 }
 
@@ -337,6 +401,7 @@ broadcastConfig()
     c.telemetry = g_telemetry;
     c.attribution = g_attribution;
     c.trace = g_trace;
+    c.resultStore = g_result_store;
     return c;
 }
 
@@ -352,6 +417,7 @@ predictedConfig(PredictorKind kind)
     c.telemetry = g_telemetry;
     c.attribution = g_attribution;
     c.trace = g_trace;
+    c.resultStore = g_result_store;
     return c;
 }
 

@@ -15,7 +15,8 @@ using namespace spp::bench;
 int
 main(int argc, char **argv)
 {
-    initBench(argc, argv);
+    initBench(argc, argv,
+              "Extension: predicted multicast snooping vs directory/broadcast");
     QuietScope quiet;
     banner("Extension: SP-driven multicast snooping "
            "(normalized to directory)");

@@ -15,7 +15,8 @@ using namespace spp::bench;
 int
 main(int argc, char **argv)
 {
-    initBench(argc, argv);
+    initBench(argc, argv,
+              "Figure 1: communicating vs non-communicating miss ratio");
     QuietScope quiet;
     banner("Figure 1: Ratio of communicating misses");
     Table t({"benchmark", "misses", "communicating", "non-comm",

@@ -36,7 +36,8 @@ widen(const std::vector<std::uint32_t> &v)
 int
 main(int argc, char **argv)
 {
-    initBench(argc, argv);
+    initBench(argc, argv,
+              "Figure 2: communication distribution of core 0 in bodytrack");
     QuietScope quiet;
     ExperimentConfig cfg = directoryConfig();
     cfg.collectTrace = true;

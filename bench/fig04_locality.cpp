@@ -17,7 +17,8 @@ using namespace spp::bench;
 int
 main(int argc, char **argv)
 {
-    initBench(argc, argv);
+    initBench(argc, argv,
+              "Figure 4: cumulative communication-locality curves");
     QuietScope quiet;
     const std::vector<std::string> names = {"bodytrack", "fmm",
                                             "water-ns"};

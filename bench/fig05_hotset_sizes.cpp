@@ -15,7 +15,8 @@ using namespace spp::bench;
 int
 main(int argc, char **argv)
 {
-    initBench(argc, argv);
+    initBench(argc, argv,
+              "Figure 5: sync-epoch distribution by hot-set size");
     QuietScope quiet;
     banner("Figure 5: sync-epoch distribution by hot-set size "
            "(threshold 10%)");

@@ -15,7 +15,8 @@ using namespace spp::bench;
 int
 main(int argc, char **argv)
 {
-    initBench(argc, argv);
+    initBench(argc, argv,
+              "Figure 6: hot-communication-set patterns across instances");
     QuietScope quiet;
     banner("Figure 6: hot-set patterns across dynamic epoch instances");
     Table t({"benchmark", "stable", "phase-chg", "stride", "random",

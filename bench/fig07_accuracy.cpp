@@ -45,7 +45,8 @@ idealAccuracy(const CommTrace &trace, double threshold)
 int
 main(int argc, char **argv)
 {
-    initBench(argc, argv);
+    initBench(argc, argv,
+              "Figure 7: SP-prediction accuracy by knowledge source");
     QuietScope quiet;
     banner("Figure 7: SP-prediction accuracy "
            "(% of communicating misses)");

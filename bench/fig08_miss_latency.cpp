@@ -15,7 +15,8 @@ using namespace spp::bench;
 int
 main(int argc, char **argv)
 {
-    initBench(argc, argv);
+    initBench(argc, argv,
+              "Figure 8: average miss latency, normalized to directory");
     QuietScope quiet;
     banner("Figure 8: average miss latency (normalized to directory)");
     Table t({"benchmark", "directory", "broadcast", "sp-predictor",

@@ -16,7 +16,8 @@ using namespace spp::bench;
 int
 main(int argc, char **argv)
 {
-    initBench(argc, argv);
+    initBench(argc, argv,
+              "Figure 9: additional bandwidth demands of SP-prediction");
     QuietScope quiet;
     banner("Figure 9: additional bandwidth of SP-prediction vs "
            "directory (%)");

@@ -14,7 +14,8 @@ using namespace spp::bench;
 int
 main(int argc, char **argv)
 {
-    initBench(argc, argv);
+    initBench(argc, argv,
+              "Figure 11: NoC + snoop dynamic energy, normalized to directory");
     QuietScope quiet;
     banner("Figure 11: NoC + snoop-lookup energy "
            "(normalized to directory)");

@@ -48,7 +48,8 @@ pointOf(const ExperimentResult &r, const ExperimentResult &dir)
 int
 main(int argc, char **argv)
 {
-    initBench(argc, argv);
+    initBench(argc, argv,
+              "Figure 12: latency/bandwidth trade-off plane per predictor");
     QuietScope quiet;
     banner("Figure 12: performance/bandwidth trade-off "
            "(unlimited tables)");

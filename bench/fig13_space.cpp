@@ -31,7 +31,8 @@ struct Avg
 int
 main(int argc, char **argv)
 {
-    initBench(argc, argv);
+    initBench(argc, argv,
+              "Figure 13: unlimited vs capacity-limited predictor tables");
     QuietScope quiet;
     banner("Figure 13: space limits (unlimited vs 32-entry/core "
            "tables), averages over all benchmarks");

@@ -33,6 +33,7 @@
 #include "analysis/sweep.hh"
 #include "check/fuzzer.hh"
 #include "common/format.hh"
+#include "flag_set.hh"
 #include "common/logging.hh"
 
 using namespace spp;
@@ -57,46 +58,20 @@ struct Options
     FuzzCase single_case;
 };
 
-void
-usage(const char *argv0)
-{
-    std::fprintf(
-        stderr,
-        "usage: %s [--seeds N] [--seed-base S] [--jobs N]\n"
-        "          [--protocols all|directory,predicted,broadcast,"
-        "multicast]\n"
-        "          [--cores N] [--format full|coarse|limited|all]\n"
-        "          [--inject K] [--expect-catch] [--no-shrink]\n"
-        "          [--report DIR] [--telemetry DIR]\n"
-        "   or: %s --protocol P --predictor K --seed S [--cores N]\n"
-        "          [--format F] [--segments N] [--ops N] [--lines N]\n"
-        "          [--locks N] [--barriers N] [--inject K]   "
-        "(single case)\n",
-        argv0, argv0);
-    std::exit(2);
-}
-
 Protocol
 parseProtocol(const std::string &s)
 {
-    if (s == "directory") return Protocol::directory;
-    if (s == "broadcast") return Protocol::broadcast;
-    if (s == "predicted") return Protocol::predicted;
-    if (s == "multicast") return Protocol::multicast;
-    std::fprintf(stderr, "unknown protocol '%s'\n", s.c_str());
-    std::exit(2);
+    if (const auto p = parseProtocolName(s))
+        return *p;
+    SPP_FATAL("unknown protocol '{}'", s);
 }
 
 PredictorKind
 parsePredictor(const std::string &s)
 {
-    if (s == "none") return PredictorKind::none;
-    if (s == "sp") return PredictorKind::sp;
-    if (s == "addr") return PredictorKind::addr;
-    if (s == "inst") return PredictorKind::inst;
-    if (s == "uni") return PredictorKind::uni;
-    std::fprintf(stderr, "unknown predictor '%s'\n", s.c_str());
-    std::exit(2);
+    if (const auto p = parsePredictorName(s))
+        return *p;
+    SPP_FATAL("unknown predictor '{}'", s);
 }
 
 Options
@@ -104,70 +79,102 @@ parseArgs(int argc, char **argv)
 {
     Options o;
     o.telemetry = TelemetryOptions::fromEnv();
-    auto num = [&](int &i) -> std::uint64_t {
-        if (i + 1 >= argc)
-            usage(argv[0]);
-        return std::strtoull(argv[++i], nullptr, 10);
-    };
-    auto str = [&](int &i) -> std::string {
-        if (i + 1 >= argc)
-            usage(argv[0]);
-        return argv[++i];
-    };
-    for (int i = 1; i < argc; ++i) {
-        const char *a = argv[i];
-        if (!std::strcmp(a, "--seeds")) {
-            o.seeds = static_cast<unsigned>(num(i));
-        } else if (!std::strcmp(a, "--seed-base")) {
-            o.seedBase = num(i);
-        } else if (!std::strcmp(a, "--jobs")) {
-            o.jobs = static_cast<unsigned>(num(i));
-        } else if (!std::strcmp(a, "--protocols")) {
-            o.protocols = str(i);
-        } else if (!std::strcmp(a, "--inject")) {
-            o.inject = static_cast<unsigned>(num(i));
-        } else if (!std::strcmp(a, "--expect-catch")) {
-            o.expectCatch = true;
-        } else if (!std::strcmp(a, "--no-shrink")) {
-            o.shrink = false;
-        } else if (!std::strcmp(a, "--report")) {
-            o.report = str(i);
-        } else if (!std::strcmp(a, "--telemetry")) {
-            o.telemetry.dir = str(i);
-        } else if (!std::strcmp(a, "--protocol")) {
-            o.single = true;
-            o.single_case.protocol = parseProtocol(str(i));
-        } else if (!std::strcmp(a, "--predictor")) {
-            o.single_case.predictor = parsePredictor(str(i));
-        } else if (!std::strcmp(a, "--seed")) {
-            o.single = true;
-            o.single_case.workload.seed = num(i);
-        } else if (!std::strcmp(a, "--cores")) {
-            o.single_case.numCores = static_cast<unsigned>(num(i));
-        } else if (!std::strcmp(a, "--format")) {
-            o.format = str(i);
-            if (o.format != "all")
-                o.single_case.sharerFormat =
-                    sharerFormatFromString(o.format);
-        } else if (!std::strcmp(a, "--segments")) {
-            o.single_case.workload.segments =
-                static_cast<unsigned>(num(i));
-        } else if (!std::strcmp(a, "--ops")) {
-            o.single_case.workload.opsPerSegment =
-                static_cast<unsigned>(num(i));
-        } else if (!std::strcmp(a, "--lines")) {
-            o.single_case.workload.lines =
-                static_cast<unsigned>(num(i));
-        } else if (!std::strcmp(a, "--locks")) {
-            o.single_case.workload.locks =
-                static_cast<unsigned>(num(i));
-        } else if (!std::strcmp(a, "--barriers")) {
-            o.single_case.workload.barriers =
-                static_cast<unsigned>(num(i));
-        } else {
-            usage(argv[0]);
-        }
-    }
+    constexpr std::uint64_t u32max = 0xffffffffull;
+    constexpr std::uint64_t u64max = ~0ull;
+    bench::FlagSet fs(
+        "Protocol stress-fuzz: seeded random workloads against the "
+        "invariant checker;\n--seed (with the workload-shape flags "
+        "a reproducer line carries) re-runs one case",
+        "SPP_JOBS, SPP_TELEMETRY");
+    fs.onUnsigned("--seeds", "N", 1, u32max,
+                  "seeds per protocol config (sweep mode)",
+                  [&o](std::uint64_t v) {
+                      o.seeds = static_cast<unsigned>(v);
+                  });
+    fs.onUnsigned("--seed-base", "S", 0, u64max, "first seed",
+                  [&o](std::uint64_t v) { o.seedBase = v; });
+    fs.onUnsigned("--jobs", "N", 1, 65536, "worker threads",
+                  [&o](std::uint64_t v) {
+                      o.jobs = static_cast<unsigned>(v);
+                  });
+    fs.onValue("--protocols", "LIST",
+               "all, or a comma list of directory|predicted|"
+               "broadcast|multicast",
+               [&o](const std::string &v) { o.protocols = v; });
+    fs.onUnsigned("--inject", "K", 0, u32max,
+                  "plant bug K (self-test; see Config::injectBug)",
+                  [&o](std::uint64_t v) {
+                      o.inject = static_cast<unsigned>(v);
+                  });
+    fs.onSwitch("--expect-catch",
+                "invert the exit code: the run must find a "
+                "violation",
+                [&o] { o.expectCatch = true; });
+    fs.onSwitch("--no-shrink", "skip reproducer minimization",
+                [&o] { o.shrink = false; });
+    fs.onValue("--report", "DIR", "save failure artifacts into DIR",
+               [&o](const std::string &v) { o.report = v; });
+    fs.onValue("--telemetry", "DIR", "per-case telemetry sidecars",
+               [&o](const std::string &v) { o.telemetry.dir = v; });
+    fs.onValue("--protocol", "P", "single-case protocol",
+               [&o](const std::string &v) {
+                   o.single = true;
+                   o.single_case.protocol = parseProtocol(v);
+               });
+    fs.onValue("--predictor", "K", "single-case predictor",
+               [&o](const std::string &v) {
+                   o.single_case.predictor = parsePredictor(v);
+               });
+    fs.onUnsigned("--seed", "S", 0, u64max,
+                  "single-case seed (enables single-case mode)",
+                  [&o](std::uint64_t v) {
+                      o.single = true;
+                      o.single_case.workload.seed = v;
+                  });
+    fs.onUnsigned("--cores", "N", 1, maxCores, "core count",
+                  [&o](std::uint64_t v) {
+                      o.single_case.numCores =
+                          static_cast<unsigned>(v);
+                  });
+    fs.onValue("--format", "F",
+               "sharer format(s): full|coarse|limited|all",
+               [&o](const std::string &v) {
+                   o.format = v;
+                   if (o.format != "all")
+                       o.single_case.sharerFormat =
+                           sharerFormatFromString(o.format);
+               });
+    fs.onUnsigned("--segments", "N", 1, u32max,
+                  "workload shape: segments",
+                  [&o](std::uint64_t v) {
+                      o.single_case.workload.segments =
+                          static_cast<unsigned>(v);
+                  });
+    fs.onUnsigned("--ops", "N", 1, u32max,
+                  "workload shape: ops per segment",
+                  [&o](std::uint64_t v) {
+                      o.single_case.workload.opsPerSegment =
+                          static_cast<unsigned>(v);
+                  });
+    fs.onUnsigned("--lines", "N", 1, u32max,
+                  "workload shape: distinct lines",
+                  [&o](std::uint64_t v) {
+                      o.single_case.workload.lines =
+                          static_cast<unsigned>(v);
+                  });
+    fs.onUnsigned("--locks", "N", 0, u32max,
+                  "workload shape: locks",
+                  [&o](std::uint64_t v) {
+                      o.single_case.workload.locks =
+                          static_cast<unsigned>(v);
+                  });
+    fs.onUnsigned("--barriers", "N", 0, u32max,
+                  "workload shape: barriers",
+                  [&o](std::uint64_t v) {
+                      o.single_case.workload.barriers =
+                          static_cast<unsigned>(v);
+                  });
+    fs.parse(argc, argv);
     return o;
 }
 

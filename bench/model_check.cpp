@@ -33,6 +33,7 @@
 #include <vector>
 
 #include "check/model_checker.hh"
+#include "flag_set.hh"
 #include "common/logging.hh"
 #include "telemetry/json.hh"
 #include "telemetry/manifest.hh"
@@ -52,44 +53,20 @@ struct Options
     std::string telemetry;     ///< Exploration-manifest directory.
 };
 
-void
-usage(const char *argv0)
-{
-    std::fprintf(
-        stderr,
-        "usage: %s [--cores N] [--workload %s]\n"
-        "          [--depth N] [--max-execs N] [--inject K]\n"
-        "          [--mem-latency T] [--race-delay N]\n"
-        "          [--expect-catch] [--no-prune] [--no-reduce]\n"
-        "          [--report DIR] [--telemetry DIR]    (sweep mode)\n"
-        "   or: %s --protocol P [--predictor K] [--format F] ...\n"
-        "                                             (single mode)\n"
-        "   or: %s --replay FILE                      (replay mode)\n",
-        argv0, modelCheckWorkloads(), argv0, argv0);
-    std::exit(2);
-}
-
 Protocol
 parseProtocol(const std::string &s)
 {
-    if (s == "directory") return Protocol::directory;
-    if (s == "broadcast") return Protocol::broadcast;
-    if (s == "predicted") return Protocol::predicted;
-    if (s == "multicast") return Protocol::multicast;
-    std::fprintf(stderr, "unknown protocol '%s'\n", s.c_str());
-    std::exit(2);
+    if (const auto p = parseProtocolName(s))
+        return *p;
+    SPP_FATAL("unknown protocol '{}'", s);
 }
 
 PredictorKind
 parsePredictor(const std::string &s)
 {
-    if (s == "none") return PredictorKind::none;
-    if (s == "sp") return PredictorKind::sp;
-    if (s == "addr") return PredictorKind::addr;
-    if (s == "inst") return PredictorKind::inst;
-    if (s == "uni") return PredictorKind::uni;
-    std::fprintf(stderr, "unknown predictor '%s'\n", s.c_str());
-    std::exit(2);
+    if (const auto p = parsePredictorName(s))
+        return *p;
+    SPP_FATAL("unknown predictor '{}'", s);
 }
 
 Options
@@ -97,62 +74,80 @@ parseArgs(int argc, char **argv)
 {
     Options o;
     o.telemetry = TelemetryOptions::fromEnv().dir;
-    auto num = [&](int &i) -> std::uint64_t {
-        if (i + 1 >= argc)
-            usage(argv[0]);
-        return std::strtoull(argv[++i], nullptr, 10);
-    };
-    auto str = [&](int &i) -> std::string {
-        if (i + 1 >= argc)
-            usage(argv[0]);
-        return argv[++i];
-    };
-    for (int i = 1; i < argc; ++i) {
-        const char *a = argv[i];
-        if (!std::strcmp(a, "--protocol")) {
-            o.single = true;
-            o.mc.protocol = parseProtocol(str(i));
-        } else if (!std::strcmp(a, "--predictor")) {
-            o.mc.predictor = parsePredictor(str(i));
-        } else if (!std::strcmp(a, "--format")) {
-            o.mc.format = sharerFormatFromString(str(i));
-        } else if (!std::strcmp(a, "--cores")) {
-            o.mc.cores = static_cast<unsigned>(num(i));
-        } else if (!std::strcmp(a, "--workload")) {
-            o.mc.workload = str(i);
-            if (!isModelCheckWorkload(o.mc.workload)) {
-                std::fprintf(stderr,
-                             "unknown workload '%s' (expected %s)\n",
-                             o.mc.workload.c_str(),
-                             modelCheckWorkloads());
-                std::exit(2);
-            }
-        } else if (!std::strcmp(a, "--depth")) {
-            o.mc.maxDepth = static_cast<unsigned>(num(i));
-        } else if (!std::strcmp(a, "--max-execs")) {
-            o.mc.maxExecutions = num(i);
-        } else if (!std::strcmp(a, "--inject")) {
-            o.mc.injectBug = static_cast<unsigned>(num(i));
-        } else if (!std::strcmp(a, "--mem-latency")) {
-            o.mc.memLatency = num(i);
-        } else if (!std::strcmp(a, "--race-delay")) {
-            o.mc.raceDelay = static_cast<unsigned>(num(i));
-        } else if (!std::strcmp(a, "--expect-catch")) {
-            o.expectCatch = true;
-        } else if (!std::strcmp(a, "--no-prune")) {
-            o.mc.prune = false;
-        } else if (!std::strcmp(a, "--no-reduce")) {
-            o.mc.reduce = false;
-        } else if (!std::strcmp(a, "--report")) {
-            o.report = str(i);
-        } else if (!std::strcmp(a, "--telemetry")) {
-            o.telemetry = str(i);
-        } else if (!std::strcmp(a, "--replay")) {
-            o.replay = str(i);
-        } else {
-            usage(argv[0]);
-        }
-    }
+    constexpr std::uint64_t u32max = 0xffffffffull;
+    constexpr std::uint64_t u64max = ~0ull;
+    bench::FlagSet fs(
+        std::string("Exhaustive protocol model checker: explore "
+                    "every same-tick delivery ordering with the "
+                    "invariant checker attached.\nWorkloads: ") +
+            modelCheckWorkloads(),
+        "SPP_TELEMETRY");
+    fs.onValue("--protocol", "P",
+               "explore one configuration (single mode)",
+               [&o](const std::string &v) {
+                   o.single = true;
+                   o.mc.protocol = parseProtocol(v);
+               });
+    fs.onValue("--predictor", "K", "single-mode predictor",
+               [&o](const std::string &v) {
+                   o.mc.predictor = parsePredictor(v);
+               });
+    fs.onValue("--format", "F",
+               "sharer format: full|coarse|limited",
+               [&o](const std::string &v) {
+                   o.mc.format = sharerFormatFromString(v);
+               });
+    fs.onUnsigned("--cores", "N", 1, maxCores, "core count",
+                  [&o](std::uint64_t v) {
+                      o.mc.cores = static_cast<unsigned>(v);
+                  });
+    fs.onValue("--workload", "W", "scripted workload to explore",
+               [&o](const std::string &v) {
+                   o.mc.workload = v;
+                   if (!isModelCheckWorkload(o.mc.workload))
+                       SPP_FATAL("unknown workload '{}' (expected "
+                                 "{})",
+                                 o.mc.workload,
+                                 modelCheckWorkloads());
+               });
+    fs.onUnsigned("--depth", "N", 1, u32max,
+                  "max choice-point depth",
+                  [&o](std::uint64_t v) {
+                      o.mc.maxDepth = static_cast<unsigned>(v);
+                  });
+    fs.onUnsigned("--max-execs", "N", 1, u64max,
+                  "bound on explored executions",
+                  [&o](std::uint64_t v) { o.mc.maxExecutions = v; });
+    fs.onUnsigned("--inject", "K", 0, u32max,
+                  "plant bug K (self-test; see Config::injectBug)",
+                  [&o](std::uint64_t v) {
+                      o.mc.injectBug = static_cast<unsigned>(v);
+                  });
+    fs.onUnsigned("--mem-latency", "T", 0, u64max,
+                  "memory latency in ticks",
+                  [&o](std::uint64_t v) { o.mc.memLatency = v; });
+    fs.onUnsigned("--race-delay", "N", 0, u32max,
+                  "extra delivery-slack ticks",
+                  [&o](std::uint64_t v) {
+                      o.mc.raceDelay = static_cast<unsigned>(v);
+                  });
+    fs.onSwitch("--expect-catch",
+                "invert the exit code: the search must find a "
+                "violation",
+                [&o] { o.expectCatch = true; });
+    fs.onSwitch("--no-prune", "disable state-hash pruning",
+                [&o] { o.mc.prune = false; });
+    fs.onSwitch("--no-reduce", "disable conflict reduction",
+                [&o] { o.mc.reduce = false; });
+    fs.onValue("--report", "DIR", "save failure artifacts into DIR",
+               [&o](const std::string &v) { o.report = v; });
+    fs.onValue("--telemetry", "DIR",
+               "write one exploration manifest per configuration",
+               [&o](const std::string &v) { o.telemetry = v; });
+    fs.onValue("--replay", "FILE",
+               "re-execute one saved schedule (replay mode)",
+               [&o](const std::string &v) { o.replay = v; });
+    fs.parse(argc, argv);
     return o;
 }
 

@@ -13,7 +13,8 @@ using namespace spp::bench;
 int
 main(int argc, char **argv)
 {
-    initBench(argc, argv);
+    initBench(argc, argv,
+              "Table 1: sync-epoch statistics per benchmark");
     QuietScope quiet;
     banner("Table 1: Sync-epoch statistics (per-core average)");
     Table t({"benchmark", "input", "static CS", "(paper)",

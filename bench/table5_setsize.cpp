@@ -15,7 +15,8 @@ using namespace spp::bench;
 int
 main(int argc, char **argv)
 {
-    initBench(argc, argv);
+    initBench(argc, argv,
+              "Table 5: actual vs predicted target set size per request");
     QuietScope quiet;
     banner("Table 5: average actual and predicted target set size");
     Table t({"benchmark", "actual/req", "predicted/req", "ratio"});

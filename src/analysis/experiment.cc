@@ -4,6 +4,8 @@
 #include <optional>
 
 #include "common/logging.hh"
+#include "service/result_store.hh"
+#include "telemetry/manifest.hh"
 #include "telemetry/telemetry.hh"
 #include "trace/codec.hh"
 #include "trace/replay.hh"
@@ -73,6 +75,35 @@ runExperiment(const std::string &workload_name,
     Config cfg = xcfg.config;
     if (xcfg.tweak)
         xcfg.tweak(cfg);
+
+    // Consult the result store first: a warm entry short-circuits
+    // the whole run. Keys hash the *tweaked* config plus everything
+    // else that determines the result (workload, scale, trace flags,
+    // code version); uncacheable cells (see resultCacheable()) fall
+    // through to a normal live run.
+    std::string result_path;
+    std::string result_key;
+    if (xcfg.resultStore.enabled()) {
+        if (!resultCacheable(xcfg)) {
+            ++resultStoreStats().bypasses;
+        } else {
+            cfg.validate();
+            const ContentKey key = resultKey(
+                workload_name, cfg, xcfg.scale, xcfg.collectTrace,
+                xcfg.recordMissTargets, gitDescribe());
+            result_key = key.describe();
+            result_path = resultPath(xcfg.resultStore.dir,
+                                     workload_name, key.hash());
+            if (xcfg.resultStore.refresh) {
+                ++resultStoreStats().misses;
+            } else {
+                ExperimentResult cached;
+                if (loadCachedResult(result_path, result_key,
+                                     cached))
+                    return cached;
+            }
+        }
+    }
 
     // Resolve the trace mode against the *tweaked* config — a sweep
     // tweak may change the seed or geometry, which are part of the
@@ -217,6 +248,10 @@ runExperiment(const std::string &workload_name,
         attrib->writeArtifacts(label);
         res.attribution = std::move(attrib);
     }
+    // Cold cell of an enabled store: populate (atomically) so the
+    // next identical run is warm.
+    if (!result_path.empty())
+        storeResult(result_path, result_key, res);
     return res;
 }
 

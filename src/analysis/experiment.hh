@@ -16,6 +16,7 @@
 #include "analysis/energy.hh"
 #include "analysis/trace.hh"
 #include "common/config.hh"
+#include "service/options.hh"
 #include "sim/cmp_system.hh"
 #include "telemetry/options.hh"
 #include "trace/options.hh"
@@ -48,6 +49,11 @@ struct ExperimentConfig
      * replay file, that exact trace drives the machine. Off unless
      * one of the two is set. */
     TraceOptions trace;
+    /** Content-addressed result cache (service/result_store.hh):
+     * with a store dir, cacheable runs are served from a warm entry
+     * when one matches the cell key and simulate + populate the
+     * entry otherwise. Off unless resultStore.dir is set. */
+    ResultStoreOptions resultStore;
     /** File stem of this run's sidecars (telemetry and attribution);
      * defaults to the workload name (the sweep engine assigns unique
      * per-job labels). */

@@ -79,4 +79,25 @@ CommTrace::finalize()
     }
 }
 
+CommTrace
+CommTrace::restore(unsigned n_cores, bool record_targets,
+                   std::vector<std::vector<EpochRecord>> epochs,
+                   std::vector<std::vector<std::uint64_t>> whole,
+                   std::vector<PcVolumeMap> pc_volume,
+                   std::uint64_t total_misses,
+                   std::uint64_t total_comm)
+{
+    CommTrace t(n_cores, record_targets);
+    t.epochs_ = std::move(epochs);
+    t.whole_ = std::move(whole);
+    t.pc_volume_ = std::move(pc_volume);
+    t.total_misses_ = total_misses;
+    t.total_comm_ = total_comm;
+    // No open epochs: the serialized source was finalized, so a
+    // second finalize() on the restored object is a no-op.
+    for (unsigned c = 0; c < n_cores; ++c)
+        t.current_[c].misses = 0;
+    return t;
+}
+
 } // namespace spp

@@ -10,7 +10,7 @@
 #define SPP_ANALYSIS_TRACE_HH
 
 #include <cstdint>
-#include <unordered_map>
+#include <map>
 #include <vector>
 
 #include "coherence/mem_sys.hh"
@@ -94,18 +94,36 @@ class CommTrace : public SyncListener
         return whole_[core];
     }
 
+    /** Per-static-instruction volume map of one core; ordered so
+     * consumers (and serialized forms) iterate deterministically. */
+    using PcVolumeMap = std::map<Pc, std::vector<std::uint32_t>>;
+
     /** Per-static-instruction volume at @p core. */
-    const std::unordered_map<Pc, std::vector<std::uint32_t>> &
+    const PcVolumeMap &
     pcVolume(CoreId core) const
     {
         return pc_volume_[core];
     }
 
     unsigned numCores() const { return n_cores_; }
+    bool recordsTargets() const { return record_targets_; }
 
     /** Total misses / communicating misses across all cores. */
     std::uint64_t totalMisses() const { return total_misses_; }
     std::uint64_t totalCommMisses() const { return total_comm_; }
+
+    /**
+     * Rebuild an already-finalized trace from serialized parts (the
+     * result store's warm path). The restored object answers every
+     * accessor exactly as the live-collected one did; feeding it
+     * further onAccess/onSyncPoint events is not meaningful.
+     */
+    static CommTrace
+    restore(unsigned n_cores, bool record_targets,
+            std::vector<std::vector<EpochRecord>> epochs,
+            std::vector<std::vector<std::uint64_t>> whole,
+            std::vector<PcVolumeMap> pc_volume,
+            std::uint64_t total_misses, std::uint64_t total_comm);
 
   private:
     unsigned n_cores_;
@@ -113,8 +131,7 @@ class CommTrace : public SyncListener
     std::vector<EpochRecord> current_;
     std::vector<std::vector<EpochRecord>> epochs_;
     std::vector<std::vector<std::uint64_t>> whole_;
-    std::vector<std::unordered_map<Pc, std::vector<std::uint32_t>>>
-        pc_volume_;
+    std::vector<PcVolumeMap> pc_volume_;
     std::uint64_t total_misses_ = 0;
     std::uint64_t total_comm_ = 0;
 };

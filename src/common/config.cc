@@ -1,7 +1,10 @@
 #include "common/config.hh"
 
 #include <bit>
+#include <cerrno>
 #include <cstddef>
+#include <cstdlib>
+#include <limits>
 #include <sstream>
 #include <string>
 #include <utility>
@@ -125,58 +128,111 @@ toString(SharerFormat f)
 SharerFormat
 sharerFormatFromString(const std::string &s)
 {
+    if (const auto f = parseSharerFormatName(s))
+        return *f;
+    SPP_FATAL("unknown sharer format '{}' (full, coarse, limited)", s);
+}
+
+std::optional<Protocol>
+parseProtocolName(const std::string &s)
+{
+    if (s == "directory")
+        return Protocol::directory;
+    if (s == "broadcast")
+        return Protocol::broadcast;
+    if (s == "predicted")
+        return Protocol::predicted;
+    if (s == "multicast")
+        return Protocol::multicast;
+    return std::nullopt;
+}
+
+std::optional<PredictorKind>
+parsePredictorName(const std::string &s)
+{
+    if (s == "none")
+        return PredictorKind::none;
+    if (s == "sp")
+        return PredictorKind::sp;
+    if (s == "addr")
+        return PredictorKind::addr;
+    if (s == "inst")
+        return PredictorKind::inst;
+    if (s == "uni")
+        return PredictorKind::uni;
+    return std::nullopt;
+}
+
+std::optional<SharerFormat>
+parseSharerFormatName(const std::string &s)
+{
     if (s == "full")
         return SharerFormat::full;
     if (s == "coarse")
         return SharerFormat::coarse;
     if (s == "limited")
         return SharerFormat::limited;
-    SPP_FATAL("unknown sharer format '{}' (full, coarse, limited)", s);
+    return std::nullopt;
+}
+
+std::string
+configValidate(const Config &c)
+{
+    if (c.numCores == 0 || c.numCores > maxCores)
+        return strfmt("numCores must be in [1, {}], got {}", maxCores,
+                      c.numCores);
+    if (c.meshX * c.meshY != c.numCores)
+        return strfmt("mesh {}x{} does not cover {} cores", c.meshX,
+                      c.meshY, c.numCores);
+    if (!std::has_single_bit(c.lineBytes))
+        return strfmt("lineBytes must be a power of two, got {}",
+                      c.lineBytes);
+    if (!std::has_single_bit(c.macroBlockBytes) ||
+        c.macroBlockBytes < c.lineBytes) {
+        return "macroBlockBytes must be a power of two >= lineBytes";
+    }
+    if (c.l1Assoc == 0 || c.l1Bytes == 0 ||
+        c.l1Bytes % (c.lineBytes * c.l1Assoc) != 0)
+        return "L1 geometry does not divide into sets";
+    if (c.l2Assoc == 0 || c.l2Bytes == 0 ||
+        c.l2Bytes % (c.lineBytes * c.l2Assoc) != 0)
+        return "L2 geometry does not divide into sets";
+    if (c.hotThreshold <= 0.0 || c.hotThreshold >= 1.0)
+        return strfmt("hotThreshold must be in (0, 1), got {}",
+                      c.hotThreshold);
+    if (c.historyDepth == 0 || c.historyDepth > 8)
+        return strfmt("historyDepth must be in [1, 8], got {}",
+                      c.historyDepth);
+    if ((c.protocol == Protocol::predicted ||
+         c.protocol == Protocol::multicast) &&
+        c.predictor == PredictorKind::none) {
+        return strfmt("Protocol::{} requires a predictor kind",
+                      toString(c.protocol));
+    }
+    if (c.coarseCoresPerBit == 0 || c.coarseCoresPerBit > c.numCores)
+        return strfmt("coarseCoresPerBit must be in [1, numCores], "
+                      "got {}",
+                      c.coarseCoresPerBit);
+    if (c.sharerPointers == 0)
+        return "sharerPointers must be non-zero";
+    if (c.linkBytesPerCycle == 0)
+        return "linkBytesPerCycle must be non-zero";
+    if (c.enableDram && (c.dramBanks == 0 || c.dramRowLines == 0))
+        return "DRAM model needs non-zero banks and row size";
+    if (!std::has_single_bit(c.filterRegionBytes) ||
+        c.filterRegionBytes < c.lineBytes) {
+        return "filterRegionBytes must be a power of two >= "
+               "lineBytes";
+    }
+    return "";
 }
 
 void
 Config::validate() const
 {
-    if (numCores == 0 || numCores > maxCores)
-        SPP_FATAL("numCores must be in [1, {}], got {}", maxCores,
-                  numCores);
-    if (meshX * meshY != numCores)
-        SPP_FATAL("mesh {}x{} does not cover {} cores", meshX, meshY,
-                  numCores);
-    if (!std::has_single_bit(lineBytes))
-        SPP_FATAL("lineBytes must be a power of two, got {}", lineBytes);
-    if (!std::has_single_bit(macroBlockBytes) ||
-        macroBlockBytes < lineBytes) {
-        SPP_FATAL("macroBlockBytes must be a power of two >= lineBytes");
-    }
-    if (l1Bytes % (lineBytes * l1Assoc) != 0)
-        SPP_FATAL("L1 geometry does not divide into sets");
-    if (l2Bytes % (lineBytes * l2Assoc) != 0)
-        SPP_FATAL("L2 geometry does not divide into sets");
-    if (hotThreshold <= 0.0 || hotThreshold >= 1.0)
-        SPP_FATAL("hotThreshold must be in (0, 1), got {}", hotThreshold);
-    if (historyDepth == 0 || historyDepth > 8)
-        SPP_FATAL("historyDepth must be in [1, 8], got {}", historyDepth);
-    if ((protocol == Protocol::predicted ||
-         protocol == Protocol::multicast) &&
-        predictor == PredictorKind::none) {
-        SPP_FATAL("Protocol::{} requires a predictor kind",
-                  toString(protocol));
-    }
-    if (coarseCoresPerBit == 0 || coarseCoresPerBit > numCores)
-        SPP_FATAL("coarseCoresPerBit must be in [1, numCores], got {}",
-                  coarseCoresPerBit);
-    if (sharerPointers == 0)
-        SPP_FATAL("sharerPointers must be non-zero");
-    if (linkBytesPerCycle == 0)
-        SPP_FATAL("linkBytesPerCycle must be non-zero");
-    if (enableDram && (dramBanks == 0 || dramRowLines == 0))
-        SPP_FATAL("DRAM model needs non-zero banks and row size");
-    if (!std::has_single_bit(filterRegionBytes) ||
-        filterRegionBytes < lineBytes) {
-        SPP_FATAL("filterRegionBytes must be a power of two >= "
-                  "lineBytes");
-    }
+    const std::string err = configValidate(*this);
+    if (!err.empty())
+        SPP_FATAL("{}", err);
 }
 
 std::string
@@ -200,6 +256,109 @@ configHash(const Config &cfg)
 {
     // FNV-1a over the canonical description.
     return fnv1a64(configDescribe(cfg));
+}
+
+namespace {
+
+// --- configSetField value parsers, one per field shape -------------
+
+std::string
+parseFieldValue(const char *name, const std::string &v, bool &out)
+{
+    if (v == "0" || v == "false") {
+        out = false;
+        return "";
+    }
+    if (v == "1" || v == "true") {
+        out = true;
+        return "";
+    }
+    return std::string(name) + " expects 0/1/true/false, got '" + v +
+        "'";
+}
+
+std::string
+parseFieldValue(const char *name, const std::string &v, double &out)
+{
+    std::size_t used = 0;
+    double parsed = 0.0;
+    try {
+        parsed = std::stod(v, &used);
+    } catch (...) {
+        used = 0;
+    }
+    if (used == 0 || used != v.size())
+        return std::string(name) + " expects a number, got '" + v +
+            "'";
+    out = parsed;
+    return "";
+}
+
+std::string
+parseFieldValue(const char *name, const std::string &v, Protocol &out)
+{
+    if (const auto p = parseProtocolName(v)) {
+        out = *p;
+        return "";
+    }
+    return std::string(name) + ": unknown protocol '" + v + "'";
+}
+
+std::string
+parseFieldValue(const char *name, const std::string &v,
+                PredictorKind &out)
+{
+    if (const auto p = parsePredictorName(v)) {
+        out = *p;
+        return "";
+    }
+    return std::string(name) + ": unknown predictor '" + v + "'";
+}
+
+std::string
+parseFieldValue(const char *name, const std::string &v,
+                SharerFormat &out)
+{
+    if (const auto p = parseSharerFormatName(v)) {
+        out = *p;
+        return "";
+    }
+    return std::string(name) + ": unknown sharer format '" + v + "'";
+}
+
+template <typename T>
+    requires std::is_unsigned_v<T>
+std::string
+parseFieldValue(const char *name, const std::string &v, T &out)
+{
+    if (v.empty() ||
+        v.find_first_not_of("0123456789") != std::string::npos)
+        return std::string(name) +
+            " expects an unsigned integer, got '" + v + "'";
+    errno = 0;
+    char *end = nullptr;
+    const unsigned long long parsed =
+        std::strtoull(v.c_str(), &end, 10);
+    if (errno != 0 || *end != '\0' ||
+        parsed > std::numeric_limits<T>::max())
+        return std::string(name) + " value '" + v +
+            "' is out of range";
+    out = static_cast<T>(parsed);
+    return "";
+}
+
+} // namespace
+
+std::string
+configSetField(Config &cfg, const std::string &name,
+               const std::string &value)
+{
+#define SPP_SET_FIELD(f)                                              \
+    if (name == #f)                                                   \
+        return parseFieldValue(#f, value, cfg.f);
+    SPP_CONFIG_FIELDS(SPP_SET_FIELD)
+#undef SPP_SET_FIELD
+    return "unknown config field '" + name + "'";
 }
 
 } // namespace spp

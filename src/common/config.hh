@@ -8,6 +8,7 @@
 #define SPP_COMMON_CONFIG_HH
 
 #include <cstdint>
+#include <optional>
 #include <string>
 
 #include "common/types.hh"
@@ -51,6 +52,11 @@ const char *toString(SharerFormat f);
 
 /** Parse a --format CLI value; calls fatal() on unknown names. */
 SharerFormat sharerFormatFromString(const std::string &s);
+
+/** Non-fatal enum parsers (server requests, generic field setter). */
+std::optional<Protocol> parseProtocolName(const std::string &s);
+std::optional<PredictorKind> parsePredictorName(const std::string &s);
+std::optional<SharerFormat> parseSharerFormatName(const std::string &s);
 
 /** Machine and predictor parameters; defaults follow the paper. */
 struct Config
@@ -168,6 +174,13 @@ struct Config
 };
 
 /**
+ * Non-fatal twin of Config::validate(): returns "" when @p cfg is
+ * consistent, else the first complaint. Servers reject bad requests
+ * with it; the CLI path (validate()) turns the same string fatal.
+ */
+std::string configValidate(const Config &cfg);
+
+/**
  * Every Config field, in declaration order. configDescribe() renders
  * from this list, and config.cc statically asserts the list matches
  * the struct (field count and layout), so adding a Config field
@@ -203,6 +216,19 @@ std::string configDescribe(const Config &cfg);
 
 /** FNV-1a hash of configDescribe(@p cfg); stamps run manifests. */
 std::uint64_t configHash(const Config &cfg);
+
+/**
+ * Set one Config field by its SPP_CONFIG_FIELDS name from a string
+ * value: enums parse by name, bools accept 0/1/true/false, numbers
+ * parse strictly in their field's type. Returns "" on success, else
+ * a description of what was wrong (unknown field, bad value) — the
+ * caller decides whether that is fatal (CLI) or a rejected request
+ * (server). The unified field API: bench --set, server request
+ * overrides and store-key audits all go through the same names
+ * configDescribe() prints.
+ */
+std::string configSetField(Config &cfg, const std::string &name,
+                           const std::string &value);
 
 } // namespace spp
 

@@ -95,6 +95,18 @@ class Average
         min_ = 0;
     }
 
+    /** Rebuild from serialized parts (result-store warm path); the
+     * restored object answers mean()/sum()/... exactly as the
+     * original did. */
+    void
+    restore(double sum, std::uint64_t count, double max, double min)
+    {
+        sum_ = sum;
+        count_ = count;
+        max_ = max;
+        min_ = min;
+    }
+
   private:
     double sum_ = 0;
     std::uint64_t count_ = 0;

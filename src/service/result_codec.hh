@@ -1,0 +1,46 @@
+/**
+ * @file
+ * JSON encoding of ExperimentResult for the result store.
+ *
+ * The payload covers everything a warm cache hit must reproduce
+ * byte-identically: the full RunResult statistics (counters, Average
+ * summaries, breakdown arrays), the energy-model total, and — when
+ * the run collected one — the finalized CommTrace (epoch records,
+ * whole-run and per-PC volume matrices, per-miss target sets).
+ * Attribution profilers are never serialized; runs that enable them
+ * bypass the store (see resultCacheable()).
+ *
+ * Counters and tick values encode as JSON numbers (the writer prints
+ * integral doubles without a fractional part, and every simulator
+ * counter stays far below 2^53); uint64 *identifiers* — PCs, sync
+ * static IDs, whole-run volumes — encode as decimal strings so
+ * arbitrary 64-bit values survive; CoreSets use their width-
+ * independent hex form. resultFromJson() is strict: a missing or
+ * mistyped field, an out-of-range count, or a wrong-size array
+ * produces a descriptive error, and the store treats the entry as
+ * corrupt (re-simulates and overwrites).
+ */
+
+#ifndef SPP_SERVICE_RESULT_CODEC_HH
+#define SPP_SERVICE_RESULT_CODEC_HH
+
+#include <string>
+
+#include "analysis/experiment.hh"
+#include "telemetry/json.hh"
+
+namespace spp {
+
+/** Serialize @p res (statistics, energy, optional comm trace). */
+Json resultToJson(const ExperimentResult &res);
+
+/**
+ * Strictly parse @p doc into @p out. Returns false and sets @p err
+ * (leaving @p out unspecified) on any malformation.
+ */
+bool resultFromJson(const Json &doc, ExperimentResult &out,
+                    std::string &err);
+
+} // namespace spp
+
+#endif // SPP_SERVICE_RESULT_CODEC_HH

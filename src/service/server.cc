@@ -1,0 +1,409 @@
+#include "service/server.hh"
+
+#include <algorithm>
+#include <chrono>
+#include <istream>
+#include <memory>
+#include <mutex>
+#include <ostream>
+#include <sstream>
+#include <utility>
+#include <vector>
+
+#include "service/result_codec.hh"
+#include "service/result_store.hh"
+#include "service/triage.hh"
+#include "telemetry/manifest.hh"
+#include "workload/workload.hh"
+
+namespace spp {
+
+const char *
+toString(TriageMode m)
+{
+    switch (m) {
+      case TriageMode::off:   return "off";
+      case TriageMode::order: return "order";
+      case TriageMode::skip:  return "skip";
+    }
+    return "?";
+}
+
+namespace {
+
+/** Render a "set" value for configSetField(): strings pass through,
+ * numbers print exactly as the JSON writer would, booleans as 0/1. */
+bool
+settingToString(const Json &v, std::string &out)
+{
+    if (v.isString()) {
+        out = v.asString();
+        return true;
+    }
+    if (v.isNumber()) {
+        std::ostringstream os;
+        writeJsonNumber(os, v.asNumber());
+        out = os.str();
+        return true;
+    }
+    if (v.kind() == Json::Kind::boolean) {
+        out = v.asBool() ? "1" : "0";
+        return true;
+    }
+    return false;
+}
+
+/** Apply a {"field": value, ...} override object; "" or an error. */
+std::string
+applySettings(Config &cfg, const Json &set)
+{
+    if (!set.isObject())
+        return "'set' is not an object";
+    for (const auto &[name, value] : set.members()) {
+        std::string text;
+        if (!settingToString(value, text))
+            return "field '" + name + "' has a non-scalar value";
+        const std::string err = configSetField(cfg, name, text);
+        if (!err.empty())
+            return err;
+    }
+    return "";
+}
+
+/** Most-square mesh for requests that resize the machine without
+ * fixing a geometry (mirrors the bench --cores behavior). */
+void
+autoMesh(Config &cfg)
+{
+    if (cfg.numCores != 0 && cfg.meshX * cfg.meshY == cfg.numCores)
+        return;
+    unsigned y = 1;
+    for (unsigned d = 1; d * d <= cfg.numCores; ++d)
+        if (cfg.numCores % d == 0)
+            y = d;
+    cfg.meshY = y;
+    cfg.meshX = cfg.numCores / y;
+}
+
+} // namespace
+
+SweepServer::SweepServer(ServerOptions opts)
+    : opts_(std::move(opts)), runner_(opts_.jobs)
+{
+    metrics_.addGauge("server.queue_depth", [this] {
+        return static_cast<double>(queue_depth_.load());
+    });
+    metrics_.addGauge("server.requests_served", [this] {
+        return static_cast<double>(requests_served_);
+    });
+    metrics_.addGauge("server.cells_run", [this] {
+        return static_cast<double>(cells_run_);
+    });
+    metrics_.addGauge("store.hits", [] {
+        return static_cast<double>(resultStoreStats().hits.load());
+    });
+    metrics_.addGauge("store.misses", [] {
+        return static_cast<double>(resultStoreStats().misses.load());
+    });
+    metrics_.addGauge("store.bypasses", [] {
+        return static_cast<double>(
+            resultStoreStats().bypasses.load());
+    });
+    metrics_.addGauge("store.corrupt", [] {
+        return static_cast<double>(resultStoreStats().corrupt.load());
+    });
+}
+
+unsigned
+SweepServer::serve(std::istream &in, std::ostream &out)
+{
+    std::string line;
+    unsigned served = 0;
+    while (std::getline(in, line)) {
+        if (line.find_first_not_of(" \t\r") == std::string::npos)
+            continue;
+        ++served;
+        if (handleLine(line, out))
+            break;
+    }
+    return served;
+}
+
+void
+SweepServer::emit(std::ostream &out, const Json &event)
+{
+    out << event.dump() << '\n';
+    out.flush();
+}
+
+Json
+SweepServer::gaugesJson() const
+{
+    Json g = Json::object();
+    for (std::size_t i = 0; i < metrics_.size(); ++i)
+        g[metrics_.name(i)] = Json(metrics_.read(i));
+    return g;
+}
+
+bool
+SweepServer::handleLine(const std::string &line, std::ostream &out)
+{
+    ++requests_served_;
+    const auto doc = Json::parse(line);
+    Json id;
+    if (doc) {
+        if (const Json *i = doc->find("id"))
+            id = *i;
+    }
+    const auto reject = [&](const std::string &msg) {
+        Json ev = Json::object();
+        ev["event"] = Json("error");
+        ev["id"] = id;
+        ev["error"] = Json(msg);
+        emit(out, ev);
+        return false;
+    };
+    if (!doc || !doc->isObject())
+        return reject("request is not a JSON object");
+    const Json *op = doc->find("op");
+    if (op == nullptr || !op->isString())
+        return reject("missing 'op'");
+    if (op->asString() == "shutdown") {
+        shutdown_ = true;
+        Json ev = Json::object();
+        ev["event"] = Json("bye");
+        emit(out, ev);
+        return true;
+    }
+    if (op->asString() == "stats") {
+        Json ev = Json::object();
+        ev["event"] = Json("stats");
+        ev["gauges"] = gaugesJson();
+        emit(out, ev);
+        return false;
+    }
+    if (op->asString() == "sweep") {
+        handleSweep(*doc, id, out);
+        return false;
+    }
+    return reject("unknown op '" + op->asString() + "'");
+}
+
+void
+SweepServer::handleSweep(const Json &req, const Json &id,
+                         std::ostream &out)
+{
+    const auto reject = [&](const std::string &msg) {
+        Json ev = Json::object();
+        ev["event"] = Json("error");
+        ev["id"] = id;
+        ev["error"] = Json(msg);
+        emit(out, ev);
+    };
+
+    double scale = opts_.defaultScale;
+    if (const Json *s = req.find("scale")) {
+        if (!s->isNumber() || !(s->asNumber() > 0.0))
+            return reject("'scale' must be a positive number");
+        scale = s->asNumber();
+    }
+    bool collect = false;
+    if (const Json *c = req.find("collect_trace")) {
+        if (c->kind() != Json::Kind::boolean)
+            return reject("'collect_trace' must be a boolean");
+        collect = c->asBool();
+    }
+    Config base = opts_.baseConfig;
+    if (const Json *set = req.find("set")) {
+        const std::string err = applySettings(base, *set);
+        if (!err.empty())
+            return reject(err);
+    }
+
+    const Json *cells_doc = req.find("cells");
+    if (cells_doc == nullptr || !cells_doc->isArray() ||
+        cells_doc->size() == 0)
+        return reject("'cells' must be a non-empty array");
+
+    struct Cell
+    {
+        std::string workload;
+        std::string label;
+        ExperimentConfig xcfg;
+        double score = 1.0;
+        bool skipped = false;
+        bool cached = false;
+    };
+    std::vector<Cell> cells;
+    for (const Json &cd : cells_doc->items()) {
+        const std::string at =
+            "cell " + std::to_string(cells.size()) + ": ";
+        if (!cd.isObject())
+            return reject(at + "not an object");
+        const Json *w = cd.find("workload");
+        if (w == nullptr || !w->isString())
+            return reject(at + "missing 'workload'");
+        Cell cell;
+        cell.workload = w->asString();
+        if (findWorkload(cell.workload) == nullptr)
+            return reject(at + "unknown workload '" + cell.workload +
+                          "'");
+        cell.xcfg.config = base;
+        cell.xcfg.scale = scale;
+        cell.xcfg.collectTrace = collect;
+        cell.xcfg.resultStore = opts_.resultStore;
+        if (const Json *set = cd.find("set")) {
+            const std::string err =
+                applySettings(cell.xcfg.config, *set);
+            if (!err.empty())
+                return reject(at + err);
+        }
+        autoMesh(cell.xcfg.config);
+        const std::string cfg_err = configValidate(cell.xcfg.config);
+        if (!cfg_err.empty())
+            return reject(at + cfg_err);
+        if (const Json *l = cd.find("label");
+            l != nullptr && l->isString())
+            cell.label = l->asString();
+        if (cell.label.empty()) {
+            cell.label = cell.workload + "/" +
+                toString(cell.xcfg.config.protocol);
+            if (cell.xcfg.config.predictor != PredictorKind::none)
+                cell.label += std::string("/") +
+                    toString(cell.xcfg.config.predictor);
+        }
+        cells.push_back(std::move(cell));
+    }
+
+    // Triage: score, reorder, optionally drop.
+    std::vector<std::size_t> order(cells.size());
+    for (std::size_t i = 0; i < cells.size(); ++i)
+        order[i] = i;
+    if (opts_.triage != TriageMode::off) {
+        for (Cell &cell : cells) {
+            const TriageEstimate est =
+                triageCell(cell.workload, cell.xcfg.config,
+                           cell.xcfg.scale, opts_.traceDir);
+            cell.score = est.score;
+            // Only a trace-backed estimate may drop a cell; neutral
+            // scores keep unknown cells in the queue.
+            cell.skipped = opts_.triage == TriageMode::skip &&
+                est.fromTrace && est.score < opts_.triageThreshold;
+        }
+        std::stable_sort(order.begin(), order.end(),
+                         [&](std::size_t a, std::size_t b) {
+                             return cells[a].score > cells[b].score;
+                         });
+        Json tri = Json::object();
+        tri["event"] = Json("triage");
+        tri["id"] = id;
+        Json ord = Json::array();
+        for (std::size_t i : order)
+            ord.push(Json(i));
+        tri["order"] = std::move(ord);
+        Json scores = Json::array();
+        for (const Cell &cell : cells)
+            scores.push(Json(cell.score));
+        tri["scores"] = std::move(scores);
+        Json skipped = Json::array();
+        for (std::size_t i = 0; i < cells.size(); ++i)
+            if (cells[i].skipped)
+                skipped.push(Json(i));
+        tri["skipped"] = std::move(skipped);
+        emit(out, tri);
+    }
+
+    std::vector<std::size_t> run_order;
+    for (std::size_t i : order)
+        if (!cells[i].skipped)
+            run_order.push_back(i);
+
+    Json acc = Json::object();
+    acc["event"] = Json("accepted");
+    acc["id"] = id;
+    acc["cells"] = Json(cells.size());
+    acc["queued"] = Json(run_order.size());
+    emit(out, acc);
+
+    // Warm/cold flags, resolved before dispatch so each result can
+    // say whether it was served from the store.
+    for (std::size_t i : run_order) {
+        Cell &cell = cells[i];
+        if (!opts_.resultStore.enabled() ||
+            opts_.resultStore.refresh || !resultCacheable(cell.xcfg))
+            continue;
+        const ContentKey key = resultKey(
+            cell.workload, cell.xcfg.config, cell.xcfg.scale,
+            cell.xcfg.collectTrace, cell.xcfg.recordMissTargets,
+            gitDescribe());
+        cell.cached = contentFileExists(resultPath(
+            opts_.resultStore.dir, cell.workload, key.hash()));
+    }
+
+    ResultStoreStats &stats = resultStoreStats();
+    const std::uint64_t h0 = stats.hits;
+    const std::uint64_t m0 = stats.misses;
+    const std::uint64_t b0 = stats.bypasses;
+    const std::uint64_t c0 = stats.corrupt;
+    const auto t0 = std::chrono::steady_clock::now();
+    queue_depth_ = run_order.size();
+
+    // Stream results in run order as the completed prefix grows:
+    // workers park finished events in their slot, and whoever owns
+    // the lock flushes the contiguous prefix — deterministic event
+    // order at any pool width.
+    struct Slot
+    {
+        std::size_t pos;
+        std::size_t cell;
+    };
+    std::vector<Slot> slots;
+    slots.reserve(run_order.size());
+    for (std::size_t p = 0; p < run_order.size(); ++p)
+        slots.push_back({p, run_order[p]});
+    std::mutex mu;
+    std::vector<std::unique_ptr<Json>> parked(run_order.size());
+    std::size_t next = 0;
+    runner_.map(slots, [&](const Slot &slot) -> int {
+        const Cell &cell = cells[slot.cell];
+        const ExperimentResult res =
+            runExperiment(cell.workload, cell.xcfg);
+        auto ev = std::make_unique<Json>(Json::object());
+        (*ev)["event"] = Json("result");
+        (*ev)["id"] = id;
+        (*ev)["cell"] = Json(slot.cell);
+        (*ev)["label"] = Json(cell.label);
+        (*ev)["workload"] = Json(cell.workload);
+        (*ev)["cached"] = Json(cell.cached);
+        if (opts_.triage != TriageMode::off)
+            (*ev)["score"] = Json(cell.score);
+        (*ev)["result"] = resultToJson(res);
+        std::lock_guard<std::mutex> lock(mu);
+        parked[slot.pos] = std::move(ev);
+        --queue_depth_;
+        ++cells_run_;
+        while (next < parked.size() && parked[next] != nullptr) {
+            emit(out, *parked[next]);
+            parked[next].reset();
+            ++next;
+        }
+        return 0;
+    });
+
+    Json fin = Json::object();
+    fin["event"] = Json("done");
+    fin["id"] = id;
+    fin["cells_run"] = Json(run_order.size());
+    fin["skipped"] = Json(cells.size() - run_order.size());
+    fin["hits"] = Json(stats.hits - h0);
+    fin["misses"] = Json(stats.misses - m0);
+    fin["bypasses"] = Json(stats.bypasses - b0);
+    fin["corrupt"] = Json(stats.corrupt - c0);
+    fin["wall_ms"] = Json(
+        std::chrono::duration<double, std::milli>(
+            std::chrono::steady_clock::now() - t0)
+            .count());
+    emit(out, fin);
+}
+
+} // namespace spp

@@ -1,0 +1,142 @@
+/**
+ * @file
+ * Batch experiment server: sweep-as-a-service.
+ *
+ * A long-running loop that accepts experiment requests as
+ * newline-delimited JSON (one document per line) on an input stream
+ * — stdin, or a unix-socket connection the bench driver wires up —
+ * and streams per-cell results back the same way. Clients may queue
+ * any number of requests ahead; they are served in order, and each
+ * request's cells run on the shared SweepRunner pool with results
+ * streamed in job order as the completed prefix grows (so output is
+ * deterministic at any --jobs count).
+ *
+ * Requests
+ *
+ *   {"op": "sweep", "id": "q1",
+ *    "scale": 0.1,                 // optional, default from options
+ *    "collect_trace": false,       // optional
+ *    "set": {"numCores": 16},      // optional base config overrides
+ *    "cells": [                    // one entry per experiment cell
+ *      {"workload": "ocean",
+ *       "label": "dir",            // optional; defaults derived
+ *       "set": {"protocol": "directory"}}]}   // per-cell overrides
+ *   {"op": "stats"}                // snapshot the gauges
+ *   {"op": "shutdown"}             // finish and exit the loop
+ *
+ * Config overrides go through configSetField(), i.e. the exact field
+ * names configDescribe() prints — the same unified vocabulary the
+ * store keys, the manifests and the bench --set flag use. A request
+ * changing numCores without fixing meshX/meshY gets the most-square
+ * mesh automatically. Malformed requests are rejected with an
+ * "error" event; they never terminate the server.
+ *
+ * Responses (events, one JSON document per line)
+ *
+ *   {"event": "accepted", "id", "cells", "queued"}
+ *   {"event": "triage", "id", "order", "scores", "skipped"}  // when on
+ *   {"event": "result", "id", "cell", "label", "workload",
+ *    "cached", "result": {...}}    // full result-codec payload
+ *   {"event": "done", "id", "cells_run", "skipped",
+ *    "hits", "misses", "bypasses", "corrupt", "wall_ms"}
+ *   {"event": "stats", "gauges": {...}}
+ *   {"event": "error", "id", "error"}
+ *   {"event": "bye"}
+ *
+ * The server exports its health through a telemetry MetricRegistry:
+ * server.queue_depth (cells admitted but not yet finished),
+ * server.requests_served, server.cells_run, and the process-wide
+ * result-store traffic (store.hits / misses / bypasses / corrupt).
+ * The "stats" op renders that registry, so a client sees cache and
+ * queue gauges without scraping logs.
+ *
+ * With a result store configured every cacheable cell is served
+ * from / populates the store exactly as CLI sweeps do — the server
+ * and the CLI share one on-disk cache. The optional triage hook
+ * (service/triage.hh) orders cells most-communicating-first or
+ * skips cells scoring below a threshold; off by default.
+ */
+
+#ifndef SPP_SERVICE_SERVER_HH
+#define SPP_SERVICE_SERVER_HH
+
+#include <atomic>
+#include <cstdint>
+#include <iosfwd>
+#include <string>
+
+#include "analysis/sweep.hh"
+#include "common/config.hh"
+#include "service/options.hh"
+#include "telemetry/json.hh"
+#include "telemetry/metrics.hh"
+
+namespace spp {
+
+/** How the server uses triage scores (see service/triage.hh). */
+enum class TriageMode
+{
+    off,    ///< Run cells in request order.
+    order,  ///< Run most-communicating cells first.
+    skip,   ///< Order, and drop cells scoring below the threshold.
+};
+
+const char *toString(TriageMode m);
+
+/** Everything a SweepServer is configured with. */
+struct ServerOptions
+{
+    /** Result cache shared with CLI sweeps; empty dir = no cache. */
+    ResultStoreOptions resultStore;
+    /** Trace store consulted by triage (empty = neutral scores). */
+    std::string traceDir;
+    TriageMode triage = TriageMode::off;
+    /** skip mode drops cells with score < threshold. */
+    double triageThreshold = 0.25;
+    /** Sweep pool width; 0 = SweepRunner::defaultJobs(). */
+    unsigned jobs = 0;
+    /** Base config cells specialize via "set" overrides. */
+    Config baseConfig;
+    /** Scale for requests that do not name one. */
+    double defaultScale = 1.0;
+};
+
+class SweepServer
+{
+  public:
+    explicit SweepServer(ServerOptions opts);
+
+    /**
+     * Serve requests from @p in until EOF or a shutdown op, writing
+     * events to @p out (flushed per event, so clients can stream).
+     * Returns the number of requests served (sweeps + control ops).
+     */
+    unsigned serve(std::istream &in, std::ostream &out);
+
+    /** The health gauges (see file comment). */
+    const MetricRegistry &metrics() const { return metrics_; }
+
+    /** True once a shutdown op was served (socket frontends stop
+     * accepting new connections; EOF alone leaves this false). */
+    bool shutdownRequested() const { return shutdown_; }
+
+  private:
+    /** One request line; true = shutdown was requested. */
+    bool handleLine(const std::string &line, std::ostream &out);
+    void handleSweep(const Json &req, const Json &id,
+                     std::ostream &out);
+    Json gaugesJson() const;
+    void emit(std::ostream &out, const Json &event);
+
+    ServerOptions opts_;
+    SweepRunner runner_;
+    MetricRegistry metrics_;
+    std::atomic<std::uint64_t> queue_depth_{0};
+    std::uint64_t requests_served_ = 0;
+    std::uint64_t cells_run_ = 0;
+    bool shutdown_ = false;
+};
+
+} // namespace spp
+
+#endif // SPP_SERVICE_SERVER_HH

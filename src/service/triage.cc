@@ -1,0 +1,68 @@
+#include "service/triage.hh"
+
+#include <cmath>
+#include <cstdint>
+#include <vector>
+
+#include "trace/codec.hh"
+#include "trace/store.hh"
+
+namespace spp {
+
+TriageEstimate
+triageCell(const std::string &workload, const Config &cfg,
+           double scale, const std::string &trace_dir)
+{
+    TriageEstimate est;
+    if (trace_dir.empty())
+        return est;
+    const std::string path = tracePath(
+        trace_dir, workload, traceKeyHash(workload, cfg, scale));
+
+    std::vector<std::uint8_t> bytes;
+    std::string err;
+    if (!readFileBytes(path, bytes, err))
+        return est;
+    TraceData trace;
+    if (!decodeTrace(bytes, trace, err))
+        return est;
+
+    std::uint64_t reads = 0;
+    std::uint64_t writes = 0;
+    std::uint64_t syncs = 0;
+    std::uint64_t total = 0;
+    for (const auto &ops : trace.threads) {
+        for (const TraceOp &op : ops) {
+            ++total;
+            switch (op.kind) {
+              case TraceOpKind::read:
+                ++reads;
+                break;
+              case TraceOpKind::write:
+                ++writes;
+                break;
+              case TraceOpKind::compute:
+                break;
+              default:
+                ++syncs;
+                break;
+            }
+        }
+    }
+    if (total == 0)
+        return est;
+
+    const std::uint64_t mem_ops = reads + writes;
+    const double write_fraction = mem_ops != 0
+        ? static_cast<double>(writes) / static_cast<double>(mem_ops)
+        : 0.0;
+    const double sync_density =
+        static_cast<double>(syncs) / static_cast<double>(total);
+    const double threads =
+        static_cast<double>(trace.threads.size());
+    est.score = write_fraction + sync_density * std::sqrt(threads);
+    est.fromTrace = true;
+    return est;
+}
+
+} // namespace spp

@@ -1,0 +1,54 @@
+/**
+ * @file
+ * Analytical cell triage for the batch sweep server.
+ *
+ * Before simulating a queued experiment cell, the server can ask for
+ * a closed-form estimate of how communication-heavy the cell will
+ * be, in the spirit of analytical multicore performance models
+ * (PPT-Multicore): no simulation, just arithmetic over the recorded
+ * op stream that the trace store already holds for the cell's
+ * workload key. Coherence communication is driven by stores to
+ * shared lines (invalidation + cache-to-cache transfers), and
+ * cross-core reuse concentrates around synchronization points, so
+ * the estimate combines the write fraction of the memory ops with
+ * the sync-op density, amplified by the thread count:
+ *
+ *     score = write_fraction + sync_density * sqrt(n_threads)
+ *
+ * The score is relative — it orders cells, it does not predict
+ * ticks. Cells with no recorded trace (or no trace store at all)
+ * get the neutral score 1.0 with fromTrace = false, so ordering
+ * degrades gracefully and skip-mode never drops a cell it knows
+ * nothing about.
+ */
+
+#ifndef SPP_SERVICE_TRIAGE_HH
+#define SPP_SERVICE_TRIAGE_HH
+
+#include <string>
+
+#include "common/config.hh"
+
+namespace spp {
+
+/** One cell's analytical estimate. */
+struct TriageEstimate
+{
+    double score = 1.0;     ///< Relative communication intensity.
+    bool fromTrace = false; ///< False: neutral default, no trace.
+};
+
+/**
+ * Estimate the cell (@p workload, @p cfg, @p scale) from the trace
+ * store at @p trace_dir. @p cfg must be the fully tweaked per-cell
+ * config (the trace key hashes its seed/cores/lineBytes fields).
+ * Returns the neutral estimate when @p trace_dir is empty, the
+ * store has no matching entry, or the entry fails to decode.
+ */
+TriageEstimate triageCell(const std::string &workload,
+                          const Config &cfg, double scale,
+                          const std::string &trace_dir);
+
+} // namespace spp
+
+#endif // SPP_SERVICE_TRIAGE_HH

@@ -51,7 +51,15 @@ gitDescribe()
     // from many threads, and spawning git for each would dominate.
     static std::once_flag once;
     static std::string cached;
-    std::call_once(once, [] { cached = runGitDescribe(); });
+    std::call_once(once, [] {
+        cached = runGitDescribe();
+        if (cached == "unknown") {
+            warn("git describe failed (not a git checkout?); "
+                 "manifests and result-store keys use \"unknown\" — "
+                 "cached results will not invalidate across code "
+                 "changes");
+        }
+    });
     return cached;
 }
 

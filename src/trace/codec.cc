@@ -1,13 +1,7 @@
 #include "trace/codec.hh"
 
-#include <atomic>
 #include <bit>
-#include <cstdio>
 #include <cstring>
-#include <filesystem>
-#include <fstream>
-
-#include <unistd.h>
 
 #include "common/hash.hh"
 #include "common/logging.hh"
@@ -120,7 +114,7 @@ struct Cursor
     const std::uint8_t *data;
     std::size_t size;
     std::size_t pos = 0;
-    std::string err;
+    std::string err{};
 
     bool failed() const { return !err.empty(); }
 
@@ -353,75 +347,6 @@ decodeTrace(const std::vector<std::uint8_t> &bytes, TraceData &out,
 
     if (c.failed()) {
         err = c.err;
-        return false;
-    }
-    return true;
-}
-
-bool
-readFileBytes(const std::string &path, std::vector<std::uint8_t> &out,
-              std::string &err)
-{
-    std::ifstream in(path, std::ios::binary);
-    if (!in) {
-        err = "cannot open " + path;
-        return false;
-    }
-    in.seekg(0, std::ios::end);
-    const std::streamoff size = in.tellg();
-    in.seekg(0, std::ios::beg);
-    out.resize(static_cast<std::size_t>(size));
-    if (size > 0)
-        in.read(reinterpret_cast<char *>(out.data()), size);
-    if (!in) {
-        err = "short read from " + path;
-        return false;
-    }
-    return true;
-}
-
-bool
-writeFileBytesAtomic(const std::string &path,
-                     const std::vector<std::uint8_t> &bytes,
-                     std::string &err)
-{
-    // A fresh store directory (--trace-dir pointing somewhere new)
-    // is created on first write rather than up front, so read-only
-    // replay runs never touch the filesystem.
-    const auto parent =
-        std::filesystem::path(path).parent_path();
-    if (!parent.empty()) {
-        std::error_code ec;
-        std::filesystem::create_directories(parent, ec);
-        if (ec) {
-            err = "cannot create directory " + parent.string() +
-                ": " + ec.message();
-            return false;
-        }
-    }
-    // Unique temp name per process *and* call: concurrent sweep
-    // workers recording the same deterministic trace never share a
-    // partially written file, and the final rename is atomic.
-    static std::atomic<unsigned> seq{0};
-    const std::string tmp = path + ".tmp." +
-        std::to_string(::getpid()) + "." +
-        std::to_string(seq.fetch_add(1, std::memory_order_relaxed));
-    {
-        std::ofstream of(tmp, std::ios::binary | std::ios::trunc);
-        if (!of) {
-            err = "cannot create " + tmp;
-            return false;
-        }
-        of.write(reinterpret_cast<const char *>(bytes.data()),
-                 static_cast<std::streamsize>(bytes.size()));
-        if (!of) {
-            err = "short write to " + tmp;
-            return false;
-        }
-    }
-    if (std::rename(tmp.c_str(), path.c_str()) != 0) {
-        std::remove(tmp.c_str());
-        err = "cannot rename " + tmp + " to " + path;
         return false;
     }
     return true;

@@ -37,6 +37,7 @@
 #include <string>
 #include <vector>
 
+#include "common/content_store.hh"
 #include "trace/format.hh"
 
 namespace spp {
@@ -53,18 +54,6 @@ std::vector<std::uint8_t> encodeTrace(const TraceData &trace);
  */
 bool decodeTrace(const std::vector<std::uint8_t> &bytes,
                  TraceData &out, std::string &err);
-
-/** Slurp a file; false + @p err when unreadable. */
-bool readFileBytes(const std::string &path,
-                   std::vector<std::uint8_t> &out, std::string &err);
-
-/**
- * Write via a unique temp file + atomic rename, so two processes
- * recording the same (deterministic) trace can race harmlessly.
- */
-bool writeFileBytesAtomic(const std::string &path,
-                          const std::vector<std::uint8_t> &bytes,
-                          std::string &err);
 
 /** Load + decode @p path; fatal() with the decode error on failure. */
 TraceData loadTraceOrFatal(const std::string &path);

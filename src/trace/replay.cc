@@ -65,7 +65,7 @@ struct ReplayChain
     ThreadContext &ctx;
     const std::vector<O> &ops;
     std::size_t next = 0;
-    std::coroutine_handle<> done;
+    std::coroutine_handle<> done{};
 
     void
     issue()

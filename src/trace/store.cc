@@ -1,11 +1,9 @@
 #include "trace/store.hh"
 
-#include <cctype>
 #include <cstdlib>
-#include <fstream>
 #include <sstream>
 
-#include "common/hash.hh"
+#include "common/content_store.hh"
 #include "trace/options.hh"
 
 namespace spp {
@@ -24,49 +22,48 @@ TraceOptions::fromEnv()
     return o;
 }
 
+namespace {
+
+/** The shared content-store key of one recorded op stream. */
+ContentKey
+traceKey(const std::string &workload, const Config &cfg, double scale)
+{
+    ContentKey key("trace_v1");
+    key.field("workload", workload)
+        .field("scale", scale)
+        .field("seed", cfg.seed)
+        .field("cores", cfg.numCores)
+        .field("lineBytes", cfg.lineBytes);
+    return key;
+}
+
+} // namespace
+
 std::string
 traceKeyDescribe(const std::string &workload, const Config &cfg,
                  double scale)
 {
-    std::ostringstream os;
-    os << "trace_v" << 1 << " workload=" << workload
-       << " scale=" << scale << " seed=" << cfg.seed
-       << " cores=" << cfg.numCores
-       << " lineBytes=" << cfg.lineBytes;
-    return os.str();
+    return traceKey(workload, cfg, scale).describe();
 }
 
 std::uint64_t
 traceKeyHash(const std::string &workload, const Config &cfg,
              double scale)
 {
-    return fnv1a64(traceKeyDescribe(workload, cfg, scale));
+    return traceKey(workload, cfg, scale).hash();
 }
 
 std::string
 tracePath(const std::string &dir, const std::string &workload,
           std::uint64_t key_hash)
 {
-    static const char *hex = "0123456789abcdef";
-    std::string name;
-    for (char c : workload)
-        name += (std::isalnum(static_cast<unsigned char>(c)) ||
-                 c == '.' || c == '_' || c == '-')
-            ? c
-            : '_';
-    std::string digits(16, '0');
-    for (int i = 15; i >= 0; --i) {
-        digits[static_cast<std::size_t>(i)] = hex[key_hash & 0xf];
-        key_hash >>= 4;
-    }
-    return dir + "/" + name + "-" + digits + ".spptrace";
+    return contentStorePath(dir, workload, key_hash, ".spptrace");
 }
 
 bool
 traceFileExists(const std::string &path)
 {
-    std::ifstream in(path, std::ios::binary);
-    return static_cast<bool>(in);
+    return contentFileExists(path);
 }
 
 TraceMeta

@@ -1,0 +1,484 @@
+/**
+ * @file
+ * Result-store and sweep-server tests: codec round-trip fidelity,
+ * cold-miss -> populate -> warm-hit byte identity (at any worker
+ * count), key invalidation on config/scale/git changes, corrupt and
+ * mismatched entries rejected and re-simulated, cacheability
+ * bypasses, and the server's newline-delimited JSON protocol parsed
+ * back event by event.
+ */
+
+#include <gtest/gtest.h>
+
+#include <filesystem>
+#include <fstream>
+#include <sstream>
+#include <string>
+#include <vector>
+
+#include "analysis/experiment.hh"
+#include "analysis/sweep.hh"
+#include "common/config.hh"
+#include "common/content_store.hh"
+#include "common/logging.hh"
+#include "service/result_codec.hh"
+#include "service/result_store.hh"
+#include "service/server.hh"
+#include "service/triage.hh"
+#include "telemetry/json.hh"
+
+using namespace spp;
+
+namespace {
+
+struct QuietScope
+{
+    QuietScope() { setQuiet(true); }
+    ~QuietScope() { setQuiet(false); }
+};
+
+/** Fresh temp directory, removed on scope exit. */
+struct TempDir
+{
+    std::filesystem::path path;
+
+    explicit TempDir(const char *tag)
+    {
+        path = std::filesystem::temp_directory_path() /
+            (std::string("spp_result_store_test_") + tag);
+        std::filesystem::remove_all(path);
+        std::filesystem::create_directories(path);
+    }
+
+    ~TempDir() { std::filesystem::remove_all(path); }
+
+    std::string str() const { return path.string(); }
+};
+
+/** A fast cell: paper config, tiny iteration scale. */
+ExperimentConfig
+smallCell()
+{
+    ExperimentConfig x;
+    x.scale = 0.05;
+    return x;
+}
+
+/** Canonical byte rendering of a result (what the store writes). */
+std::string
+render(const ExperimentResult &res)
+{
+    return resultToJson(res).dump();
+}
+
+std::string
+entryPathFor(const std::string &dir, const std::string &workload,
+             const ExperimentConfig &x, const std::string &git)
+{
+    const ContentKey key =
+        resultKey(workload, x.config, x.scale, x.collectTrace,
+                  x.recordMissTargets, git);
+    return resultPath(dir, workload, key.hash());
+}
+
+} // namespace
+
+TEST(ResultCodec, RoundTripsFullResultWithTrace)
+{
+    QuietScope quiet;
+    ExperimentConfig x = smallCell();
+    x.collectTrace = true;
+    x.recordMissTargets = true;
+    const ExperimentResult live = runExperiment("ocean", x);
+    ASSERT_NE(live.trace, nullptr);
+
+    const Json doc = resultToJson(live);
+    ExperimentResult back;
+    std::string err;
+    ASSERT_TRUE(resultFromJson(doc, back, err)) << err;
+    EXPECT_EQ(render(back), render(live));
+    ASSERT_NE(back.trace, nullptr);
+    EXPECT_EQ(back.trace->totalMisses(), live.trace->totalMisses());
+}
+
+TEST(ResultCodec, RejectsMalformedDocuments)
+{
+    ExperimentResult out;
+    std::string err;
+    EXPECT_FALSE(resultFromJson(Json("not an object"), out, err));
+    EXPECT_FALSE(resultFromJson(Json::object(), out, err));
+    EXPECT_FALSE(err.empty());
+}
+
+TEST(ResultStore, ColdMissThenWarmHitIsByteIdentical)
+{
+    QuietScope quiet;
+    TempDir dir("warm");
+    ExperimentConfig x = smallCell();
+    x.resultStore.dir = dir.str();
+
+    resultStoreStats().reset();
+    const ExperimentResult cold = runExperiment("ocean", x);
+    EXPECT_EQ(resultStoreStats().misses, 1u);
+    EXPECT_EQ(resultStoreStats().hits, 0u);
+
+    const ExperimentResult warm = runExperiment("ocean", x);
+    EXPECT_EQ(resultStoreStats().hits, 1u);
+    EXPECT_EQ(render(warm), render(cold));
+}
+
+TEST(ResultStore, WarmSweepIsByteIdenticalAtAnyJobCount)
+{
+    QuietScope quiet;
+    TempDir dir("jobs");
+    std::vector<SweepJob> jobs;
+    for (const char *workload : {"ocean", "fmm"}) {
+        for (const Protocol proto :
+             {Protocol::directory, Protocol::broadcast}) {
+            ExperimentConfig x = smallCell();
+            x.config.protocol = proto;
+            x.resultStore.dir = dir.str();
+            jobs.push_back({workload, x, ""});
+        }
+    }
+
+    resultStoreStats().reset();
+    const std::vector<ExperimentResult> cold = runSweep(jobs, 1);
+    EXPECT_EQ(resultStoreStats().misses, jobs.size());
+
+    resultStoreStats().reset();
+    const std::vector<ExperimentResult> warm = runSweep(jobs, 4);
+    EXPECT_EQ(resultStoreStats().hits, jobs.size());
+    EXPECT_EQ(resultStoreStats().misses, 0u);
+    ASSERT_EQ(warm.size(), cold.size());
+    for (std::size_t i = 0; i < cold.size(); ++i)
+        EXPECT_EQ(render(warm[i]), render(cold[i])) << i;
+}
+
+TEST(ResultStore, KeyChangesWithConfigScaleFlagsAndGit)
+{
+    const ExperimentConfig x = smallCell();
+    const std::uint64_t base =
+        resultKey("ocean", x.config, x.scale, false, false, "v1")
+            .hash();
+
+    Config tweaked = x.config;
+    tweaked.seed += 1;
+    EXPECT_NE(resultKey("ocean", tweaked, x.scale, false, false,
+                        "v1")
+                  .hash(),
+              base);
+    EXPECT_NE(resultKey("ocean", x.config, x.scale * 2, false,
+                        false, "v1")
+                  .hash(),
+              base);
+    EXPECT_NE(resultKey("ocean", x.config, x.scale, true, false,
+                        "v1")
+                  .hash(),
+              base);
+    EXPECT_NE(resultKey("ocean", x.config, x.scale, false, false,
+                        "v2-dirty")
+                  .hash(),
+              base);
+    EXPECT_NE(resultKey("fmm", x.config, x.scale, false, false,
+                        "v1")
+                  .hash(),
+              base);
+    // Same inputs, same key: the store is consultable across runs.
+    EXPECT_EQ(resultKey("ocean", x.config, x.scale, false, false,
+                        "v1")
+                  .hash(),
+              base);
+}
+
+TEST(ResultStore, ConfigChangeMissesInsteadOfServingStale)
+{
+    QuietScope quiet;
+    TempDir dir("stale");
+    ExperimentConfig x = smallCell();
+    x.resultStore.dir = dir.str();
+    (void)runExperiment("ocean", x);
+
+    x.config.seed += 17;
+    resultStoreStats().reset();
+    (void)runExperiment("ocean", x);
+    EXPECT_EQ(resultStoreStats().hits, 0u);
+    EXPECT_EQ(resultStoreStats().misses, 1u);
+}
+
+TEST(ResultStore, CorruptEntryIsRejectedAndResimulated)
+{
+    QuietScope quiet;
+    TempDir dir("corrupt");
+    ExperimentConfig x = smallCell();
+    x.resultStore.dir = dir.str();
+    const ExperimentResult cold = runExperiment("ocean", x);
+
+    // Find the one entry and truncate it mid-document.
+    std::string entry;
+    for (const auto &de :
+         std::filesystem::directory_iterator(dir.path))
+        entry = de.path().string();
+    ASSERT_FALSE(entry.empty());
+    {
+        std::ifstream in(entry, std::ios::binary);
+        std::string bytes((std::istreambuf_iterator<char>(in)),
+                          std::istreambuf_iterator<char>());
+        ASSERT_GT(bytes.size(), 64u);
+        std::ofstream out(entry,
+                          std::ios::binary | std::ios::trunc);
+        out.write(bytes.data(),
+                  static_cast<std::streamsize>(bytes.size() / 2));
+    }
+
+    resultStoreStats().reset();
+    const ExperimentResult redone = runExperiment("ocean", x);
+    EXPECT_EQ(resultStoreStats().corrupt, 1u);
+    EXPECT_EQ(resultStoreStats().hits, 0u);
+    EXPECT_EQ(render(redone), render(cold));
+
+    // The re-simulation overwrote the bad entry: warm again.
+    resultStoreStats().reset();
+    (void)runExperiment("ocean", x);
+    EXPECT_EQ(resultStoreStats().hits, 1u);
+}
+
+TEST(ResultStore, MismatchedKeyPreimageIsCorruptNotAHit)
+{
+    QuietScope quiet;
+    TempDir dir("preimage");
+    ExperimentConfig x = smallCell();
+    const ExperimentResult res = runExperiment("ocean", x);
+
+    // Write a well-formed entry recording a DIFFERENT key preimage
+    // at the path our key hashes to (a renamed file / collision).
+    const std::string path =
+        entryPathFor(dir.str(), "ocean", x, "v1");
+    storeResult(path, "result_v1 something=else", res);
+    const ContentKey key =
+        resultKey("ocean", x.config, x.scale, false, false, "v1");
+
+    resultStoreStats().reset();
+    ExperimentResult out;
+    EXPECT_FALSE(loadCachedResult(path, key.describe(), out));
+    EXPECT_EQ(resultStoreStats().corrupt, 1u);
+}
+
+TEST(ResultStore, RefreshResimulatesAndOverwrites)
+{
+    QuietScope quiet;
+    TempDir dir("refresh");
+    ExperimentConfig x = smallCell();
+    x.resultStore.dir = dir.str();
+    const ExperimentResult cold = runExperiment("ocean", x);
+
+    x.resultStore.refresh = true;
+    resultStoreStats().reset();
+    const ExperimentResult redone = runExperiment("ocean", x);
+    EXPECT_EQ(resultStoreStats().hits, 0u);
+    EXPECT_EQ(resultStoreStats().misses, 1u);
+    EXPECT_EQ(render(redone), render(cold));
+}
+
+TEST(ResultStore, UncacheableCellsBypassTheStore)
+{
+    QuietScope quiet;
+    TempDir dir("bypass");
+    ExperimentConfig x = smallCell();
+    x.resultStore.dir = dir.str();
+    x.checkCoherence = true;
+    EXPECT_FALSE(resultCacheable(x));
+
+    resultStoreStats().reset();
+    (void)runExperiment("ocean", x);
+    EXPECT_EQ(resultStoreStats().bypasses, 1u);
+    EXPECT_EQ(resultStoreStats().hits, 0u);
+    EXPECT_EQ(resultStoreStats().misses, 0u);
+    // No entry was written.
+    unsigned entries = 0;
+    for (const auto &de :
+         std::filesystem::directory_iterator(dir.path)) {
+        (void)de;
+        ++entries;
+    }
+    EXPECT_EQ(entries, 0u);
+}
+
+namespace {
+
+/** Drive a SweepServer over string streams; returns parsed events. */
+std::vector<Json>
+serveScript(SweepServer &server, const std::string &script,
+            unsigned *served = nullptr)
+{
+    std::istringstream in(script);
+    std::ostringstream out;
+    const unsigned n = server.serve(in, out);
+    if (served != nullptr)
+        *served = n;
+    std::vector<Json> events;
+    std::istringstream lines(out.str());
+    for (std::string line; std::getline(lines, line);) {
+        auto doc = Json::parse(line);
+        EXPECT_TRUE(doc.has_value()) << line;
+        if (doc)
+            events.push_back(*doc);
+    }
+    return events;
+}
+
+std::string
+eventName(const Json &ev)
+{
+    const Json *e = ev.find("event");
+    return e != nullptr && e->isString() ? e->asString() : "";
+}
+
+} // namespace
+
+TEST(SweepServer, ServesQueuedRequestsAndStreamsResults)
+{
+    QuietScope quiet;
+    TempDir dir("server");
+    ServerOptions so;
+    so.resultStore.dir = dir.str();
+    so.jobs = 2;
+    so.defaultScale = 0.05;
+    SweepServer server(so);
+
+    const std::string script =
+        "{\"op\":\"sweep\",\"id\":\"q1\",\"cells\":["
+        "{\"workload\":\"ocean\",\"label\":\"dir\"},"
+        "{\"workload\":\"ocean\",\"label\":\"sp\",\"set\":"
+        "{\"protocol\":\"predicted\",\"predictor\":\"sp\"}}]}\n"
+        "{\"op\":\"sweep\",\"id\":\"q2\",\"set\":{\"numCores\":8},"
+        "\"cells\":[{\"workload\":\"fmm\"}]}\n"
+        "{\"op\":\"stats\"}\n"
+        "{\"op\":\"shutdown\"}\n";
+    unsigned served = 0;
+    const std::vector<Json> events =
+        serveScript(server, script, &served);
+    EXPECT_EQ(served, 4u);
+    EXPECT_TRUE(server.shutdownRequested());
+
+    std::vector<std::string> names;
+    names.reserve(events.size());
+    for (const Json &ev : events)
+        names.push_back(eventName(ev));
+    const std::vector<std::string> expect = {
+        "accepted", "result", "result", "done",
+        "accepted", "result", "done", "stats", "bye"};
+    EXPECT_EQ(names, expect);
+
+    // Every result payload decodes through the codec.
+    for (const Json &ev : events) {
+        if (eventName(ev) != "result")
+            continue;
+        const Json *payload = ev.find("result");
+        ASSERT_NE(payload, nullptr);
+        ExperimentResult res;
+        std::string err;
+        EXPECT_TRUE(resultFromJson(*payload, res, err)) << err;
+        EXPECT_GT(res.run.ticks, 0u);
+    }
+
+    // First done event: 2 cold cells -> 2 misses, 0 hits.
+    const Json &done1 = events[3];
+    EXPECT_EQ(done1.find("misses")->asNumber(), 2.0);
+    EXPECT_EQ(done1.find("hits")->asNumber(), 0.0);
+
+    // Gauges: all cells ran, queue drained, store traffic visible.
+    const Json &stats = events[7];
+    const Json *gauges = stats.find("gauges");
+    ASSERT_NE(gauges, nullptr);
+    EXPECT_EQ(gauges->find("server.cells_run")->asNumber(), 3.0);
+    EXPECT_EQ(gauges->find("server.queue_depth")->asNumber(), 0.0);
+    // The stats op is itself the third request served.
+    EXPECT_EQ(gauges->find("server.requests_served")->asNumber(),
+              3.0);
+    ASSERT_NE(gauges->find("store.misses"), nullptr);
+
+    // Same sweep again on a fresh server: warm, flagged cached, and
+    // the result events are byte-identical in order and content.
+    SweepServer warm_server(so);
+    const std::vector<Json> warm = serveScript(
+        warm_server,
+        script.substr(0, script.find("{\"op\":\"stats\"}")));
+    std::vector<std::string> cold_results;
+    std::vector<std::string> warm_results;
+    for (const Json &ev : events)
+        if (eventName(ev) == "result")
+            cold_results.push_back(ev.dump());
+    for (const Json &ev : warm) {
+        if (eventName(ev) != "result")
+            continue;
+        EXPECT_TRUE(ev.find("cached")->asBool());
+        Json stripped = ev;
+        stripped["cached"] = Json(false);
+        Json original = Json::parse(
+                            cold_results[warm_results.size()])
+                            .value();
+        original["cached"] = Json(false);
+        EXPECT_EQ(stripped.dump(), original.dump());
+        warm_results.push_back(ev.dump());
+    }
+    EXPECT_EQ(warm_results.size(), cold_results.size());
+}
+
+TEST(SweepServer, RejectsBadRequestsWithoutDying)
+{
+    QuietScope quiet;
+    ServerOptions so;
+    so.jobs = 1;
+    so.defaultScale = 0.05;
+    SweepServer server(so);
+
+    const std::string script =
+        "this is not json\n"
+        "{\"op\":\"frobnicate\",\"id\":7}\n"
+        "{\"op\":\"sweep\",\"id\":\"q\",\"cells\":["
+        "{\"workload\":\"no-such-workload\"}]}\n"
+        "{\"op\":\"sweep\",\"id\":\"q\",\"cells\":["
+        "{\"workload\":\"ocean\",\"set\":{\"numCores\":\"zero\"}}"
+        "]}\n"
+        "{\"op\":\"sweep\",\"id\":\"q\"}\n";
+    const std::vector<Json> events = serveScript(server, script);
+    ASSERT_EQ(events.size(), 5u);
+    for (const Json &ev : events) {
+        EXPECT_EQ(eventName(ev), "error");
+        EXPECT_FALSE(ev.find("error")->asString().empty());
+    }
+    // Server is still healthy after the garbage: EOF ended serve(),
+    // not a shutdown op.
+    EXPECT_FALSE(server.shutdownRequested());
+}
+
+TEST(SweepServer, TriageOrdersAndSkipsFromTraceStore)
+{
+    QuietScope quiet;
+    TempDir traces("triage");
+    // Neutral estimate without a trace store entry.
+    Config cfg;
+    const TriageEstimate neutral =
+        triageCell("ocean", cfg, 0.05, "");
+    EXPECT_FALSE(neutral.fromTrace);
+    EXPECT_EQ(neutral.score, 1.0);
+
+    // Skip mode never drops neutral cells.
+    ServerOptions so;
+    so.jobs = 1;
+    so.defaultScale = 0.05;
+    so.triage = TriageMode::skip;
+    so.triageThreshold = 1e9;
+    so.traceDir = traces.str();
+    SweepServer server(so);
+    const std::vector<Json> events = serveScript(
+        server,
+        "{\"op\":\"sweep\",\"id\":\"t\",\"cells\":["
+        "{\"workload\":\"ocean\"}]}\n");
+    ASSERT_GE(events.size(), 3u);
+    EXPECT_EQ(eventName(events[0]), "triage");
+    EXPECT_EQ(events[0].find("skipped")->size(), 0u);
+    EXPECT_EQ(eventName(events[1]), "accepted");
+    EXPECT_EQ(eventName(events[2]), "result");
+}
